@@ -1,0 +1,103 @@
+// Ablation A3: EFS hints and full-track buffering (§4.3, §4.5).
+//
+// "Every request to EFS can provide a disk address hint ... A cache of
+// recently-accessed blocks makes sequential access more efficient"; "average
+// read time for typical files is substantially less than disk latency
+// because of full-track buffering."
+//
+// Four configurations (hints x track-readahead) on one LFS: sequential scan
+// cost per block, random-read cost, chain-walk steps, cache hit rates.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/efs/efs.hpp"
+
+namespace bridge::bench {
+namespace {
+
+struct Measured {
+  double seq_ms = 0;
+  double rand_ms = 0;
+  std::uint64_t walk_steps = 0;
+  double hit_rate = 0;
+};
+
+Measured measure(bool hints, bool readahead, std::uint64_t records) {
+  sim::Runtime rt(1);
+  disk::Geometry geometry;
+  geometry.num_tracks = static_cast<std::uint32_t>(records / 2 + 64);
+  geometry.blocks_per_track = 4;
+  disk::SimDisk dev(geometry, disk::LatencyModel{});
+  efs::EfsConfig config;
+  config.hints_enabled = hints;
+  config.cache.track_readahead = readahead;
+  efs::EfsCore fs(dev, config);
+  fs.format();
+
+  Measured out;
+  rt.spawn(0, "bench", [&](sim::Context& ctx) {
+    std::vector<std::byte> payload(efs::kEfsDataBytes);
+    (void)fs.create(ctx, 1);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      (void)fs.write(ctx, 1, static_cast<std::uint32_t>(i), payload,
+                     disk::kNilAddr);
+    }
+    auto start = ctx.now();
+    disk::BlockAddr hint = disk::kNilAddr;
+    for (std::uint64_t i = 0; i < records; ++i) {
+      auto r = fs.read(ctx, 1, static_cast<std::uint32_t>(i), hint);
+      if (!r.is_ok()) return;
+      hint = r.value().addr;
+    }
+    out.seq_ms = (ctx.now() - start).ms() / static_cast<double>(records);
+
+    sim::Rng rng(17);
+    std::uint64_t probes = records / 4;
+    start = ctx.now();
+    for (std::uint64_t i = 0; i < probes; ++i) {
+      // Random access: the caller has no useful hint.
+      auto r = fs.read(ctx, 1,
+                       static_cast<std::uint32_t>(rng.next_below(records)),
+                       disk::kNilAddr);
+      if (!r.is_ok()) return;
+    }
+    out.rand_ms = (ctx.now() - start).ms() / static_cast<double>(probes);
+    out.walk_steps = fs.op_stats().walk_steps;
+    out.hit_rate = fs.cache_stats().hit_rate();
+  });
+  rt.run();
+  return out;
+}
+
+}  // namespace
+}  // namespace bridge::bench
+
+int main(int argc, char** argv) {
+  using namespace bridge::bench;
+  std::uint64_t records = flag_value(argc, argv, "records", 512);
+
+  print_header("Ablation A3: EFS hints and full-track buffering");
+  std::printf("single LFS, %llu-block file, 15 ms disk\n\n",
+              static_cast<unsigned long long>(records));
+  std::printf("%-7s %-10s | %12s | %12s | %12s | %9s\n", "hints", "readahead",
+              "seq read/blk", "rand read/blk", "walk steps", "hit rate");
+  std::printf("-------------------+--------------+---------------+--------------"
+              "+----------\n");
+  for (bool hints : {true, false}) {
+    for (bool readahead : {true, false}) {
+      auto m = measure(hints, readahead, records);
+      std::printf("%-7s %-10s | %9.2f ms | %9.2f ms | %12llu | %8.1f%%\n",
+                  hints ? "on" : "off", readahead ? "on" : "off", m.seq_ms,
+                  m.rand_ms, static_cast<unsigned long long>(m.walk_steps),
+                  100.0 * m.hit_rate);
+    }
+  }
+  std::printf(
+      "\nshape checks: hints keep sequential walks ~1 step/block (without\n"
+      "them the stateless LFS walks from the nearest end every time);\n"
+      "full-track buffering pushes sequential reads well under the 15 ms\n"
+      "disk latency (the paper's 9 ms Read row).  Random access pays the\n"
+      "linked-list walk regardless - the cost the paper accepts for files\n"
+      "that are 'generally larger' and sequentially accessed.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation A7: storage-device technology sweep (§2, §6).
+//
+// The paper sets its simulated delay to 15 ms "to approximate the
+// performance of a CDC Wren-class hard disk ... near the knee of the
+// price/performance curve", and §6 predicts "communication is likely to
+// remain a bottleneck in many situations" once devices get fast.
+//
+// We sweep the device model — Butterfly RAMFile-style RAM disk, fast drive,
+// Wren, slow drive — and measure where the copy tool's bottleneck moves:
+// with slow disks the tool scales with devices; with a RAM disk the fixed
+// message/CPU costs dominate and extra latency reduction buys nothing.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/tools/copy.hpp"
+
+namespace bridge::bench {
+namespace {
+
+struct Device {
+  const char* name;
+  double access_ms;
+  double transfer_ms;
+};
+
+constexpr Device kDevices[] = {
+    {"RAM disk (RAMFile)", 0.05, 0.01},
+    {"fast drive (5ms)", 5.0, 0.3},
+    {"CDC Wren (15ms)", 15.0, 0.5},
+    {"slow drive (40ms)", 40.0, 1.0},
+};
+
+struct Measured {
+  double copy_sec;
+  double naive_read_ms;
+};
+
+Measured measure(const Device& device, std::uint32_t p, std::uint64_t records) {
+  auto cfg = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(2 * records / p + 64));
+  cfg.disk_latency.access_latency = sim::msec(device.access_ms);
+  cfg.disk_latency.transfer_per_block = sim::msec(device.transfer_ms);
+  core::BridgeInstance inst(cfg);
+  fill_random_file(inst, "src", records, 21);
+
+  Measured out{};
+  inst.run_client("tool", [&](sim::Context& ctx, core::BridgeClient& client) {
+    auto result = tools::run_copy_tool(ctx, client, "src", "dst");
+    if (result.is_ok()) out.copy_sec = result.value().elapsed.sec();
+    // Naive read path for the communication-bound comparison.
+    auto open = client.open("src");
+    if (!open.is_ok()) return;
+    auto start = ctx.now();
+    for (std::uint64_t i = 0; i < records; ++i) {
+      if (!client.seq_read(open.value().session).is_ok()) return;
+    }
+    out.naive_read_ms = (ctx.now() - start).ms() / static_cast<double>(records);
+  });
+  inst.run();
+  return out;
+}
+
+}  // namespace
+}  // namespace bridge::bench
+
+int main(int argc, char** argv) {
+  using namespace bridge::bench;
+  std::uint64_t records = flag_value(argc, argv, "records", 512);
+  std::uint32_t p = static_cast<std::uint32_t>(flag_value(argc, argv, "p", 8));
+
+  print_header("Ablation A7: device technology sweep (sections 2 and 6)");
+  std::printf("p = %u, %llu records; copy tool + naive sequential read\n\n", p,
+              static_cast<unsigned long long>(records));
+  std::printf("%-20s | %12s | %14s | %12s | %12s\n", "device", "copy time",
+              "naive read/blk", "latency vs Wren", "copy vs Wren");
+  std::printf("---------------------+--------------+----------------+"
+              "-----------------+-------------\n");
+  double wren_copy = 0;
+  std::vector<Measured> measured;
+  for (const auto& device : kDevices) {
+    measured.push_back(measure(device, p, records));
+    if (std::string(device.name).find("Wren") != std::string::npos) {
+      wren_copy = measured.back().copy_sec;
+    }
+  }
+  for (std::size_t i = 0; i < std::size(kDevices); ++i) {
+    std::printf("%-20s | %10.2f s | %11.2f ms | %14.1fx | %10.2fx\n",
+                kDevices[i].name, measured[i].copy_sec,
+                measured[i].naive_read_ms, kDevices[i].access_ms / 15.0,
+                measured[i].copy_sec / wren_copy);
+  }
+  std::printf(
+      "\nshape checks: going from 40 ms to 15 ms to 5 ms disks speeds the\n"
+      "tool nearly proportionally; the RAM disk does NOT - the remaining\n"
+      "time is message latency and per-request CPU, the serialization the\n"
+      "paper set out to eliminate (and, for naive access, the single-path\n"
+      "client<->server<->LFS round trip).\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Ablation A1: data-distribution strategies (§3).
+//
+// The paper argues for strict round-robin interleaving against chunking and
+// hashing, and mentions a linked "disordered" representation with "very slow
+// random access".  This bench quantifies each claim:
+//   1. P(p consecutive blocks hit p distinct LFSs): 1.0 for round-robin,
+//      "extremely low" for hashing.
+//   2. Parallel sequential read time (parallel open, t = p workers): round-
+//      robin reaches full disk parallelism; hashed/chunked rounds collide.
+//   3. Append beyond a chunked file's capacity forces a global
+//      reorganization; we count the blocks that must move.
+//   4. Sequential and random access cost per distribution.
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.hpp"
+#include "src/core/distribution.hpp"
+
+namespace bridge::bench {
+namespace {
+
+using core::BridgeClient;
+using core::BridgeInstance;
+using core::CreateOptions;
+using core::Distribution;
+
+CreateOptions options_for(Distribution d, std::uint32_t p,
+                          std::uint64_t records) {
+  CreateOptions options;
+  options.distribution = d;
+  if (d == Distribution::kChunked) {
+    options.chunk_blocks = static_cast<std::uint32_t>((records + p - 1) / p);
+  }
+  options.hash_seed = 99;
+  return options;
+}
+
+void fill(BridgeInstance& inst, const std::string& name, CreateOptions options,
+          std::uint64_t records) {
+  inst.run_client("fill", [&](sim::Context&, BridgeClient& client) {
+    if (!client.create(name, options).is_ok()) return;
+    auto open = client.open(name);
+    if (!open.is_ok()) return;
+    for (std::uint64_t i = 0; i < records; ++i) {
+      if (!client.seq_write(open.value().session, keyed_record(i)).is_ok()) {
+        return;
+      }
+    }
+  });
+  inst.run();
+}
+
+double coverage_probability(Distribution d, std::uint32_t p,
+                            std::uint64_t records) {
+  core::PlacementMap map(d, p, 0, p, static_cast<std::uint32_t>(records / p + 1),
+                         7);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    if (d == Distribution::kLinked) {
+      std::uint32_t lfs =
+          static_cast<std::uint32_t>(util::mix64(i * 0x9E3779B9ull) % p);
+      (void)map.append_linked({lfs, map.next_local(lfs)});
+    } else {
+      (void)map.append();
+    }
+  }
+  std::uint64_t windows = 0, covered = 0;
+  for (std::uint64_t first = 0; first + p <= records; ++first) {
+    std::set<std::uint32_t> lfs;
+    for (std::uint64_t n = first; n < first + p; ++n) {
+      lfs.insert(map.place(n).value().lfs_index);
+    }
+    ++windows;
+    if (lfs.size() == p) ++covered;
+  }
+  return windows == 0 ? 0.0
+                      : static_cast<double>(covered) / static_cast<double>(windows);
+}
+
+struct AccessTimes {
+  double parallel_read_sec;
+  double seq_read_ms;
+  double random_read_ms;
+};
+
+AccessTimes measure_access(Distribution d, std::uint32_t p,
+                           std::uint64_t records) {
+  auto cfg = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(2 * records / p + records + 64));
+  BridgeInstance inst(cfg);
+  fill(inst, "f", options_for(d, p, records), records);
+
+  AccessTimes times{};
+  // Parallel read with t = p workers.
+  std::vector<sim::Address> workers(p);
+  for (std::uint32_t w = 0; w < p; ++w) {
+    inst.runtime().spawn(w, "worker", [&workers, w](sim::Context& ctx) {
+      core::ParallelWorker worker(ctx);
+      workers[w] = worker.address();
+      while (!worker.next_block().eof) {
+      }
+    });
+  }
+  inst.run_client("controller", [&](sim::Context& ctx, BridgeClient& client) {
+    ctx.sleep(sim::msec(1));
+    auto open = client.open("f");
+    if (!open.is_ok()) return;
+    auto job = client.parallel_open(open.value().session, workers);
+    if (!job.is_ok()) return;
+    auto start = ctx.now();
+    while (true) {
+      auto resp = client.parallel_read(job.value());
+      if (!resp.is_ok() || resp.value().eof) break;
+    }
+    times.parallel_read_sec = (ctx.now() - start).sec();
+  });
+  inst.run();
+
+  // Naive sequential + random reads.
+  inst.run_client("naive", [&](sim::Context& ctx, BridgeClient& client) {
+    auto open = client.open("f");
+    if (!open.is_ok()) return;
+    auto start = ctx.now();
+    for (std::uint64_t i = 0; i < records; ++i) {
+      if (!client.seq_read(open.value().session).is_ok()) return;
+    }
+    times.seq_read_ms =
+        (ctx.now() - start).ms() / static_cast<double>(records);
+
+    sim::Rng rng(3);
+    start = ctx.now();
+    std::uint64_t probes = records / 4;
+    for (std::uint64_t i = 0; i < probes; ++i) {
+      if (!client.random_read(open.value().meta.id, rng.next_below(records))
+               .is_ok()) {
+        return;
+      }
+    }
+    times.random_read_ms =
+        (ctx.now() - start).ms() / static_cast<double>(probes);
+  });
+  inst.run();
+  return times;
+}
+
+}  // namespace
+}  // namespace bridge::bench
+
+int main(int argc, char** argv) {
+  using namespace bridge::bench;
+  using bridge::core::Distribution;
+  std::uint64_t records = flag_value(argc, argv, "records", 512);
+  std::uint32_t p = static_cast<std::uint32_t>(flag_value(argc, argv, "p", 8));
+
+  print_header("Ablation A1: distribution strategies (section 3)");
+  std::printf("p = %u, %llu records\n\n", p,
+              static_cast<unsigned long long>(records));
+
+  std::printf("P(p consecutive blocks on p distinct LFSs):\n");
+  for (auto d : {Distribution::kRoundRobin, Distribution::kChunked,
+                 Distribution::kHashed, Distribution::kLinked}) {
+    std::printf("  %-12s %6.3f   (expected for hashing: p!/p^p = %.4f)\n",
+                bridge::core::distribution_name(d), coverage_probability(d, p, records),
+                d == Distribution::kHashed || d == Distribution::kLinked
+                    ? [&] {
+                        double prob = 1.0;
+                        for (std::uint32_t i = 1; i < p; ++i) {
+                          prob *= static_cast<double>(p - i) / p;
+                        }
+                        return prob;
+                      }()
+                    : 1.0);
+  }
+
+  std::printf("\naccess costs:\n");
+  std::printf("%-12s | %16s | %12s | %12s\n", "distribution", "parallel read",
+              "seq read/blk", "rand read/blk");
+  std::printf("-------------+------------------+--------------+-------------\n");
+  for (auto d : {Distribution::kRoundRobin, Distribution::kChunked,
+                 Distribution::kHashed, Distribution::kLinked}) {
+    auto t = measure_access(d, p, records);
+    std::printf("%-12s | %12.2f sec | %9.2f ms | %9.2f ms\n",
+                bridge::core::distribution_name(d), t.parallel_read_sec, t.seq_read_ms,
+                t.random_read_ms);
+  }
+
+  std::printf("\nchunked append-overflow reorganization cost:\n");
+  {
+    bridge::core::PlacementMap map(Distribution::kChunked, p, 0, p,
+                           static_cast<std::uint32_t>(records / p), 0);
+    for (std::uint64_t i = 0; i < (records / p) * p; ++i) (void)map.append();
+    auto moved = map.rechunk(static_cast<std::uint32_t>(2 * records / p));
+    std::printf("  growing a full %llu-block chunked file: %llu of %llu blocks"
+                " must move (%.0f%%)\n",
+                static_cast<unsigned long long>(map.size_blocks()),
+                static_cast<unsigned long long>(moved),
+                static_cast<unsigned long long>(map.size_blocks()),
+                100.0 * static_cast<double>(moved) /
+                    static_cast<double>(map.size_blocks()));
+  }
+  std::printf(
+      "\nshape checks: round-robin alone guarantees full coverage (prob 1.0);\n"
+      "its parallel read is fastest; chunked appends hit a wall that costs a\n"
+      "near-total reorganization - the section 3 argument for interleaving.\n");
+  return 0;
+}

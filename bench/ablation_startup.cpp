@@ -1,0 +1,85 @@
+// Ablation A4: sequential vs embedded-binary-tree startup (§4.5, §5.1).
+//
+// "Performance could be improved somewhat by sending startup and completion
+// messages through an embedded binary tree" (Create), and the copy tool's
+// O(n/p + log p) depends on tree fan-out of its workers.
+//
+// Two experiments: Create latency vs p for both dispatch modes, and copy-
+// tool time on a SMALL file (where startup dominates) for both fan-outs.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/tools/copy.hpp"
+
+namespace bridge::bench {
+namespace {
+
+double create_latency(std::uint32_t p, bool tree) {
+  auto cfg = core::SystemConfig::paper_profile(p, 128);
+  cfg.bridge.tree_create = tree;
+  core::BridgeInstance inst(cfg);
+  double ms = 0;
+  inst.run_client("bench", [&](sim::Context& ctx, core::BridgeClient& client) {
+    auto start = ctx.now();
+    if (!client.create("f").is_ok()) return;
+    ms = (ctx.now() - start).ms();
+  });
+  inst.run();
+  return ms;
+}
+
+double copy_time(std::uint32_t p, bool tree, std::uint64_t records) {
+  auto cfg = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(2 * records / p + 64));
+  core::BridgeInstance inst(cfg);
+  fill_random_file(inst, "src", records, 3);
+  double sec = 0;
+  inst.run_client("tool", [&](sim::Context& ctx, core::BridgeClient& client) {
+    tools::CopyOptions options;
+    options.fanout.tree = tree;
+    auto result = tools::run_copy_tool(ctx, client, "src", "dst", options);
+    if (result.is_ok()) sec = result.value().elapsed.sec();
+  });
+  inst.run();
+  return sec;
+}
+
+}  // namespace
+}  // namespace bridge::bench
+
+int main(int argc, char** argv) {
+  using namespace bridge::bench;
+  std::uint64_t records = flag_value(argc, argv, "records", 128);
+
+  print_header("Ablation A4: sequential vs binary-tree startup");
+  std::printf("\nCreate latency (paper: 145 + 17.5p ms with sequential "
+              "initiation):\n");
+  std::printf("%4s | %14s | %14s | %8s\n", "p", "sequential", "tree",
+              "saving");
+  std::printf("-----+----------------+----------------+---------\n");
+  for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    double seq = create_latency(p, false);
+    double tree = create_latency(p, true);
+    std::printf("%4u | %11.1f ms | %11.1f ms | %6.2fx\n", p, seq, tree,
+                seq / tree);
+  }
+
+  std::printf("\ncopy tool on a small (%llu-block) file, where startup "
+              "matters:\n",
+              static_cast<unsigned long long>(records));
+  std::printf("%4s | %14s | %14s | %8s\n", "p", "sequential", "tree",
+              "saving");
+  std::printf("-----+----------------+----------------+---------\n");
+  for (std::uint32_t p : {2u, 8u, 32u}) {
+    double seq = copy_time(p, false, records);
+    double tree = copy_time(p, true, records);
+    std::printf("%4u | %12.2f s | %12.2f s | %6.2fx\n", p, seq, tree,
+                seq / tree);
+  }
+  std::printf(
+      "\nshape checks: sequential Create grows ~linearly in p while the tree\n"
+      "variant grows ~logarithmically; the gap widens with p (the section 4.5\n"
+      "suggestion).  Tool fan-out shows the same effect when per-node work is\n"
+      "small.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the reproduction benches: workload generation and
+// table formatting.  Every bench prints the paper's reported values next to
+// the simulated measurements so the shape comparison is immediate.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/instance.hpp"
+#include "src/sim/rng.hpp"
+#include "src/tools/sort/sort_common.hpp"
+#include "src/util/serde.hpp"
+
+namespace bridge::bench {
+
+/// A record: leading little-endian uint64 key + deterministic filler.
+inline std::vector<std::byte> keyed_record(std::uint64_t key) {
+  std::vector<std::byte> data(efs::kUserDataBytes);
+  util::Writer w;
+  w.u64(key);
+  std::copy(w.buffer().begin(), w.buffer().end(), data.begin());
+  for (std::size_t i = 8; i < data.size(); ++i) {
+    data[i] = std::byte(static_cast<std::uint8_t>((key * 131 + i) & 0xFF));
+  }
+  return data;
+}
+
+/// Write `records` random-keyed records into Bridge file `name` through the
+/// naive interface (the workload generator used by every experiment).
+inline void fill_random_file(core::BridgeInstance& inst, const std::string& name,
+                             std::uint64_t records, std::uint64_t seed) {
+  inst.run_client("fill", [&, records, seed](sim::Context&,
+                                             core::BridgeClient& client) {
+    if (!client.create(name).is_ok()) return;
+    auto open = client.open(name);
+    if (!open.is_ok()) return;
+    sim::Rng rng(seed);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      auto status =
+          client.seq_write(open.value().session, keyed_record(rng.next_u64()));
+      if (!status.is_ok()) {
+        std::fprintf(stderr, "fill_random_file: %s\n",
+                     status.status().to_string().c_str());
+        return;
+      }
+    }
+  });
+  inst.run();
+}
+
+/// Parse "--records=N" / "--max-p=N" style flags with defaults.
+inline std::uint64_t flag_value(int argc, char** argv, const std::string& name,
+                                std::uint64_t fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoull(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bridge::bench

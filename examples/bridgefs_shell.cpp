@@ -1,0 +1,265 @@
+// bridgefs_shell: a small command interpreter over a simulated Bridge
+// machine, exercising the whole public API from one place.
+//
+// Usage:
+//   ./build/examples/bridgefs_shell                 # runs the demo script
+//   ./build/examples/bridgefs_shell script.bfs      # runs your script
+//
+// Commands (one per line, '#' comments):
+//   create NAME            create an interleaved file
+//   put NAME TEXT...       append TEXT as one record
+//   fill NAME N            append N generated records
+//   cat NAME [N]           print the first N records (default 3)
+//   ls                     list files with sizes
+//   copy SRC DST           run the copy tool
+//   grep NAME PATTERN      run the grep scan tool
+//   sort SRC DST           run the merge-sort tool (keys = first 8 bytes)
+//   reorg SRC DST          run the off-line reorganizer
+//   rm NAME                delete a file
+//   stats                  print machine statistics
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/instance.hpp"
+#include "src/tools/copy.hpp"
+#include "src/tools/reorganize.hpp"
+#include "src/tools/sort/sort_tool.hpp"
+#include "src/util/serde.hpp"
+
+using namespace bridge;
+
+namespace {
+
+const char* kDemoScript = R"(# bridgefs demo script
+create notes
+put notes hello from the Bridge file system
+put notes consecutive blocks live on different disks
+put notes this is record three
+cat notes 3
+fill dataset 64
+ls
+copy dataset dataset.bak
+grep notes disks
+sort dataset dataset.sorted
+cat dataset.sorted 2
+reorg dataset.bak dataset.tidy
+rm dataset.bak
+ls
+stats
+)";
+
+std::vector<std::byte> text_record(const std::string& text) {
+  std::vector<std::byte> data(std::min<std::size_t>(text.size(), 960));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = std::byte(text[i]);
+  return data;
+}
+
+std::vector<std::byte> generated_record(std::uint64_t key) {
+  std::vector<std::byte> data(efs::kUserDataBytes);
+  util::Writer w;
+  w.u64(key);
+  std::copy(w.buffer().begin(), w.buffer().end(), data.begin());
+  return data;
+}
+
+class Shell {
+ public:
+  Shell(core::BridgeInstance& machine, sim::Context& ctx,
+        core::BridgeClient& client)
+      : machine_(machine), ctx_(ctx), client_(client) {}
+
+  void run_line(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty() || command[0] == '#') return;
+    std::printf("bridgefs> %s\n", line.c_str());
+    if (command == "create") {
+      std::string name;
+      in >> name;
+      report(client_.create(name).status());
+    } else if (command == "put") {
+      std::string name, word, text;
+      in >> name;
+      while (in >> word) text += (text.empty() ? "" : " ") + word;
+      auto open = client_.open(name);
+      if (!open.is_ok()) return report(open.status());
+      report(client_.seq_write(open.value().session, text_record(text)).status());
+    } else if (command == "fill") {
+      std::string name;
+      std::uint64_t n = 0;
+      in >> name >> n;
+      if (!client_.open(name).is_ok()) {
+        if (auto st = client_.create(name); !st.is_ok()) {
+          return report(st.status());
+        }
+      }
+      auto open = client_.open(name);
+      if (!open.is_ok()) return report(open.status());
+      sim::Rng rng(n * 7 + 1);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        auto st = client_.seq_write(open.value().session,
+                                    generated_record(rng.next_below(100000)));
+        if (!st.is_ok()) return report(st.status());
+      }
+      std::printf("  ok: %llu records appended\n",
+                  static_cast<unsigned long long>(n));
+    } else if (command == "cat") {
+      std::string name;
+      std::uint64_t count = 3;
+      in >> name;
+      in >> count;
+      auto open = client_.open(name);
+      if (!open.is_ok()) return report(open.status());
+      for (std::uint64_t i = 0;
+           i < std::min(count, open.value().meta.size_blocks); ++i) {
+        auto r = client_.seq_read(open.value().session);
+        if (!r.is_ok()) return report(r.status());
+        bool printable = !r.value().data.empty();
+        for (std::byte b : r.value().data) {
+          char c = static_cast<char>(b);
+          if ((c < 32 || c > 126) && c != '\n') printable = false;
+        }
+        if (printable) {
+          std::string text(reinterpret_cast<const char*>(r.value().data.data()),
+                           r.value().data.size());
+          std::printf("  [%llu] %s\n",
+                      static_cast<unsigned long long>(r.value().block_no),
+                      text.c_str());
+        } else {
+          std::printf("  [%llu] <%zu binary bytes, key=%llu>\n",
+                      static_cast<unsigned long long>(r.value().block_no),
+                      r.value().data.size(),
+                      static_cast<unsigned long long>(
+                          tools::record_key(r.value().data)));
+        }
+      }
+    } else if (command == "ls") {
+      // The shell tracks names it created (Bridge has no list command in
+      // Table 1; neither do we add one — the shell is a client).
+      for (const auto& name : names_) {
+        auto open = client_.open(name);
+        if (!open.is_ok()) continue;
+        std::printf("  %-20s %6llu blocks (width %u, %s)\n", name.c_str(),
+                    static_cast<unsigned long long>(open.value().meta.size_blocks),
+                    open.value().meta.width,
+                    core::distribution_name(static_cast<core::Distribution>(
+                        open.value().meta.distribution)));
+      }
+    } else if (command == "copy") {
+      std::string src, dst;
+      in >> src >> dst;
+      auto result = tools::run_copy_tool(ctx_, client_, src, dst);
+      if (!result.is_ok()) return report(result.status());
+      names_.push_back(dst);
+      std::printf("  ok: %llu blocks in %s (%u workers)\n",
+                  static_cast<unsigned long long>(result.value().blocks),
+                  result.value().elapsed.to_string().c_str(),
+                  result.value().workers);
+    } else if (command == "grep") {
+      std::string name, pattern;
+      in >> name >> pattern;
+      tools::CopyOptions options;
+      // One factory per worker; pattern captured by a static-like copy.
+      static std::string pattern_slot;
+      pattern_slot = pattern;
+      options.filter_factory = [] {
+        return std::unique_ptr<tools::BlockFilter>(
+            std::make_unique<tools::GrepFilter>(pattern_slot));
+      };
+      auto result = tools::run_scan_tool(ctx_, client_, name, options);
+      if (!result.is_ok()) return report(result.status());
+      std::printf("  %llu matches across %llu blocks\n",
+                  static_cast<unsigned long long>(result.value().summary),
+                  static_cast<unsigned long long>(result.value().blocks));
+    } else if (command == "sort") {
+      std::string src, dst;
+      in >> src >> dst;
+      tools::SortOptions options;
+      options.tuning.in_core_records = 16;
+      auto result = tools::run_sort_tool(ctx_, client_, src, dst, options);
+      if (!result.is_ok()) return report(result.status());
+      names_.push_back(dst);
+      std::printf("  ok: %llu records, local %s + merge %s\n",
+                  static_cast<unsigned long long>(result.value().records),
+                  result.value().local_phase.to_string().c_str(),
+                  result.value().merge_phase.to_string().c_str());
+    } else if (command == "reorg") {
+      std::string src, dst;
+      in >> src >> dst;
+      auto result = tools::run_reorganize_tool(ctx_, client_, src, dst);
+      if (!result.is_ok()) return report(result.status());
+      names_.push_back(dst);
+      std::printf("  ok: %llu blocks (%llu stayed local, %llu moved)\n",
+                  static_cast<unsigned long long>(result.value().blocks),
+                  static_cast<unsigned long long>(result.value().local_reads),
+                  static_cast<unsigned long long>(result.value().remote_reads));
+    } else if (command == "rm") {
+      std::string name;
+      in >> name;
+      report(client_.remove(name));
+      names_.erase(std::remove(names_.begin(), names_.end(), name),
+                   names_.end());
+    } else if (command == "stats") {
+      machine_.print_stats(stdout);
+    } else {
+      std::printf("  unknown command '%s'\n", command.c_str());
+    }
+    if (command == "create") {
+      std::string rest(line.begin() + 7, line.end());
+      std::istringstream name_in(rest);
+      std::string name;
+      name_in >> name;
+      if (!name.empty()) names_.push_back(name);
+    }
+    if (command == "fill") {
+      std::istringstream again(line);
+      std::string cmd, name;
+      again >> cmd >> name;
+      if (std::find(names_.begin(), names_.end(), name) == names_.end()) {
+        names_.push_back(name);
+      }
+    }
+  }
+
+ private:
+  void report(const util::Status& status) {
+    std::printf("  %s\n", status.is_ok() ? "ok" : status.to_string().c_str());
+  }
+
+  core::BridgeInstance& machine_;
+  sim::Context& ctx_;
+  core::BridgeClient& client_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string script = kDemoScript;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    script = buffer.str();
+  }
+
+  auto config = core::SystemConfig::paper_profile(/*p=*/8, 2048);
+  core::BridgeInstance machine(config);
+  machine.run_client("shell", [&](sim::Context& ctx,
+                                  core::BridgeClient& client) {
+    Shell shell(machine, ctx, client);
+    std::istringstream lines(script);
+    std::string line;
+    while (std::getline(lines, line)) shell.run_line(line);
+  });
+  machine.run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// The merge-sort tool (§5.2) on a dataset that does not fit in core.
+//
+// Sorts a file of random-keyed records with the two-phase algorithm —
+// per-LFS external sorts, then the log-depth tree of token-passing merges —
+// and shows the super-linear speedup by running the same sort on machines
+// of different sizes.
+//
+// Build & run:  cmake --build build && ./build/examples/external_sort
+#include <cstdio>
+
+#include "src/core/instance.hpp"
+#include "src/tools/sort/sort_tool.hpp"
+#include "src/util/serde.hpp"
+
+using namespace bridge;
+
+namespace {
+
+std::vector<std::byte> keyed_record(std::uint64_t key) {
+  std::vector<std::byte> data(efs::kUserDataBytes);
+  util::Writer w;
+  w.u64(key);
+  std::copy(w.buffer().begin(), w.buffer().end(), data.begin());
+  return data;
+}
+
+tools::SortReport sort_on(std::uint32_t p, std::uint64_t records,
+                          bool verify) {
+  auto config = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(4 * records / p + 256));
+  core::BridgeInstance machine(config);
+
+  machine.run_client("gen", [&](sim::Context&, core::BridgeClient& b) {
+    (void)b.create("dataset");
+    auto open = b.open("dataset");
+    sim::Rng rng(2026);
+    for (std::uint64_t i = 0; i < records; ++i) {
+      (void)b.seq_write(open.value().session, keyed_record(rng.next_u64()));
+    }
+  });
+  machine.run();
+
+  tools::SortReport report;
+  machine.run_client("sorter", [&](sim::Context& ctx, core::BridgeClient& b) {
+    tools::SortOptions options;
+    options.tuning.in_core_records = 64;  // force external merge passes
+    auto result = tools::run_sort_tool(ctx, b, "dataset", "dataset.sorted",
+                                       options);
+    if (!result.is_ok()) {
+      std::printf("sort failed: %s\n", result.status().to_string().c_str());
+      return;
+    }
+    report = result.value();
+  });
+  machine.run();
+
+  if (verify) {
+    machine.run_client("verify", [&](sim::Context&, core::BridgeClient& b) {
+      auto open = b.open("dataset.sorted");
+      std::uint64_t previous = 0;
+      bool sorted = true;
+      for (std::uint64_t i = 0; i < open.value().meta.size_blocks; ++i) {
+        auto r = b.seq_read(open.value().session);
+        util::Reader key_reader(
+            std::span<const std::byte>(r.value().data).subspan(0, 8));
+        std::uint64_t key = key_reader.u64();
+        if (key < previous) sorted = false;
+        previous = key;
+      }
+      std::printf("verification: output is %s (%llu records)\n",
+                  sorted ? "SORTED" : "NOT SORTED",
+                  static_cast<unsigned long long>(open.value().meta.size_blocks));
+    });
+    machine.run();
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kRecords = 512;
+  std::printf("external sort of %llu one-block records (c = 64 in core)\n\n",
+              static_cast<unsigned long long>(kRecords));
+
+  std::printf("%4s | %12s | %12s | %12s | %s\n", "p", "local phase",
+              "merge phase", "total", "speedup");
+  std::printf("-----+--------------+--------------+--------------+--------\n");
+  double base = 0;
+  for (std::uint32_t p : {2u, 4u, 8u}) {
+    auto report = sort_on(p, kRecords, /*verify=*/p == 8);
+    double total = report.total.sec();
+    if (p == 2) base = total;
+    std::printf("%4u | %10.1f s | %10.1f s | %10.1f s | %5.2fx\n", p,
+                report.local_phase.sec(), report.merge_phase.sec(), total,
+                base / total);
+  }
+  std::printf(
+      "\nthe local phase shrinks faster than linearly: doubling p halves the\n"
+      "per-node data AND removes a local merge pass (section 5.2).\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate every paper table/figure and ablation; writes bench_output.txt.
+# NOTE: table4_sort and ablation_sort_anomaly take a few minutes each (they
+# simulate hundreds of virtual minutes of 1988 disk time).
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "=== $b ==="
+  "$b"
+  echo
+done | tee bench_output.txt

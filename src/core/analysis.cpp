@@ -1,0 +1,72 @@
+#include "src/core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bridge::core {
+
+namespace {
+double log2_ceil(double x) { return std::ceil(std::log2(std::max(1.0, x))); }
+}  // namespace
+
+double predicted_copy_seconds(std::uint64_t records, std::uint32_t p,
+                              const CostModel& model) {
+  double per_node = std::ceil(static_cast<double>(records) / p);
+  double work_ms =
+      per_node * (model.read_ms + model.write_ms + model.record_cpu_ms);
+  double startup_ms = 2.0 * model.startup_ms * log2_ceil(p);
+  return (work_ms + startup_ms) / 1e3;
+}
+
+double max_useful_merge_width(const CostModel& model) {
+  return (model.read_ms + model.write_ms) / model.token_hop_ms;
+}
+
+double predicted_merge_seconds(std::uint64_t records, std::uint32_t p,
+                               const CostModel& model) {
+  double total_ms = 0;
+  auto passes = static_cast<std::uint32_t>(log2_ceil(p));
+  for (std::uint32_t k = 1; k <= passes; ++k) {
+    double t = std::min<double>(std::exp2(k), p);  // writers per merge
+    double per_merge_records =
+        t * static_cast<double>(records) / p;  // 2^k * n/p
+    double pipeline_ms = (model.read_ms + model.write_ms) / t;
+    double per_record_ms =
+        std::max(pipeline_ms, model.token_hop_ms) + model.record_cpu_ms;
+    // The p/2^k merges of one pass run in parallel; pass time is one merge.
+    total_ms += per_merge_records * per_record_ms;
+  }
+  return total_ms / 1e3;
+}
+
+double predicted_local_sort_seconds(std::uint64_t records, std::uint32_t p,
+                                    std::uint32_t in_core_records,
+                                    bool hinted_reads, double walk_step_ms,
+                                    const CostModel& model) {
+  double m = std::ceil(static_cast<double>(records) / p);  // per-node records
+  double c = std::max<double>(2.0, in_core_records);
+  // Run formation: read + in-core sort + write every record once.
+  double total_ms = m * (model.read_ms + model.write_ms + model.record_cpu_ms);
+  if (m <= c) return total_ms / 1e3;
+
+  // 2-way merge passes until one run remains.
+  double runs = std::ceil(m / c);
+  double run_len = c;
+  while (runs > 1) {
+    double walk_ms = 0;
+    if (!hinted_reads) {
+      // Expected chain walk: locate from the nearest of head and tail is
+      // ~len/4 links on average over a sequential scan of a run.
+      walk_ms = (run_len / 4.0) * walk_step_ms;
+    }
+    total_ms += m * (model.read_ms + walk_ms + model.write_ms +
+                     model.record_cpu_ms);
+    // Deleting the consumed runs costs one freeing write per record.
+    total_ms += m * model.write_ms * 0.65;
+    runs = std::ceil(runs / 2.0);
+    run_len = std::min(m, run_len * 2.0);
+  }
+  return total_ms / 1e3;
+}
+
+}  // namespace bridge::core

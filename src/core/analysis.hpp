@@ -1,0 +1,53 @@
+// Analytic performance model for the Bridge tools.
+//
+// The paper's companion analysis ([17], "Analysis of a parallel disk-based
+// merge sort") expresses the maximum available degree of parallelism in
+// terms of the relative performance of processors, communication channels
+// and physical devices.  This module provides closed-form predictions used
+// by the fig_speedup bench as overlays next to the simulation measurements,
+// and reproduces the §6 observation that "the token is generally able to
+// pass all the way around a ring of several dozen processes before a given
+// process can finish writing out its previous record."
+#pragma once
+
+#include <cstdint>
+
+namespace bridge::core {
+
+/// Per-operation costs (milliseconds) characterizing a configuration.
+struct CostModel {
+  double read_ms = 5.0;        ///< amortized sequential LFS block read
+  double write_ms = 31.0;      ///< LFS block append
+  double token_hop_ms = 0.7;   ///< one token hop: message latency + handling
+  double startup_ms = 2.0;     ///< per tree level of tool startup/teardown
+  double record_cpu_ms = 0.1;  ///< per-record processing on a node
+};
+
+/// Copy tool: O(n/p + log p).
+double predicted_copy_seconds(std::uint64_t records, std::uint32_t p,
+                              const CostModel& model);
+
+/// Maximum merge width that still scales: the token must complete a circuit
+/// of t processes within one record's read+write service time, so
+/// t_max ~ (read + write) / token_hop (§6: several dozen on the Butterfly).
+double max_useful_merge_width(const CostModel& model);
+
+/// Sort phase 2: log2(p) passes; pass k runs p/2^k token merges in parallel,
+/// each merging 2^k * n/p records with 2^k writers.  Per-record time is
+/// bounded by the slower of the write pipeline ((read+write)/t) and the
+/// token circulation floor (token_hop when t exceeds max_useful_merge_width).
+double predicted_merge_seconds(std::uint64_t records, std::uint32_t p,
+                               const CostModel& model);
+
+/// Sort phase 1: run formation plus 2-way local merge passes over n/p
+/// records with an in-core buffer of c records.  When `hinted_reads` is
+/// false each local-merge read pays an expected chain walk of a quarter of
+/// the run length (the §4.3 search from the nearest of head/tail) at
+/// `walk_step_ms` per link — the source of the prototype's anomalously
+/// expensive local merges and the super-linear total speedup.
+double predicted_local_sort_seconds(std::uint64_t records, std::uint32_t p,
+                                    std::uint32_t in_core_records,
+                                    bool hinted_reads, double walk_step_ms,
+                                    const CostModel& model);
+
+}  // namespace bridge::core

@@ -1,0 +1,62 @@
+// Abstract Bridge client API.
+//
+// Tools and applications program against this interface; it is implemented
+// by BridgeClient (one centralized server, the paper's prototype) and by
+// RoutedBridgeClient (a distributed collection of servers partitioning the
+// directory by name — the scaling path §4.1 sketches: "If requests to the
+// server are frequent enough to cause a bottleneck, the same functionality
+// could be provided by a distributed collection of processes").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/protocol.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::core {
+
+struct CreateOptions {
+  Distribution distribution = Distribution::kRoundRobin;
+  std::uint32_t width = 0;  ///< 0 = interleave across all LFSs
+  std::uint32_t start_lfs = 0;
+  std::uint32_t chunk_blocks = 0;  ///< chunked distribution only
+  std::uint64_t hash_seed = 0;     ///< hashed distribution only
+};
+
+class BridgeApi {
+ public:
+  virtual ~BridgeApi() = default;
+
+  virtual util::Result<BridgeFileId> create(const std::string& name,
+                                            CreateOptions options = {}) = 0;
+  virtual util::Status remove(const std::string& name) = 0;
+  virtual util::Status remove_many(const std::vector<std::string>& names) = 0;
+  virtual util::Result<OpenResponse> open(const std::string& name) = 0;
+
+  virtual util::Result<SeqReadResponse> seq_read(std::uint64_t session) = 0;
+  virtual util::Result<std::uint64_t> seq_write(
+      std::uint64_t session, std::span<const std::byte> data) = 0;
+  virtual util::Result<std::vector<std::byte>> random_read(
+      BridgeFileId id, std::uint64_t block_no) = 0;
+  virtual util::Status random_write(BridgeFileId id, std::uint64_t block_no,
+                                    std::span<const std::byte> data) = 0;
+
+  virtual util::Result<std::uint64_t> parallel_open(
+      std::uint64_t session, const std::vector<sim::Address>& workers) = 0;
+  virtual util::Result<ParallelReadResponse> parallel_read(
+      std::uint64_t job) = 0;
+  virtual util::Result<ParallelWriteResponse> parallel_write(
+      std::uint64_t job) = 0;
+
+  virtual util::Result<GetInfoResponse> get_info() = 0;
+
+  /// Resolve `count` placements starting at global block `first` of file
+  /// `id` (needed for hashed/linked files whose placement lives only in the
+  /// Bridge directory).
+  virtual util::Result<ResolveResponse> resolve(BridgeFileId id,
+                                                std::uint64_t first,
+                                                std::uint32_t count) = 0;
+};
+
+}  // namespace bridge::core

@@ -1,0 +1,110 @@
+// The 40-byte Bridge header carried at the front of every LFS block payload.
+//
+// "An additional 40 bytes for Bridge-related header information have been
+// taken from the data storage area of each block (leaving 960 bytes for
+// data)" (§4.3).  The header self-describes the block's position in the
+// global file, so a tool holding a raw LFS block can translate between
+// local and global names, and a checksum guards the user payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/efs/layout.hpp"
+#include "src/util/hash.hpp"
+#include "src/util/serde.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::core {
+
+using BridgeFileId = std::uint32_t;
+
+struct BridgeBlockHeader {
+  std::uint32_t magic = kMagic;
+  BridgeFileId file_id = 0;
+  std::uint64_t global_block_no = 0;
+  std::uint32_t width = 1;       ///< interleaving breadth of the file
+  std::uint32_t start_lfs = 0;   ///< LFS holding global block 0
+  std::uint32_t payload_bytes = 0;  ///< valid user bytes (<= kUserDataBytes)
+  std::uint32_t checksum = 0;       ///< FNV-1a of the user payload
+  std::uint32_t reserved0 = 0;
+  std::uint32_t reserved1 = 0;
+
+  static constexpr std::uint32_t kMagic = 0xB81D6E00;
+
+  void encode(util::Writer& w) const {
+    w.u32(magic);
+    w.u32(file_id);
+    w.u64(global_block_no);
+    w.u32(width);
+    w.u32(start_lfs);
+    w.u32(payload_bytes);
+    w.u32(checksum);
+    w.u32(reserved0);
+    w.u32(reserved1);
+  }
+  static BridgeBlockHeader decode(util::Reader& r) {
+    BridgeBlockHeader h;
+    h.magic = r.u32();
+    h.file_id = r.u32();
+    h.global_block_no = r.u64();
+    h.width = r.u32();
+    h.start_lfs = r.u32();
+    h.payload_bytes = r.u32();
+    h.checksum = r.u32();
+    h.reserved0 = r.u32();
+    h.reserved1 = r.u32();
+    return h;
+  }
+};
+
+static_assert(efs::kBridgeHeaderBytes == 40);
+
+/// Build a full kEfsDataBytes (1000-byte) LFS payload: Bridge header + user
+/// data (zero padded).  `user_data` must be at most kUserDataBytes.
+inline util::Result<std::vector<std::byte>> wrap_block(
+    BridgeBlockHeader header, std::span<const std::byte> user_data) {
+  if (user_data.size() > efs::kUserDataBytes) {
+    return util::invalid_argument("payload exceeds 960 bytes");
+  }
+  header.payload_bytes = static_cast<std::uint32_t>(user_data.size());
+  header.checksum = util::fnv1a_32(user_data);
+  util::Writer w(efs::kEfsDataBytes);
+  header.encode(w);
+  w.raw(user_data);
+  auto bytes = std::move(w).take();
+  bytes.resize(efs::kEfsDataBytes);
+  return bytes;
+}
+
+struct UnwrappedBlock {
+  BridgeBlockHeader header;
+  std::vector<std::byte> user_data;
+};
+
+/// Parse an LFS payload back into header + user data, verifying magic,
+/// length and checksum.
+inline util::Result<UnwrappedBlock> unwrap_block(
+    std::span<const std::byte> lfs_payload) {
+  if (lfs_payload.size() != efs::kEfsDataBytes) {
+    return util::corrupt("bad LFS payload size");
+  }
+  util::Reader r(lfs_payload);
+  UnwrappedBlock out;
+  out.header = BridgeBlockHeader::decode(r);
+  if (out.header.magic != BridgeBlockHeader::kMagic) {
+    return util::corrupt("bad Bridge block magic");
+  }
+  if (out.header.payload_bytes > efs::kUserDataBytes) {
+    return util::corrupt("bad Bridge payload length");
+  }
+  auto data = r.raw(out.header.payload_bytes);
+  out.user_data.assign(data.begin(), data.end());
+  if (util::fnv1a_32(out.user_data) != out.header.checksum) {
+    return util::corrupt("Bridge block checksum mismatch");
+  }
+  return out;
+}
+
+}  // namespace bridge::core

@@ -1,0 +1,149 @@
+#include "src/core/instance.hpp"
+
+#include <cstdio>
+
+namespace bridge::core {
+
+BridgeInstance::BridgeInstance(SystemConfig config) : config_(config) {
+  rt_ = std::make_unique<sim::Runtime>(config_.total_nodes(), config_.topology,
+                                       config_.seed);
+  std::vector<sim::Address> services;
+  std::vector<std::uint32_t> nodes;
+  for (std::uint32_t i = 0; i < config_.num_lfs; ++i) {
+    lfs_servers_.push_back(std::make_unique<efs::EfsServer>(
+        *rt_, i, config_.geometry, config_.disk_latency, config_.efs));
+    services.push_back(lfs_servers_.back()->address());
+    nodes.push_back(i);
+  }
+  for (std::uint32_t s = 0; s < std::max(1u, config_.num_bridge_servers); ++s) {
+    bridges_.push_back(std::make_unique<BridgeServer>(
+        *rt_, config_.bridge_node(s), config_.bridge, services, nodes,
+        /*file_id_base=*/1000 + s * 0x01000000u));
+  }
+}
+
+void BridgeInstance::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& server : lfs_servers_) server->start();
+  for (auto& server : bridges_) server->start();
+}
+
+sim::ProcessHandle BridgeInstance::run_client(
+    const std::string& name,
+    std::function<void(sim::Context&, BridgeClient&)> body) {
+  start();
+  sim::Address server = bridges_[0]->address();
+  return rt_->spawn(config_.client_node(), name,
+                    [server, body = std::move(body)](sim::Context& ctx) {
+                      BridgeClient client(ctx, server);
+                      body(ctx, client);
+                    });
+}
+
+sim::ProcessHandle BridgeInstance::run_routed_client(
+    const std::string& name,
+    std::function<void(sim::Context&, RoutedBridgeClient&)> body) {
+  start();
+  std::vector<sim::Address> servers = bridge_addresses();
+  return rt_->spawn(config_.client_node(), name,
+                    [servers, body = std::move(body)](sim::Context& ctx) {
+                      RoutedBridgeClient client(ctx, servers);
+                      body(ctx, client);
+                    });
+}
+
+void BridgeInstance::print_stats(std::FILE* out) const {
+  std::fprintf(out, "--- machine stats @ %s ---\n",
+               rt_->now().to_string().c_str());
+  for (std::size_t i = 0; i < lfs_servers_.size(); ++i) {
+    const auto& disk_stats = lfs_servers_[i]->core().device().stats();
+    const auto& cache = lfs_servers_[i]->core().cache_stats();
+    const auto& ops = lfs_servers_[i]->core().op_stats();
+    double util = rt_->now().us() > 0
+                      ? 100.0 * disk_stats.busy_time.sec() / rt_->now().sec()
+                      : 0.0;
+    std::fprintf(out,
+                 "LFS %zu: %llu reads %llu writes %llu track-reads "
+                 "(disk %4.1f%% busy) | cache hit %4.1f%% | walks %llu\n",
+                 i, static_cast<unsigned long long>(disk_stats.block_reads),
+                 static_cast<unsigned long long>(disk_stats.block_writes),
+                 static_cast<unsigned long long>(disk_stats.track_reads), util,
+                 100.0 * cache.hit_rate(),
+                 static_cast<unsigned long long>(ops.walk_steps));
+  }
+  const auto& messages = rt_->message_stats();
+  std::fprintf(out,
+               "interconnect: %llu local msgs (%llu KB), %llu remote msgs "
+               "(%llu KB)\n",
+               static_cast<unsigned long long>(messages.local_messages),
+               static_cast<unsigned long long>(messages.local_bytes / 1024),
+               static_cast<unsigned long long>(messages.remote_messages),
+               static_cast<unsigned long long>(messages.remote_bytes / 1024));
+  for (std::size_t s = 0; s < bridges_.size(); ++s) {
+    std::fprintf(out,
+                 "bridge server %zu: %llu requests, %llu blocks forwarded, "
+                 "%llu files\n",
+                 s, static_cast<unsigned long long>(bridges_[s]->stats().requests),
+                 static_cast<unsigned long long>(
+                     bridges_[s]->stats().blocks_forwarded),
+                 static_cast<unsigned long long>(bridges_[s]->directory_size()));
+  }
+}
+
+util::Status BridgeInstance::save_machine(
+    const std::string& directory_path) const {
+  for (std::size_t i = 0; i < lfs_servers_.size(); ++i) {
+    auto path = directory_path + "/lfs" + std::to_string(i) + ".img";
+    if (auto st = lfs_servers_[i]->disk().save_image(path); !st.is_ok()) {
+      return st;
+    }
+  }
+  for (std::size_t s = 0; s < bridges_.size(); ++s) {
+    util::Writer w;
+    bridges_[s]->encode_state(w);
+    auto path = directory_path + "/bridge" + std::to_string(s) + ".dir";
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) return util::invalid_argument("cannot open " + path);
+    bool ok = std::fwrite(w.buffer().data(), 1, w.size(), file) == w.size();
+    std::fclose(file);
+    if (!ok) return util::internal_error("short write to " + path);
+  }
+  return util::ok_status();
+}
+
+util::Status BridgeInstance::load_machine(const std::string& directory_path) {
+  for (std::size_t i = 0; i < lfs_servers_.size(); ++i) {
+    auto path = directory_path + "/lfs" + std::to_string(i) + ".img";
+    if (auto st = lfs_servers_[i]->disk().load_image(path); !st.is_ok()) {
+      return st;
+    }
+    if (auto st = lfs_servers_[i]->core().remount_from_disk(); !st.is_ok()) {
+      return st;
+    }
+  }
+  for (std::size_t s = 0; s < bridges_.size(); ++s) {
+    auto path = directory_path + "/bridge" + std::to_string(s) + ".dir";
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return util::not_found("no snapshot at " + path);
+    std::vector<std::byte> blob;
+    std::byte buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      blob.insert(blob.end(), buffer, buffer + got);
+    }
+    std::fclose(file);
+    util::Reader r(blob);
+    if (auto st = bridges_[s]->decode_state(r); !st.is_ok()) return st;
+  }
+  return util::ok_status();
+}
+
+util::Status BridgeInstance::verify_all_lfs() const {
+  for (const auto& server : lfs_servers_) {
+    if (auto st = server->core().verify_integrity(); !st.is_ok()) return st;
+  }
+  return util::ok_status();
+}
+
+}  // namespace bridge::core

@@ -1,0 +1,95 @@
+// BridgeInstance: boots a whole simulated Bridge machine.
+//
+// Figure 2's hardware layout: p processor+disk pairs run the LFS instances
+// (nodes 0..p-1), the Bridge Server runs on node p, and "front-end" client
+// programs run on node p+1.  This is the top-level object that tests,
+// examples and benches construct.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/client.hpp"
+#include "src/core/routed_client.hpp"
+#include "src/core/config.hpp"
+#include "src/core/server.hpp"
+#include "src/efs/server.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace bridge::core {
+
+class BridgeInstance {
+ public:
+  explicit BridgeInstance(SystemConfig config);
+
+  BridgeInstance(const BridgeInstance&) = delete;
+  BridgeInstance& operator=(const BridgeInstance&) = delete;
+
+  /// Spawn all LFS servers and the Bridge Server.  Idempotent.
+  void start();
+
+  [[nodiscard]] sim::Runtime& runtime() noexcept { return *rt_; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Address bridge_address(std::uint32_t server = 0) noexcept {
+    return bridges_[server]->address();
+  }
+  [[nodiscard]] std::vector<sim::Address> bridge_addresses() noexcept {
+    std::vector<sim::Address> addresses;
+    for (auto& server : bridges_) addresses.push_back(server->address());
+    return addresses;
+  }
+  [[nodiscard]] BridgeServer& server(std::uint32_t i = 0) noexcept {
+    return *bridges_[i];
+  }
+  [[nodiscard]] std::uint32_t num_servers() const noexcept {
+    return static_cast<std::uint32_t>(bridges_.size());
+  }
+  [[nodiscard]] efs::EfsServer& lfs(std::uint32_t i) noexcept {
+    return *lfs_servers_[i];
+  }
+  [[nodiscard]] std::uint32_t num_lfs() const noexcept {
+    return config_.num_lfs;
+  }
+
+  /// Spawn a client program on the front-end node with a ready BridgeClient
+  /// (connected to server 0).
+  sim::ProcessHandle run_client(
+      const std::string& name,
+      std::function<void(sim::Context&, BridgeClient&)> body);
+
+  /// Spawn a client wired to ALL Bridge Servers through a RoutedBridgeClient
+  /// (the distributed-directory configuration).
+  sim::ProcessHandle run_routed_client(
+      const std::string& name,
+      std::function<void(sim::Context&, RoutedBridgeClient&)> body);
+
+  /// Run the simulation until quiescent.
+  void run() { rt_->run(); }
+
+  /// Integrity check across every LFS (untimed).
+  [[nodiscard]] util::Status verify_all_lfs() const;
+
+  /// Human-readable machine report: per-LFS disk and cache statistics,
+  /// interconnect traffic, server counters.  For examples and debugging.
+  void print_stats(std::FILE* out) const;
+
+  /// Persist the whole machine to `directory_path` (one image per LFS disk
+  /// plus a Bridge directory snapshot per server).  Call while the
+  /// simulation is idle, after the relevant EFS caches were synced — an
+  /// administrative shutdown.
+  util::Status save_machine(const std::string& directory_path) const;
+  /// Restore a machine saved by save_machine into THIS instance (it must
+  /// have been built with the same SystemConfig).  Call before run().
+  util::Status load_machine(const std::string& directory_path);
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<sim::Runtime> rt_;
+  std::vector<std::unique_ptr<efs::EfsServer>> lfs_servers_;
+  std::vector<std::unique_ptr<BridgeServer>> bridges_;
+  bool started_ = false;
+};
+
+}  // namespace bridge::core

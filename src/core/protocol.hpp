@@ -1,0 +1,411 @@
+// Bridge Server wire protocol — the command set of Table 1.
+//
+//   Create File | Delete File | Open | Sequential Read | Random Read |
+//   Sequential Write | Random Write | Parallel Open | Get Info
+//
+// plus the worker-side messages the server exchanges with parallel-open
+// workers (block delivery for reads, block solicitation for writes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/distribution.hpp"
+#include "src/sim/rpc.hpp"
+#include "src/util/serde.hpp"
+
+namespace bridge::core {
+
+using BridgeFileId = std::uint32_t;
+
+enum class BridgeMsg : std::uint32_t {
+  kCreate = 0x200,
+  kDelete = 0x201,
+  kOpen = 0x202,
+  kSeqRead = 0x203,
+  kRandomRead = 0x204,
+  kSeqWrite = 0x205,
+  kRandomWrite = 0x206,
+  kParallelOpen = 0x207,
+  kParallelRead = 0x208,
+  kParallelWrite = 0x209,
+  kGetInfo = 0x20A,
+  /// Extension beyond Table 1: delete a batch of files with all LFS work
+  /// overlapped ("Discard the old files in parallel", §5.2).
+  kDeleteMany = 0x20B,
+  /// Extension: resolve a range of global block numbers to (LFS, local)
+  /// placements.  Closed-form for round-robin/chunked files, but hashed and
+  /// linked ("disordered") placements live only in the Bridge directory, so
+  /// tools that operate on them — notably the off-line reorganizer §3
+  /// mentions — must ask the server.
+  kResolve = 0x20C,
+  // Server -> worker messages for parallel jobs:
+  kWorkerData = 0x280,  ///< one-way block delivery (parallel read)
+  kWorkerGive = 0x281,  ///< request/reply block solicitation (parallel write)
+};
+
+/// Summary of a Bridge file returned by Open.
+struct FileMeta {
+  BridgeFileId id = 0;
+  std::string name;
+  std::uint8_t distribution = 0;  ///< Distribution enum value
+  std::uint32_t width = 0;        ///< interleaving breadth
+  std::uint32_t start_lfs = 0;
+  std::uint32_t chunk_blocks = 0;
+  std::uint64_t size_blocks = 0;
+  std::uint32_t lfs_file_id = 0;  ///< constituent file id on every LFS
+
+  void encode(util::Writer& w) const {
+    w.u32(id);
+    w.str(name);
+    w.u8(distribution);
+    w.u32(width);
+    w.u32(start_lfs);
+    w.u32(chunk_blocks);
+    w.u64(size_blocks);
+    w.u32(lfs_file_id);
+  }
+  static FileMeta decode(util::Reader& r) {
+    FileMeta m;
+    m.id = r.u32();
+    m.name = r.str();
+    m.distribution = r.u8();
+    m.width = r.u32();
+    m.start_lfs = r.u32();
+    m.chunk_blocks = r.u32();
+    m.size_blocks = r.u64();
+    m.lfs_file_id = r.u32();
+    return m;
+  }
+};
+
+struct CreateFileRequest {
+  std::string name;
+  std::uint8_t distribution = 0;
+  std::uint32_t width = 0;  ///< 0 = interleave across all LFSs
+  std::uint32_t start_lfs = 0;
+  std::uint32_t chunk_blocks = 0;  ///< chunked only: per-LFS capacity
+  std::uint64_t hash_seed = 0;     ///< hashed only
+
+  void encode(util::Writer& w) const {
+    w.str(name);
+    w.u8(distribution);
+    w.u32(width);
+    w.u32(start_lfs);
+    w.u32(chunk_blocks);
+    w.u64(hash_seed);
+  }
+  static CreateFileRequest decode(util::Reader& r) {
+    CreateFileRequest req;
+    req.name = r.str();
+    req.distribution = r.u8();
+    req.width = r.u32();
+    req.start_lfs = r.u32();
+    req.chunk_blocks = r.u32();
+    req.hash_seed = r.u64();
+    return req;
+  }
+};
+
+struct CreateFileResponse {
+  BridgeFileId id = 0;
+  void encode(util::Writer& w) const { w.u32(id); }
+  static CreateFileResponse decode(util::Reader& r) { return {r.u32()}; }
+};
+
+struct DeleteFileRequest {
+  std::string name;
+  void encode(util::Writer& w) const { w.str(name); }
+  static DeleteFileRequest decode(util::Reader& r) { return {r.str()}; }
+};
+
+struct DeleteManyRequest {
+  std::vector<std::string> names;
+  void encode(util::Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(names.size()));
+    for (const auto& n : names) w.str(n);
+  }
+  static DeleteManyRequest decode(util::Reader& r) {
+    DeleteManyRequest req;
+    std::uint32_t n = r.u32();
+    req.names.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) req.names.push_back(r.str());
+    return req;
+  }
+};
+
+struct OpenRequest {
+  std::string name;
+  void encode(util::Writer& w) const { w.str(name); }
+  static OpenRequest decode(util::Reader& r) { return {r.str()}; }
+};
+
+struct OpenResponse {
+  FileMeta meta;
+  std::uint64_t session = 0;
+  void encode(util::Writer& w) const {
+    meta.encode(w);
+    w.u64(session);
+  }
+  static OpenResponse decode(util::Reader& r) {
+    OpenResponse resp;
+    resp.meta = FileMeta::decode(r);
+    resp.session = r.u64();
+    return resp;
+  }
+};
+
+struct SeqReadRequest {
+  std::uint64_t session = 0;
+  void encode(util::Writer& w) const { w.u64(session); }
+  static SeqReadRequest decode(util::Reader& r) { return {r.u64()}; }
+};
+
+struct SeqReadResponse {
+  bool eof = false;
+  std::uint64_t block_no = 0;
+  std::vector<std::byte> data;  ///< user payload (<= 960 bytes)
+  void encode(util::Writer& w) const {
+    w.boolean(eof);
+    w.u64(block_no);
+    w.bytes(data);
+  }
+  static SeqReadResponse decode(util::Reader& r) {
+    SeqReadResponse resp;
+    resp.eof = r.boolean();
+    resp.block_no = r.u64();
+    resp.data = r.bytes();
+    return resp;
+  }
+};
+
+struct RandomReadRequest {
+  BridgeFileId id = 0;
+  std::uint64_t block_no = 0;
+  void encode(util::Writer& w) const {
+    w.u32(id);
+    w.u64(block_no);
+  }
+  static RandomReadRequest decode(util::Reader& r) {
+    RandomReadRequest req;
+    req.id = r.u32();
+    req.block_no = r.u64();
+    return req;
+  }
+};
+
+struct RandomReadResponse {
+  std::vector<std::byte> data;
+  void encode(util::Writer& w) const { w.bytes(data); }
+  static RandomReadResponse decode(util::Reader& r) { return {r.bytes()}; }
+};
+
+struct SeqWriteRequest {
+  std::uint64_t session = 0;
+  std::vector<std::byte> data;
+  void encode(util::Writer& w) const {
+    w.u64(session);
+    w.bytes(data);
+  }
+  static SeqWriteRequest decode(util::Reader& r) {
+    SeqWriteRequest req;
+    req.session = r.u64();
+    req.data = r.bytes();
+    return req;
+  }
+};
+
+struct SeqWriteResponse {
+  std::uint64_t block_no = 0;
+  void encode(util::Writer& w) const { w.u64(block_no); }
+  static SeqWriteResponse decode(util::Reader& r) { return {r.u64()}; }
+};
+
+struct RandomWriteRequest {
+  BridgeFileId id = 0;
+  std::uint64_t block_no = 0;
+  std::vector<std::byte> data;
+  void encode(util::Writer& w) const {
+    w.u32(id);
+    w.u64(block_no);
+    w.bytes(data);
+  }
+  static RandomWriteRequest decode(util::Reader& r) {
+    RandomWriteRequest req;
+    req.id = r.u32();
+    req.block_no = r.u64();
+    req.data = r.bytes();
+    return req;
+  }
+};
+
+struct ParallelOpenRequest {
+  std::uint64_t session = 0;
+  std::vector<sim::Address> workers;
+  void encode(util::Writer& w) const {
+    w.u64(session);
+    w.u32(static_cast<std::uint32_t>(workers.size()));
+    for (const auto& a : workers) sim::encode_address(w, a);
+  }
+  static ParallelOpenRequest decode(util::Reader& r) {
+    ParallelOpenRequest req;
+    req.session = r.u64();
+    std::uint32_t n = r.u32();
+    req.workers.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      req.workers.push_back(sim::decode_address(r));
+    }
+    return req;
+  }
+};
+
+struct ParallelOpenResponse {
+  std::uint64_t job = 0;
+  void encode(util::Writer& w) const { w.u64(job); }
+  static ParallelOpenResponse decode(util::Reader& r) { return {r.u64()}; }
+};
+
+struct ParallelReadRequest {
+  std::uint64_t job = 0;
+  void encode(util::Writer& w) const { w.u64(job); }
+  static ParallelReadRequest decode(util::Reader& r) { return {r.u64()}; }
+};
+
+struct ParallelReadResponse {
+  std::uint32_t blocks_delivered = 0;
+  bool eof = false;
+  void encode(util::Writer& w) const {
+    w.u32(blocks_delivered);
+    w.boolean(eof);
+  }
+  static ParallelReadResponse decode(util::Reader& r) {
+    ParallelReadResponse resp;
+    resp.blocks_delivered = r.u32();
+    resp.eof = r.boolean();
+    return resp;
+  }
+};
+
+struct ParallelWriteRequest {
+  std::uint64_t job = 0;
+  void encode(util::Writer& w) const { w.u64(job); }
+  static ParallelWriteRequest decode(util::Reader& r) { return {r.u64()}; }
+};
+
+struct ParallelWriteResponse {
+  std::uint32_t blocks_written = 0;
+  void encode(util::Writer& w) const { w.u32(blocks_written); }
+  static ParallelWriteResponse decode(util::Reader& r) { return {r.u32()}; }
+};
+
+struct ResolveRequest {
+  BridgeFileId id = 0;
+  std::uint64_t first_block = 0;
+  std::uint32_t count = 0;
+  void encode(util::Writer& w) const {
+    w.u32(id);
+    w.u64(first_block);
+    w.u32(count);
+  }
+  static ResolveRequest decode(util::Reader& r) {
+    ResolveRequest req;
+    req.id = r.u32();
+    req.first_block = r.u64();
+    req.count = r.u32();
+    return req;
+  }
+};
+
+struct ResolveResponse {
+  std::vector<Placement> placements;  ///< placements[i] = block first+i
+  void encode(util::Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(placements.size()));
+    for (const auto& placement : placements) {
+      w.u32(placement.lfs_index);
+      w.u32(placement.local_block);
+    }
+  }
+  static ResolveResponse decode(util::Reader& r) {
+    ResolveResponse resp;
+    std::uint32_t n = r.u32();
+    resp.placements.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Placement placement;
+      placement.lfs_index = r.u32();
+      placement.local_block = r.u32();
+      resp.placements.push_back(placement);
+    }
+    return resp;
+  }
+};
+
+/// Get Info: everything a tool needs to talk to the LFS level directly.
+struct GetInfoResponse {
+  std::uint32_t num_lfs = 0;
+  std::vector<sim::Address> lfs_services;  ///< index i = LFS i
+  std::vector<std::uint32_t> lfs_nodes;    ///< node hosting LFS i
+
+  void encode(util::Writer& w) const {
+    w.u32(num_lfs);
+    for (const auto& a : lfs_services) sim::encode_address(w, a);
+    for (auto n : lfs_nodes) w.u32(n);
+  }
+  static GetInfoResponse decode(util::Reader& r) {
+    GetInfoResponse resp;
+    resp.num_lfs = r.u32();
+    resp.lfs_services.reserve(resp.num_lfs);
+    for (std::uint32_t i = 0; i < resp.num_lfs; ++i) {
+      resp.lfs_services.push_back(sim::decode_address(r));
+    }
+    resp.lfs_nodes.reserve(resp.num_lfs);
+    for (std::uint32_t i = 0; i < resp.num_lfs; ++i) {
+      resp.lfs_nodes.push_back(r.u32());
+    }
+    return resp;
+  }
+};
+
+/// Server -> worker one-way delivery during a parallel read.
+struct WorkerData {
+  bool eof = false;
+  std::uint64_t global_block_no = 0;
+  std::vector<std::byte> data;
+  void encode(util::Writer& w) const {
+    w.boolean(eof);
+    w.u64(global_block_no);
+    w.bytes(data);
+  }
+  static WorkerData decode(util::Reader& r) {
+    WorkerData d;
+    d.eof = r.boolean();
+    d.global_block_no = r.u64();
+    d.data = r.bytes();
+    return d;
+  }
+};
+
+/// Server -> worker solicitation during a parallel write (request).
+struct WorkerGiveRequest {
+  std::uint64_t global_block_no = 0;
+  void encode(util::Writer& w) const { w.u64(global_block_no); }
+  static WorkerGiveRequest decode(util::Reader& r) { return {r.u64()}; }
+};
+
+/// Worker's reply: its next block (or has_data=false when drained).
+struct WorkerGiveResponse {
+  bool has_data = false;
+  std::vector<std::byte> data;
+  void encode(util::Writer& w) const {
+    w.boolean(has_data);
+    w.bytes(data);
+  }
+  static WorkerGiveResponse decode(util::Reader& r) {
+    WorkerGiveResponse resp;
+    resp.has_data = r.boolean();
+    resp.data = r.bytes();
+    return resp;
+  }
+};
+
+}  // namespace bridge::core

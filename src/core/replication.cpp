@@ -1,0 +1,261 @@
+#include "src/core/replication.hpp"
+
+#include "src/core/bridge_block.hpp"
+#include "src/core/interleave.hpp"
+
+namespace bridge::core {
+
+namespace {
+
+/// Open `name`, creating it (width = all LFSs) if absent.
+util::Result<FileMeta> open_or_create(BridgeApi& client,
+                                      const std::string& name) {
+  auto open = client.open(name);
+  if (open.is_ok()) return open.value().meta;
+  if (open.status().code() != util::ErrorCode::kNotFound) return open.status();
+  if (auto created = client.create(name); !created.is_ok()) {
+    return created.status();
+  }
+  auto reopened = client.open(name);
+  if (!reopened.is_ok()) return reopened.status();
+  return reopened.value().meta;
+}
+
+std::vector<std::unique_ptr<efs::EfsClient>> make_lfs_clients(
+    sim::RpcClient& rpc, const tools::ToolEnv& env) {
+  std::vector<std::unique_ptr<efs::EfsClient>> clients;
+  for (std::uint32_t i = 0; i < env.num_lfs(); ++i) {
+    clients.push_back(
+        std::make_unique<efs::EfsClient>(rpc, env.lfs_service(i)));
+  }
+  return clients;
+}
+
+util::Status write_wrapped(efs::EfsClient& lfs, const FileMeta& meta,
+                           std::uint32_t local_block, std::uint64_t global_no,
+                           std::span<const std::byte> data) {
+  BridgeBlockHeader header;
+  header.file_id = meta.id;
+  header.global_block_no = global_no;
+  header.width = meta.width;
+  header.start_lfs = meta.start_lfs;
+  auto wrapped = wrap_block(header, data);
+  if (!wrapped.is_ok()) return wrapped.status();
+  return lfs.write(meta.lfs_file_id, local_block, wrapped.value()).status();
+}
+
+util::Result<std::vector<std::byte>> read_unwrapped(efs::EfsClient& lfs,
+                                                    const FileMeta& meta,
+                                                    std::uint32_t local_block) {
+  auto read = lfs.read(meta.lfs_file_id, local_block);
+  if (!read.is_ok()) return read.status();
+  auto unwrapped = unwrap_block(read.value().data);
+  if (!unwrapped.is_ok()) return unwrapped.status();
+  return std::move(unwrapped.value().user_data);
+}
+
+}  // namespace
+
+// --- MirroredFile -----------------------------------------------------------
+
+MirroredFile::MirroredFile(sim::Context& ctx, tools::ToolEnv env,
+                           FileMeta primary, FileMeta mirror)
+    : ctx_(&ctx),
+      env_(std::move(env)),
+      primary_(std::move(primary)),
+      mirror_(std::move(mirror)) {
+  rpc_ = std::make_unique<sim::RpcClient>(ctx);
+  lfs_ = make_lfs_clients(*rpc_, env_);
+  size_ = primary_.size_blocks;
+}
+
+util::Result<MirroredFile> MirroredFile::open(sim::Context& ctx,
+                                              BridgeApi& client,
+                                              const std::string& name) {
+  auto env = tools::discover(client);
+  if (!env.is_ok()) return env.status();
+  if (env.value().num_lfs() < 2) {
+    return util::invalid_argument("mirroring needs at least 2 LFSs");
+  }
+  auto primary = open_or_create(client, name);
+  if (!primary.is_ok()) return primary.status();
+  auto mirror = open_or_create(client, name + "!mirror");
+  if (!mirror.is_ok()) return mirror.status();
+  return MirroredFile(ctx, std::move(env).value(), std::move(primary).value(),
+                      std::move(mirror).value());
+}
+
+util::Status MirroredFile::append(std::span<const std::byte> data) {
+  std::uint32_t p = env_.num_lfs();
+  std::uint64_t n = size_;
+  auto home = striped_placement(n, p, primary_.start_lfs, p);
+  std::uint32_t mirror_lfs = (home.lfs_index + p / 2) % p;
+  if (auto st = write_wrapped(*lfs_[home.lfs_index], primary_,
+                              home.local_block, n, data);
+      !st.is_ok()) {
+    return st;
+  }
+  // The mirror file lays its blocks out with the same local numbering but
+  // shifted start, so block n's mirror local number equals the home's.
+  if (auto st =
+          write_wrapped(*lfs_[mirror_lfs], mirror_, home.local_block, n, data);
+      !st.is_ok()) {
+    return st;
+  }
+  ++size_;
+  return util::ok_status();
+}
+
+util::Result<std::vector<std::byte>> MirroredFile::read(std::uint64_t n,
+                                                        bool* used_mirror) {
+  if (used_mirror != nullptr) *used_mirror = false;
+  if (n >= size_) return util::invalid_argument("read past EOF");
+  std::uint32_t p = env_.num_lfs();
+  auto home = striped_placement(n, p, primary_.start_lfs, p);
+  auto primary = read_unwrapped(*lfs_[home.lfs_index], primary_,
+                                home.local_block);
+  if (primary.is_ok()) return primary;
+  if (primary.status().code() != util::ErrorCode::kUnavailable) return primary;
+  std::uint32_t mirror_lfs = (home.lfs_index + p / 2) % p;
+  if (used_mirror != nullptr) *used_mirror = true;
+  return read_unwrapped(*lfs_[mirror_lfs], mirror_, home.local_block);
+}
+
+// --- ParityFile -------------------------------------------------------------
+
+ParityFile::ParityFile(sim::Context& ctx, tools::ToolEnv env, FileMeta data,
+                       FileMeta parity)
+    : ctx_(&ctx),
+      env_(std::move(env)),
+      data_(std::move(data)),
+      parity_(std::move(parity)) {
+  rpc_ = std::make_unique<sim::RpcClient>(ctx);
+  lfs_ = make_lfs_clients(*rpc_, env_);
+  size_ = data_.size_blocks;
+}
+
+util::Result<ParityFile> ParityFile::open(sim::Context& ctx,
+                                          BridgeApi& client,
+                                          const std::string& name) {
+  auto env = tools::discover(client);
+  if (!env.is_ok()) return env.status();
+  if (env.value().num_lfs() < 3) {
+    return util::invalid_argument("parity needs at least 3 LFSs");
+  }
+  std::uint32_t data_width = env.value().num_lfs() - 1;
+  auto open = client.open(name);
+  FileMeta data;
+  if (open.is_ok()) {
+    data = open.value().meta;
+  } else if (open.status().code() == util::ErrorCode::kNotFound) {
+    CreateOptions options;
+    options.width = data_width;
+    options.start_lfs = 0;
+    if (auto created = client.create(name, options); !created.is_ok()) {
+      return created.status();
+    }
+    auto reopened = client.open(name);
+    if (!reopened.is_ok()) return reopened.status();
+    data = reopened.value().meta;
+  } else {
+    return open.status();
+  }
+  // Parity lives as a width-1 file on the last LFS.
+  auto parity_open = client.open(name + "!parity");
+  FileMeta parity;
+  if (parity_open.is_ok()) {
+    parity = parity_open.value().meta;
+  } else if (parity_open.status().code() == util::ErrorCode::kNotFound) {
+    CreateOptions options;
+    options.width = 1;
+    options.start_lfs = data_width;
+    if (auto created = client.create(name + "!parity", options);
+        !created.is_ok()) {
+      return created.status();
+    }
+    auto reopened = client.open(name + "!parity");
+    if (!reopened.is_ok()) return reopened.status();
+    parity = reopened.value().meta;
+  } else {
+    return parity_open.status();
+  }
+  return ParityFile(ctx, std::move(env).value(), std::move(data),
+                    std::move(parity));
+}
+
+util::Status ParityFile::append_stripe(
+    const std::vector<std::vector<std::byte>>& blocks) {
+  std::uint32_t width = data_width();
+  if (blocks.empty() || blocks.size() > width) {
+    return util::invalid_argument("stripe must hold 1..p-1 blocks");
+  }
+  std::uint32_t stripe = static_cast<std::uint32_t>(size_ / width);
+  if (size_ % width != 0) {
+    return util::invalid_argument("previous stripe incomplete");
+  }
+  std::vector<std::byte> parity(efs::kUserDataBytes, std::byte{0});
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].size() > efs::kUserDataBytes) {
+      return util::invalid_argument("block too large");
+    }
+    std::uint64_t n = size_ + i;
+    auto placement = striped_placement(n, width, data_.start_lfs,
+                                       env_.num_lfs());
+    if (auto st = write_wrapped(*lfs_[placement.lfs_index], data_,
+                                placement.local_block, n, blocks[i]);
+        !st.is_ok()) {
+      return st;
+    }
+    for (std::size_t b = 0; b < blocks[i].size(); ++b) parity[b] ^= blocks[i][b];
+  }
+  if (auto st = write_wrapped(*lfs_[width], parity_, stripe,
+                              stripe, parity);
+      !st.is_ok()) {
+    return st;
+  }
+  size_ += blocks.size();
+  return util::ok_status();
+}
+
+util::Result<std::vector<std::byte>> ParityFile::read(std::uint64_t n,
+                                                      bool* reconstructed) {
+  if (reconstructed != nullptr) *reconstructed = false;
+  if (n >= size_) return util::invalid_argument("read past EOF");
+  std::uint32_t width = data_width();
+  auto placement = striped_placement(n, width, data_.start_lfs, env_.num_lfs());
+  auto direct = read_unwrapped(*lfs_[placement.lfs_index], data_,
+                               placement.local_block);
+  if (direct.is_ok()) return direct;
+  if (direct.status().code() != util::ErrorCode::kUnavailable) return direct;
+
+  // Reconstruct: XOR the stripe's surviving data blocks with the parity.
+  if (reconstructed != nullptr) *reconstructed = true;
+  std::uint64_t stripe = n / width;
+  std::uint64_t stripe_first = stripe * width;
+  std::vector<std::byte> acc(efs::kUserDataBytes, std::byte{0});
+  std::size_t failed_len = efs::kUserDataBytes;
+  for (std::uint64_t m = stripe_first;
+       m < std::min<std::uint64_t>(stripe_first + width, size_); ++m) {
+    if (m == n) continue;
+    auto sibling_place = striped_placement(m, width, data_.start_lfs,
+                                           env_.num_lfs());
+    auto sibling = read_unwrapped(*lfs_[sibling_place.lfs_index], data_,
+                                  sibling_place.local_block);
+    if (!sibling.is_ok()) {
+      return util::unavailable("double failure: cannot reconstruct");
+    }
+    for (std::size_t b = 0; b < sibling.value().size(); ++b) {
+      acc[b] ^= sibling.value()[b];
+    }
+  }
+  auto parity = read_unwrapped(*lfs_[width], parity_,
+                               static_cast<std::uint32_t>(stripe));
+  if (!parity.is_ok()) return parity.status();
+  for (std::size_t b = 0; b < parity.value().size(); ++b) {
+    acc[b] ^= parity.value()[b];
+  }
+  acc.resize(failed_len);
+  return acc;
+}
+
+}  // namespace bridge::core

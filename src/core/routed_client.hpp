@@ -1,0 +1,144 @@
+// RoutedBridgeClient: the "distributed collection of processes" of §4.1.
+//
+// The Bridge directory is partitioned across k Bridge Server instances by a
+// hash of the file name; each server owns its files' sessions and jobs
+// outright, so no coordination between servers is needed (a file's directory
+// entry has exactly one home — the monitor property of §4.2 is preserved
+// per partition).  Session and job ids returned to the caller are tagged
+// with their home server, so the routed client is a drop-in BridgeApi.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/client.hpp"
+#include "src/util/hash.hpp"
+
+namespace bridge::core {
+
+class RoutedBridgeClient final : public BridgeApi {
+ public:
+  RoutedBridgeClient(sim::Context& ctx, std::vector<sim::Address> servers) {
+    for (auto& address : servers) {
+      clients_.push_back(std::make_unique<BridgeClient>(ctx, address));
+    }
+  }
+
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return clients_.size();
+  }
+
+  util::Result<BridgeFileId> create(const std::string& name,
+                                    CreateOptions options = {}) override {
+    return home(name).create(name, options);
+  }
+
+  util::Status remove(const std::string& name) override {
+    return home(name).remove(name);
+  }
+
+  util::Status remove_many(const std::vector<std::string>& names) override {
+    // Partition the batch by home server; each server overlaps its part.
+    std::vector<std::vector<std::string>> partitions(clients_.size());
+    for (const auto& name : names) {
+      partitions[home_index(name)].push_back(name);
+    }
+    for (std::size_t s = 0; s < clients_.size(); ++s) {
+      if (partitions[s].empty()) continue;
+      if (auto st = clients_[s]->remove_many(partitions[s]); !st.is_ok()) {
+        return st;
+      }
+    }
+    return util::ok_status();
+  }
+
+  util::Result<OpenResponse> open(const std::string& name) override {
+    std::size_t s = home_index(name);
+    auto resp = clients_[s]->open(name);
+    if (!resp.is_ok()) return resp;
+    OpenResponse tagged = resp.value();
+    tagged.session = tag(s, tagged.session);
+    // File ids are scoped per server; tag them the same way so random reads
+    // route back correctly.
+    id_home_[tagged.meta.id] = s;
+    return tagged;
+  }
+
+  util::Result<SeqReadResponse> seq_read(std::uint64_t session) override {
+    return clients_[owner(session)]->seq_read(untag(session));
+  }
+
+  util::Result<std::uint64_t> seq_write(
+      std::uint64_t session, std::span<const std::byte> data) override {
+    return clients_[owner(session)]->seq_write(untag(session), data);
+  }
+
+  util::Result<std::vector<std::byte>> random_read(
+      BridgeFileId id, std::uint64_t block_no) override {
+    auto it = id_home_.find(id);
+    if (it == id_home_.end()) return util::not_found("unknown file id");
+    return clients_[it->second]->random_read(id, block_no);
+  }
+
+  util::Status random_write(BridgeFileId id, std::uint64_t block_no,
+                            std::span<const std::byte> data) override {
+    auto it = id_home_.find(id);
+    if (it == id_home_.end()) return util::not_found("unknown file id");
+    return clients_[it->second]->random_write(id, block_no, data);
+  }
+
+  util::Result<std::uint64_t> parallel_open(
+      std::uint64_t session, const std::vector<sim::Address>& workers) override {
+    std::size_t s = owner(session);
+    auto job = clients_[s]->parallel_open(untag(session), workers);
+    if (!job.is_ok()) return job;
+    return tag(s, job.value());
+  }
+
+  util::Result<ParallelReadResponse> parallel_read(std::uint64_t job) override {
+    return clients_[owner(job)]->parallel_read(untag(job));
+  }
+
+  util::Result<ParallelWriteResponse> parallel_write(std::uint64_t job) override {
+    return clients_[owner(job)]->parallel_write(untag(job));
+  }
+
+  util::Result<GetInfoResponse> get_info() override {
+    // Machine structure is identical from every server.
+    return clients_[0]->get_info();
+  }
+
+  util::Result<ResolveResponse> resolve(BridgeFileId id, std::uint64_t first,
+                                        std::uint32_t count) override {
+    auto it = id_home_.find(id);
+    if (it == id_home_.end()) return util::not_found("unknown file id");
+    return clients_[it->second]->resolve(id, first, count);
+  }
+
+ private:
+  /// Top byte of a session/job id carries its home server index.
+  static constexpr std::uint64_t kTagShift = 56;
+
+  [[nodiscard]] std::size_t home_index(const std::string& name) const {
+    auto bytes = std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(name.data()), name.size());
+    return util::fnv1a_32(bytes) % clients_.size();
+  }
+  BridgeClient& home(const std::string& name) {
+    return *clients_[home_index(name)];
+  }
+  static std::uint64_t tag(std::size_t server, std::uint64_t id) {
+    return (static_cast<std::uint64_t>(server) << kTagShift) | id;
+  }
+  [[nodiscard]] std::size_t owner(std::uint64_t tagged) const {
+    return static_cast<std::size_t>(tagged >> kTagShift) % clients_.size();
+  }
+  static std::uint64_t untag(std::uint64_t tagged) {
+    return tagged & ((1ull << kTagShift) - 1);
+  }
+
+  std::vector<std::unique_ptr<BridgeClient>> clients_;
+  std::unordered_map<BridgeFileId, std::size_t> id_home_;
+};
+
+}  // namespace bridge::core

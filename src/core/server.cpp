@@ -1,0 +1,677 @@
+#include "src/core/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/bridge_block.hpp"
+#include "src/util/logging.hpp"
+
+namespace bridge::core {
+
+namespace {
+constexpr std::uint32_t msg(BridgeMsg m) { return static_cast<std::uint32_t>(m); }
+constexpr std::uint32_t msg(efs::MsgType m) {
+  return static_cast<std::uint32_t>(m);
+}
+}  // namespace
+
+BridgeServer::BridgeServer(sim::Runtime& rt, sim::NodeId node,
+                           BridgeConfig config,
+                           std::vector<sim::Address> lfs_services,
+                           std::vector<std::uint32_t> lfs_nodes,
+                           BridgeFileId file_id_base)
+    : rt_(rt),
+      node_(node),
+      config_(config),
+      lfs_services_(std::move(lfs_services)),
+      lfs_nodes_(std::move(lfs_nodes)) {
+  next_file_id_ = file_id_base;
+  mailbox_ = std::make_unique<sim::Mailbox>(rt.scheduler(), node);
+}
+
+void BridgeServer::start() {
+  if (started_) return;
+  started_ = true;
+  rt_.spawn(node_, "bridge-server", [this](sim::Context& ctx) {
+    ctx.set_daemon();
+    serve(ctx);
+  });
+}
+
+void BridgeServer::serve(sim::Context& ctx) {
+  sim::RpcClient rpc(ctx);
+  lfs_clients_.clear();
+  for (const auto& service : lfs_services_) {
+    lfs_clients_.push_back(std::make_unique<efs::EfsClient>(rpc, service));
+  }
+  Wire wire{ctx, rpc};
+  while (true) {
+    sim::Envelope env = mailbox_->recv();
+    ++stats_.requests;
+    handle(wire, env);
+  }
+}
+
+void BridgeServer::handle(Wire& wire, const sim::Envelope& env) {
+  wire.ctx.charge(config_.request_cpu);
+  try {
+    switch (static_cast<BridgeMsg>(env.type)) {
+      case BridgeMsg::kCreate: return handle_create(wire, env);
+      case BridgeMsg::kDelete: return handle_delete(wire, env);
+      case BridgeMsg::kOpen: return handle_open(wire, env);
+      case BridgeMsg::kSeqRead: return handle_seq_read(wire, env);
+      case BridgeMsg::kRandomRead: return handle_random_read(wire, env);
+      case BridgeMsg::kSeqWrite: return handle_seq_write(wire, env);
+      case BridgeMsg::kRandomWrite: return handle_random_write(wire, env);
+      case BridgeMsg::kParallelOpen: return handle_parallel_open(wire, env);
+      case BridgeMsg::kParallelRead: return handle_parallel_read(wire, env);
+      case BridgeMsg::kParallelWrite: return handle_parallel_write(wire, env);
+      case BridgeMsg::kGetInfo: return handle_get_info(wire, env);
+      case BridgeMsg::kDeleteMany: return handle_delete_many(wire, env);
+      case BridgeMsg::kResolve: return handle_resolve(wire, env);
+      default: break;
+    }
+    sim::send_reply(wire.ctx, env,
+                    util::invalid_argument("unknown Bridge message type"));
+  } catch (const util::StatusError& e) {
+    sim::send_reply(wire.ctx, env, e.status());
+  }
+}
+
+BridgeServer::FileRecord* BridgeServer::find_by_name(const std::string& name) {
+  auto it = directory_.find(name);
+  return it == directory_.end() ? nullptr : &it->second;
+}
+
+BridgeServer::FileRecord* BridgeServer::find_by_id(BridgeFileId id) {
+  auto it = id_index_.find(id);
+  return it == id_index_.end() ? nullptr : find_by_name(it->second);
+}
+
+FileMeta BridgeServer::meta_of(const FileRecord& record) const {
+  FileMeta meta;
+  meta.id = record.id;
+  meta.name = record.name;
+  meta.distribution = static_cast<std::uint8_t>(record.placement.distribution());
+  meta.width = record.placement.width();
+  meta.start_lfs = record.placement.start_lfs();
+  meta.chunk_blocks = record.placement.chunk_blocks();
+  meta.size_blocks = record.placement.size_blocks();
+  meta.lfs_file_id = record.lfs_file_id;
+  return meta;
+}
+
+void BridgeServer::handle_create(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = CreateFileRequest::decode(r);
+  if (req.name.empty()) {
+    return sim::send_reply(wire.ctx, env, util::invalid_argument("empty name"));
+  }
+  if (find_by_name(req.name) != nullptr) {
+    return sim::send_reply(wire.ctx, env,
+                           util::already_exists("file " + req.name));
+  }
+  std::uint32_t p = num_lfs();
+  std::uint32_t width = (req.width == 0 || req.width > p) ? p : req.width;
+  auto dist = static_cast<Distribution>(req.distribution);
+  if (dist == Distribution::kChunked && req.chunk_blocks == 0) {
+    return sim::send_reply(
+        wire.ctx, env,
+        util::invalid_argument("chunked file needs chunk_blocks"));
+  }
+
+  FileRecord record;
+  record.id = next_file_id_++;
+  record.name = req.name;
+  record.lfs_file_id = record.id;
+  record.placement = PlacementMap(dist, width, req.start_lfs, p,
+                                  req.chunk_blocks, req.hash_seed);
+
+  wire.ctx.charge(config_.create_base_cpu);
+  // "The Create operation must create an LFS file on each disk.  Bridge gets
+  // some parallelism by starting all the LFS operations before waiting for
+  // them, but the initiation and termination are sequential" (§4.5).
+  efs::CreateRequest lfs_req{record.lfs_file_id};
+  auto payload = util::encode_to_bytes(lfs_req);
+  std::vector<std::uint64_t> pending;
+  pending.reserve(p);
+  if (config_.tree_create) {
+    // Embedded-binary-tree fan-out: initiation cost is one dispatch charge
+    // per tree level rather than one per node.
+    auto levels =
+        static_cast<std::int64_t>(std::ceil(std::log2(double(p) + 1.0)));
+    wire.ctx.charge(config_.create_dispatch_cpu * levels);
+    for (std::uint32_t i = 0; i < p; ++i) {
+      pending.push_back(
+          wire.rpc.call_async(lfs_services_[i], msg(efs::MsgType::kCreate),
+                              payload));
+    }
+    for (auto corr : pending) {
+      auto reply = wire.rpc.wait_reply(corr);
+      if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
+    }
+    wire.ctx.charge(config_.create_reply_cpu * levels);
+  } else {
+    for (std::uint32_t i = 0; i < p; ++i) {
+      wire.ctx.charge(config_.create_dispatch_cpu);
+      pending.push_back(
+          wire.rpc.call_async(lfs_services_[i], msg(efs::MsgType::kCreate),
+                              payload));
+    }
+    for (auto corr : pending) {
+      auto reply = wire.rpc.wait_reply(corr);
+      if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
+      wire.ctx.charge(config_.create_reply_cpu);
+    }
+  }
+
+  id_index_[record.id] = record.name;
+  directory_[record.name] = std::move(record);
+  CreateFileResponse resp{directory_[req.name].id};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_delete(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = DeleteFileRequest::decode(r);
+  FileRecord* record = find_by_name(req.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("file " + req.name));
+  }
+  // "The Delete operation runs in parallel on all instances of the LFS"
+  // (§4.5): dispatch everywhere, then wait.
+  efs::DeleteRequest lfs_req{record->lfs_file_id};
+  auto payload = util::encode_to_bytes(lfs_req);
+  std::vector<std::uint64_t> pending;
+  for (const auto& service : lfs_services_) {
+    pending.push_back(
+        wire.rpc.call_async(service, msg(efs::MsgType::kDelete), payload));
+  }
+  for (auto corr : pending) {
+    auto reply = wire.rpc.wait_reply(corr);
+    if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
+  }
+  id_index_.erase(record->id);
+  directory_.erase(req.name);
+  sim::send_reply(wire.ctx, env, util::ok_status());
+}
+
+void BridgeServer::handle_delete_many(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = DeleteManyRequest::decode(r);
+  // Dispatch the LFS deletes for EVERY file before waiting for any, so the
+  // per-LFS work of different files overlaps (each LFS serves its queue
+  // back to back instead of idling between sequential Delete commands).
+  std::vector<std::uint64_t> pending;
+  for (const auto& name : req.names) {
+    FileRecord* record = find_by_name(name);
+    if (record == nullptr) {
+      return sim::send_reply(wire.ctx, env, util::not_found("file " + name));
+    }
+    efs::DeleteRequest lfs_req{record->lfs_file_id};
+    auto payload = util::encode_to_bytes(lfs_req);
+    for (const auto& service : lfs_services_) {
+      pending.push_back(
+          wire.rpc.call_async(service, msg(efs::MsgType::kDelete), payload));
+    }
+  }
+  for (auto corr : pending) {
+    auto reply = wire.rpc.wait_reply(corr);
+    if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
+  }
+  for (const auto& name : req.names) {
+    FileRecord* record = find_by_name(name);
+    if (record != nullptr) {
+      id_index_.erase(record->id);
+      directory_.erase(name);
+    }
+  }
+  sim::send_reply(wire.ctx, env, util::ok_status());
+}
+
+util::Status BridgeServer::refresh_size(Wire& wire, FileRecord& record) {
+  // Tools append to LFS files directly, so the authoritative size is the sum
+  // of the constituent sizes ("initial reads of file header and directory
+  // information" are part of what Open pays for, §4.5).
+  efs::InfoRequest info_req{record.lfs_file_id};
+  auto payload = util::encode_to_bytes(info_req);
+  std::vector<std::uint64_t> pending;
+  for (const auto& service : lfs_services_) {
+    pending.push_back(
+        wire.rpc.call_async(service, msg(efs::MsgType::kInfo), payload));
+  }
+  std::uint64_t total = 0;
+  for (auto corr : pending) {
+    auto reply = wire.rpc.wait_reply(corr);
+    if (!reply.is_ok()) return reply.status();
+    total += util::decode_from_bytes<efs::InfoResponse>(reply.value()).size_blocks;
+  }
+  record.placement.set_size_closed_form(total);
+  return util::ok_status();
+}
+
+void BridgeServer::handle_open(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = OpenRequest::decode(r);
+  FileRecord* record = find_by_name(req.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("file " + req.name));
+  }
+  wire.ctx.charge(config_.open_cpu);
+  if (auto st = refresh_size(wire, *record); !st.is_ok()) {
+    return sim::send_reply(wire.ctx, env, st);
+  }
+  Session session;
+  session.name = record->name;
+  session.read_cursor = 0;
+  session.write_cursor = record->placement.size_blocks();
+  std::uint64_t session_id = next_session_++;
+  sessions_[session_id] = session;
+
+  OpenResponse resp;
+  resp.meta = meta_of(*record);
+  resp.session = session_id;
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+util::Result<std::vector<std::byte>> BridgeServer::read_block(
+    Wire& wire, FileRecord& record, std::uint64_t n) {
+  auto placed = record.placement.place(n);
+  if (!placed.is_ok()) return placed.status();
+  Placement placement = placed.value();
+  auto resp = lfs_clients_[placement.lfs_index]->read(record.lfs_file_id,
+                                                      placement.local_block);
+  if (!resp.is_ok()) return resp.status();
+  auto unwrapped = unwrap_block(resp.value().data);
+  if (!unwrapped.is_ok()) return unwrapped.status();
+  if (unwrapped.value().header.global_block_no != n ||
+      unwrapped.value().header.file_id != record.id) {
+    return util::corrupt("Bridge header does not match requested block");
+  }
+  wire.ctx.charge(config_.forward_cpu);
+  ++stats_.blocks_forwarded;
+  return std::move(unwrapped.value().user_data);
+}
+
+util::Status BridgeServer::write_block(Wire& wire, FileRecord& record,
+                                       std::uint64_t n,
+                                       std::span<const std::byte> user_data) {
+  std::uint64_t size = record.placement.size_blocks();
+  util::Result<Placement> placed(util::internal_error("unset"));
+  if (n < size) {
+    placed = record.placement.place(n);
+  } else if (record.placement.distribution() == Distribution::kLinked) {
+    // Linked "disordered" files (§3): blocks scatter arbitrarily; the
+    // directory records each placement explicitly.
+    std::uint32_t p = num_lfs();
+    std::uint32_t lfs = static_cast<std::uint32_t>(
+        util::mix64(record.placement.hash_seed() ^ (n * 0x9E3779B9ull)) % p);
+    Placement scatter{lfs, record.placement.next_local(lfs)};
+    if (auto st = record.placement.append_linked(scatter); !st.is_ok()) {
+      return st;
+    }
+    placed = scatter;
+  } else {
+    placed = record.placement.append();
+  }
+  if (!placed.is_ok()) return placed.status();
+  Placement placement = placed.value();
+
+  BridgeBlockHeader header;
+  header.file_id = record.id;
+  header.global_block_no = n;
+  header.width = record.placement.width();
+  header.start_lfs = record.placement.start_lfs();
+  auto wrapped = wrap_block(header, user_data);
+  if (!wrapped.is_ok()) {
+    if (n >= size) record.placement.truncate(size);
+    return wrapped.status();
+  }
+  auto resp = lfs_clients_[placement.lfs_index]->write(
+      record.lfs_file_id, placement.local_block, wrapped.value());
+  if (!resp.is_ok()) {
+    if (n >= size) record.placement.truncate(size);
+    return resp.status();
+  }
+  wire.ctx.charge(config_.forward_cpu);
+  ++stats_.blocks_forwarded;
+  return util::ok_status();
+}
+
+void BridgeServer::handle_seq_read(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = SeqReadRequest::decode(r);
+  auto it = sessions_.find(req.session);
+  if (it == sessions_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such session"));
+  }
+  Session& session = it->second;
+  FileRecord* record = find_by_name(session.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env,
+                           util::not_found("file deleted: " + session.name));
+  }
+  SeqReadResponse resp;
+  if (session.read_cursor >= record->placement.size_blocks()) {
+    resp.eof = true;
+    resp.block_no = session.read_cursor;
+    return sim::send_reply(wire.ctx, env, util::ok_status(),
+                           util::encode_to_bytes(resp));
+  }
+  auto data = read_block(wire, *record, session.read_cursor);
+  if (!data.is_ok()) return sim::send_reply(wire.ctx, env, data.status());
+  resp.block_no = session.read_cursor++;
+  resp.data = std::move(data).value();
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_random_read(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = RandomReadRequest::decode(r);
+  FileRecord* record = find_by_id(req.id);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such file id"));
+  }
+  auto data = read_block(wire, *record, req.block_no);
+  if (!data.is_ok()) return sim::send_reply(wire.ctx, env, data.status());
+  RandomReadResponse resp{std::move(data).value()};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_seq_write(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = SeqWriteRequest::decode(r);
+  auto it = sessions_.find(req.session);
+  if (it == sessions_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such session"));
+  }
+  Session& session = it->second;
+  FileRecord* record = find_by_name(session.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env,
+                           util::not_found("file deleted: " + session.name));
+  }
+  std::uint64_t n = session.write_cursor;
+  if (auto st = write_block(wire, *record, n, req.data); !st.is_ok()) {
+    return sim::send_reply(wire.ctx, env, st);
+  }
+  ++session.write_cursor;
+  SeqWriteResponse resp{n};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_random_write(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = RandomWriteRequest::decode(r);
+  FileRecord* record = find_by_id(req.id);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such file id"));
+  }
+  if (req.block_no > record->placement.size_blocks()) {
+    return sim::send_reply(wire.ctx, env,
+                           util::invalid_argument("write would leave a gap"));
+  }
+  if (auto st = write_block(wire, *record, req.block_no, req.data);
+      !st.is_ok()) {
+    return sim::send_reply(wire.ctx, env, st);
+  }
+  sim::send_reply(wire.ctx, env, util::ok_status());
+}
+
+void BridgeServer::handle_parallel_open(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = ParallelOpenRequest::decode(r);
+  auto it = sessions_.find(req.session);
+  if (it == sessions_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such session"));
+  }
+  if (req.workers.empty()) {
+    return sim::send_reply(wire.ctx, env,
+                           util::invalid_argument("parallel open needs workers"));
+  }
+  Job job;
+  job.name = it->second.name;
+  job.workers = req.workers;
+  job.cursor = 0;
+  job.lfs_hints.assign(num_lfs(), disk::kNilAddr);
+  std::uint64_t job_id = next_job_++;
+  jobs_[job_id] = std::move(job);
+  ParallelOpenResponse resp{job_id};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_parallel_read(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = ParallelReadRequest::decode(r);
+  auto it = jobs_.find(req.job);
+  if (it == jobs_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such job"));
+  }
+  Job& job = it->second;
+  FileRecord* record = find_by_name(job.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("file deleted"));
+  }
+  std::uint64_t size = record->placement.size_blocks();
+  std::uint32_t t = static_cast<std::uint32_t>(job.workers.size());
+  std::uint32_t p = num_lfs();
+  std::uint32_t delivered = 0;
+
+  // "If the width of a parallel open is greater than p, the server will
+  // perform groups of p disk accesses in parallel until the high-level
+  // request is satisfied" (§4.1).
+  while (delivered < t && job.cursor < size) {
+    std::uint32_t round =
+        std::min<std::uint32_t>(std::min<std::uint64_t>(t - delivered, p),
+                                size - job.cursor);
+    ++stats_.parallel_rounds;
+    struct Pending {
+      std::uint64_t corr;
+      std::uint64_t global_no;
+      std::uint32_t lfs;
+      std::uint32_t worker;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(round);
+    for (std::uint32_t i = 0; i < round; ++i) {
+      std::uint64_t n = job.cursor + i;
+      auto placed = record->placement.place(n);
+      if (!placed.is_ok()) return sim::send_reply(wire.ctx, env, placed.status());
+      efs::ReadRequest lfs_req{record->lfs_file_id, placed.value().local_block,
+                               job.lfs_hints[placed.value().lfs_index]};
+      pending.push_back(Pending{
+          wire.rpc.call_async(lfs_services_[placed.value().lfs_index],
+                              msg(efs::MsgType::kRead),
+                              util::encode_to_bytes(lfs_req)),
+          n, placed.value().lfs_index, delivered + i});
+    }
+    for (const auto& item : pending) {
+      auto reply = wire.rpc.wait_reply(item.corr);
+      if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
+      auto lfs_resp = util::decode_from_bytes<efs::ReadResponse>(reply.value());
+      job.lfs_hints[item.lfs] = lfs_resp.addr;
+      auto unwrapped = unwrap_block(lfs_resp.data);
+      if (!unwrapped.is_ok()) {
+        return sim::send_reply(wire.ctx, env, unwrapped.status());
+      }
+      wire.ctx.charge(config_.forward_cpu);
+      ++stats_.blocks_forwarded;
+      WorkerData delivery;
+      delivery.eof = false;
+      delivery.global_block_no = item.global_no;
+      delivery.data = std::move(unwrapped.value().user_data);
+      sim::Envelope note;
+      note.type = msg(BridgeMsg::kWorkerData);
+      note.payload = util::encode_to_bytes(delivery);
+      sim::post(wire.ctx, job.workers[item.worker], std::move(note));
+    }
+    delivered += round;
+    job.cursor += round;
+  }
+
+  bool eof = job.cursor >= size;
+  if (eof) {
+    // Lock-step: every worker gets an EOF marker once the file is exhausted
+    // (ordered after any data it just received) so receive loops terminate.
+    for (std::uint32_t i = 0; i < t; ++i) {
+      WorkerData delivery;
+      delivery.eof = true;
+      sim::Envelope note;
+      note.type = msg(BridgeMsg::kWorkerData);
+      note.payload = util::encode_to_bytes(delivery);
+      sim::post(wire.ctx, job.workers[i], std::move(note));
+    }
+  }
+  ParallelReadResponse resp{delivered, eof};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_parallel_write(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = ParallelWriteRequest::decode(r);
+  auto it = jobs_.find(req.job);
+  if (it == jobs_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such job"));
+  }
+  Job& job = it->second;
+  FileRecord* record = find_by_name(job.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("file deleted"));
+  }
+  std::uint32_t t = static_cast<std::uint32_t>(job.workers.size());
+  std::uint32_t p = num_lfs();
+  std::uint32_t written = 0;
+
+  std::uint32_t next_worker = 0;
+  while (next_worker < t && !job.writers_drained) {
+    std::uint32_t round = std::min(t - next_worker, p);
+    ++stats_.parallel_rounds;
+    // Solicit one block from each worker in this round.
+    std::vector<std::uint64_t> solicitations;
+    solicitations.reserve(round);
+    for (std::uint32_t i = 0; i < round; ++i) {
+      WorkerGiveRequest give{record->placement.size_blocks() + i};
+      solicitations.push_back(
+          wire.rpc.call_async(job.workers[next_worker + i],
+                              msg(BridgeMsg::kWorkerGive),
+                              util::encode_to_bytes(give)));
+    }
+    std::vector<std::vector<std::byte>> blocks;
+    for (auto corr : solicitations) {
+      auto reply = wire.rpc.wait_reply(corr);
+      if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
+      auto give = util::decode_from_bytes<WorkerGiveResponse>(reply.value());
+      if (!give.has_data) {
+        // Stop at the first drained worker to keep block order gap-free.
+        job.writers_drained = true;
+        break;
+      }
+      blocks.push_back(std::move(give.data));
+    }
+    // Write the collected prefix; consecutive appends hit distinct LFSs
+    // under round-robin, so fire them all then wait.
+    struct PendingWrite {
+      std::uint64_t corr;
+      std::uint32_t lfs;
+    };
+    std::vector<PendingWrite> writes;
+    writes.reserve(blocks.size());
+    for (auto& data : blocks) {
+      std::uint64_t n = record->placement.size_blocks();
+      auto placed = record->placement.append();
+      if (!placed.is_ok()) return sim::send_reply(wire.ctx, env, placed.status());
+      BridgeBlockHeader header;
+      header.file_id = record->id;
+      header.global_block_no = n;
+      header.width = record->placement.width();
+      header.start_lfs = record->placement.start_lfs();
+      auto wrapped = wrap_block(header, data);
+      if (!wrapped.is_ok()) {
+        return sim::send_reply(wire.ctx, env, wrapped.status());
+      }
+      efs::WriteRequest lfs_req{record->lfs_file_id, placed.value().local_block,
+                                job.lfs_hints[placed.value().lfs_index],
+                                std::move(wrapped).value()};
+      writes.push_back(PendingWrite{
+          wire.rpc.call_async(lfs_services_[placed.value().lfs_index],
+                              msg(efs::MsgType::kWrite),
+                              util::encode_to_bytes(lfs_req)),
+          placed.value().lfs_index});
+      wire.ctx.charge(config_.forward_cpu);
+      ++stats_.blocks_forwarded;
+    }
+    for (const auto& item : writes) {
+      auto reply = wire.rpc.wait_reply(item.corr);
+      if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
+      auto lfs_resp = util::decode_from_bytes<efs::WriteResponse>(reply.value());
+      job.lfs_hints[item.lfs] = lfs_resp.addr;
+    }
+    written += static_cast<std::uint32_t>(blocks.size());
+    next_worker += round;
+  }
+  ParallelWriteResponse resp{written};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_resolve(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = ResolveRequest::decode(r);
+  FileRecord* record = find_by_id(req.id);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such file id"));
+  }
+  ResolveResponse resp;
+  resp.placements.reserve(req.count);
+  for (std::uint32_t i = 0; i < req.count; ++i) {
+    auto placed = record->placement.place(req.first_block + i);
+    if (!placed.is_ok()) return sim::send_reply(wire.ctx, env, placed.status());
+    resp.placements.push_back(placed.value());
+  }
+  // Directory lookups are in-memory table reads: cheap per entry.
+  wire.ctx.charge(sim::usec(2) * static_cast<std::int64_t>(req.count));
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::encode_state(util::Writer& w) const {
+  w.u32(0xB81DD1C7);  // directory snapshot magic
+  w.u32(next_file_id_);
+  w.u32(static_cast<std::uint32_t>(directory_.size()));
+  for (const auto& [name, record] : directory_) {
+    w.str(name);
+    w.u32(record.id);
+    w.u32(record.lfs_file_id);
+    record.placement.encode(w);
+  }
+}
+
+util::Status BridgeServer::decode_state(util::Reader& r) {
+  if (r.u32() != 0xB81DD1C7) {
+    return util::corrupt("bad Bridge directory snapshot");
+  }
+  next_file_id_ = r.u32();
+  std::uint32_t count = r.u32();
+  directory_.clear();
+  id_index_.clear();
+  sessions_.clear();
+  jobs_.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FileRecord record;
+    record.name = r.str();
+    record.id = r.u32();
+    record.lfs_file_id = r.u32();
+    record.placement = PlacementMap::decode(r);
+    id_index_[record.id] = record.name;
+    directory_[record.name] = std::move(record);
+  }
+  return util::ok_status();
+}
+
+void BridgeServer::handle_get_info(Wire& wire, const sim::Envelope& env) {
+  GetInfoResponse resp;
+  resp.num_lfs = num_lfs();
+  resp.lfs_services = lfs_services_;
+  resp.lfs_nodes = lfs_nodes_;
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+}  // namespace bridge::core

@@ -1,0 +1,148 @@
+// The Bridge Server: glue that makes p local file systems look like one.
+//
+// "The Bridge Server is the interface between the Bridge file system and
+// user programs.  Its function is to glue the local file systems together
+// into a single logical structure" (§4.1).  It implements the three system
+// views: the naive sequential interface (requests transparently forwarded to
+// the right LFS), the parallel-open interface (jobs moving t blocks per
+// operation in lock step, with virtual parallelism when t > p), and Get Info
+// for tools.  It is also the monitor around all directory operations —
+// Create, Delete and Open happen only here (§4.2).
+//
+// Like the prototype it is a single centralized process; the paper notes the
+// same functionality could be distributed if it became a bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/core/protocol.hpp"
+#include "src/efs/client.hpp"
+#include "src/sim/rpc.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace bridge::core {
+
+struct BridgeServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t blocks_forwarded = 0;
+  std::uint64_t parallel_rounds = 0;
+};
+
+class BridgeServer {
+ public:
+  /// `lfs_services[i]` / `lfs_nodes[i]` locate LFS instance i.
+  /// `file_id_base` partitions the LFS file-id space when several Bridge
+  /// Servers share one machine (each needs disjoint constituent ids).
+  BridgeServer(sim::Runtime& rt, sim::NodeId node, BridgeConfig config,
+               std::vector<sim::Address> lfs_services,
+               std::vector<std::uint32_t> lfs_nodes,
+               BridgeFileId file_id_base = 1000);
+
+  /// Spawn the daemon service loop.  Call once, before Runtime::run.
+  void start();
+
+  [[nodiscard]] sim::Address address() noexcept { return mailbox_->address(); }
+  [[nodiscard]] std::uint32_t num_lfs() const noexcept {
+    return static_cast<std::uint32_t>(lfs_services_.size());
+  }
+  [[nodiscard]] const BridgeServerStats& stats() const noexcept {
+    return stats_;
+  }
+  /// Number of Bridge files currently in the directory (tests).
+  [[nodiscard]] std::size_t directory_size() const noexcept {
+    return directory_.size();
+  }
+
+  /// Serialize the durable server state — the directory (including
+  /// hashed/linked placement tables) and the file-id allocator.  Sessions
+  /// and jobs are deliberately excluded: they are soft state, consistent
+  /// with the semi-stateless Open of §4.1.  Call while the simulation is
+  /// idle (administrative shutdown).
+  void encode_state(util::Writer& w) const;
+  /// Restore state saved by encode_state.  Call before the serve loop runs.
+  util::Status decode_state(util::Reader& r);
+
+ private:
+  struct FileRecord {
+    BridgeFileId id = 0;
+    std::string name;
+    efs::FileId lfs_file_id = 0;
+    PlacementMap placement;
+  };
+  struct Session {
+    std::string name;
+    std::uint64_t read_cursor = 0;
+    std::uint64_t write_cursor = 0;
+  };
+  struct Job {
+    std::string name;
+    std::vector<sim::Address> workers;
+    std::uint64_t cursor = 0;
+    std::vector<disk::BlockAddr> lfs_hints;  ///< per LFS, for async rounds
+    bool writers_drained = false;
+  };
+
+  /// Per-serve-loop resources (RPC client lives on the server process stack).
+  struct Wire {
+    sim::Context& ctx;
+    sim::RpcClient& rpc;
+  };
+
+  void serve(sim::Context& ctx);
+  void handle(Wire& wire, const sim::Envelope& env);
+
+  void handle_create(Wire& wire, const sim::Envelope& env);
+  void handle_delete(Wire& wire, const sim::Envelope& env);
+  void handle_delete_many(Wire& wire, const sim::Envelope& env);
+  void handle_open(Wire& wire, const sim::Envelope& env);
+  void handle_seq_read(Wire& wire, const sim::Envelope& env);
+  void handle_random_read(Wire& wire, const sim::Envelope& env);
+  void handle_seq_write(Wire& wire, const sim::Envelope& env);
+  void handle_random_write(Wire& wire, const sim::Envelope& env);
+  void handle_parallel_open(Wire& wire, const sim::Envelope& env);
+  void handle_parallel_read(Wire& wire, const sim::Envelope& env);
+  void handle_parallel_write(Wire& wire, const sim::Envelope& env);
+  void handle_get_info(Wire& wire, const sim::Envelope& env);
+  void handle_resolve(Wire& wire, const sim::Envelope& env);
+
+  /// Read global block `n` of `record` (returns the unwrapped user payload).
+  util::Result<std::vector<std::byte>> read_block(Wire& wire,
+                                                  FileRecord& record,
+                                                  std::uint64_t n);
+  /// Write user payload as global block `n` (append or overwrite).
+  util::Status write_block(Wire& wire, FileRecord& record, std::uint64_t n,
+                           std::span<const std::byte> user_data);
+  /// Refresh a record's size from the LFS instances (used by Open).
+  util::Status refresh_size(Wire& wire, FileRecord& record);
+
+  FileRecord* find_by_name(const std::string& name);
+  FileRecord* find_by_id(BridgeFileId id);
+  FileMeta meta_of(const FileRecord& record) const;
+
+  sim::Runtime& rt_;
+  sim::NodeId node_;
+  BridgeConfig config_;
+  std::vector<sim::Address> lfs_services_;
+  std::vector<std::uint32_t> lfs_nodes_;
+  std::unique_ptr<sim::Mailbox> mailbox_;
+
+  std::unordered_map<std::string, FileRecord> directory_;
+  std::unordered_map<BridgeFileId, std::string> id_index_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::unordered_map<std::uint64_t, Job> jobs_;
+  /// Per-LFS hint tables for the synchronous (naive-view) data path.
+  std::vector<std::unique_ptr<efs::EfsClient>> lfs_clients_;
+
+  BridgeFileId next_file_id_ = 1000;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t next_job_ = 1;
+  BridgeServerStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace bridge::core

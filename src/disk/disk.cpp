@@ -1,0 +1,143 @@
+#include "src/disk/disk.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace bridge::disk {
+
+SimDisk::SimDisk(Geometry geometry, LatencyModel latency)
+    : geometry_(geometry), latency_(latency) {
+  store_.resize(static_cast<std::size_t>(geometry_.capacity_blocks()) *
+                geometry_.block_size);
+}
+
+util::Status SimDisk::check_addr(BlockAddr addr) const {
+  if (failed_) return util::unavailable("disk failed");
+  if (addr >= geometry_.capacity_blocks()) {
+    return util::invalid_argument("block address out of range");
+  }
+  return util::ok_status();
+}
+
+void SimDisk::charge_positioning(sim::Context& ctx, BlockAddr addr) {
+  bool sequential = latency_.sequential_discount && last_addr_ != kNilAddr &&
+                    addr == last_addr_ + 1 &&
+                    geometry_.track_of(addr) == geometry_.track_of(last_addr_);
+  if (!sequential) {
+    ++stats_.positioning_ops;
+    stats_.busy_time += latency_.access_latency;
+    ctx.charge(latency_.access_latency);
+  }
+  stats_.busy_time += latency_.transfer_per_block;
+  ctx.charge(latency_.transfer_per_block);
+  last_addr_ = addr;
+}
+
+util::Result<std::vector<std::byte>> SimDisk::read(sim::Context& ctx,
+                                                   BlockAddr addr) {
+  if (auto st = check_addr(addr); !st.is_ok()) return st;
+  charge_positioning(ctx, addr);
+  ++stats_.block_reads;
+  auto begin = store_.begin() +
+               static_cast<std::ptrdiff_t>(addr) * geometry_.block_size;
+  return std::vector<std::byte>(begin, begin + geometry_.block_size);
+}
+
+util::Status SimDisk::write(sim::Context& ctx, BlockAddr addr,
+                            std::span<const std::byte> data) {
+  if (auto st = check_addr(addr); !st.is_ok()) return st;
+  if (data.size() != geometry_.block_size) {
+    return util::invalid_argument("write size != block size");
+  }
+  charge_positioning(ctx, addr);
+  ++stats_.block_writes;
+  std::copy(data.begin(), data.end(),
+            store_.begin() + static_cast<std::ptrdiff_t>(addr) * geometry_.block_size);
+  return util::ok_status();
+}
+
+util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_track(
+    sim::Context& ctx, BlockAddr addr, BlockAddr* track_start) {
+  if (auto st = check_addr(addr); !st.is_ok()) return st;
+  std::uint32_t track = geometry_.track_of(addr);
+  BlockAddr first = track * geometry_.blocks_per_track;
+  if (track_start != nullptr) *track_start = first;
+
+  // One positioning op, then the whole track streams past the head.
+  ++stats_.positioning_ops;
+  ++stats_.track_reads;
+  sim::SimTime cost = latency_.access_latency +
+                      latency_.transfer_per_block *
+                          static_cast<std::int64_t>(geometry_.blocks_per_track);
+  stats_.busy_time += cost;
+  ctx.charge(cost);
+  last_addr_ = first + geometry_.blocks_per_track - 1;
+
+  std::vector<std::vector<std::byte>> blocks;
+  blocks.reserve(geometry_.blocks_per_track);
+  for (std::uint32_t i = 0; i < geometry_.blocks_per_track; ++i) {
+    auto begin = store_.begin() +
+                 static_cast<std::ptrdiff_t>(first + i) * geometry_.block_size;
+    blocks.emplace_back(begin, begin + geometry_.block_size);
+    stats_.block_reads++;
+  }
+  return blocks;
+}
+
+std::optional<std::span<const std::byte>> SimDisk::peek(BlockAddr addr) const {
+  if (addr >= geometry_.capacity_blocks()) return std::nullopt;
+  return std::span<const std::byte>(
+      store_.data() + static_cast<std::size_t>(addr) * geometry_.block_size,
+      geometry_.block_size);
+}
+
+void SimDisk::poke(BlockAddr addr, std::span<const std::byte> data) {
+  if (addr >= geometry_.capacity_blocks()) return;
+  std::copy(data.begin(), data.end(),
+            store_.begin() + static_cast<std::ptrdiff_t>(addr) * geometry_.block_size);
+}
+
+namespace {
+constexpr char kImageMagic[8] = {'B', 'R', 'D', 'G', 'D', 'S', 'K', '1'};
+}  // namespace
+
+util::Status SimDisk::save_image(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return util::invalid_argument("cannot open " + path);
+  std::uint32_t header[3] = {geometry_.num_tracks, geometry_.blocks_per_track,
+                             geometry_.block_size};
+  bool ok = std::fwrite(kImageMagic, 1, sizeof(kImageMagic), file) ==
+                sizeof(kImageMagic) &&
+            std::fwrite(header, sizeof(std::uint32_t), 3, file) == 3 &&
+            std::fwrite(store_.data(), 1, store_.size(), file) == store_.size();
+  std::fclose(file);
+  if (!ok) return util::internal_error("short write saving " + path);
+  return util::ok_status();
+}
+
+util::Status SimDisk::load_image(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return util::not_found("no image at " + path);
+  char magic[8];
+  std::uint32_t header[3];
+  bool ok = std::fread(magic, 1, sizeof(magic), file) == sizeof(magic) &&
+            std::memcmp(magic, kImageMagic, sizeof(magic)) == 0 &&
+            std::fread(header, sizeof(std::uint32_t), 3, file) == 3;
+  if (!ok) {
+    std::fclose(file);
+    return util::corrupt("bad disk image header in " + path);
+  }
+  if (header[0] != geometry_.num_tracks ||
+      header[1] != geometry_.blocks_per_track ||
+      header[2] != geometry_.block_size) {
+    std::fclose(file);
+    return util::invalid_argument("image geometry mismatch for " + path);
+  }
+  ok = std::fread(store_.data(), 1, store_.size(), file) == store_.size();
+  std::fclose(file);
+  if (!ok) return util::corrupt("truncated disk image " + path);
+  return util::ok_status();
+}
+
+}  // namespace bridge::disk

@@ -1,0 +1,114 @@
+// Simulated block storage device.
+//
+// The paper's prototype "simulates the disks in memory ... with a
+// variable-length sleep interval to simulate seek and rotational delay",
+// set to 15 ms to approximate a CDC Wren-class drive.  SimDisk reproduces
+// exactly that: an in-memory array of fixed-size blocks where every
+// positioning operation charges the configured access latency to the calling
+// simulated process, plus a per-block transfer time.  Reading a whole track
+// in one revolution (used by the EFS cache's full-track buffering) pays one
+// positioning latency for blocks_per_track blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/runtime.hpp"
+#include "src/sim/time.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::disk {
+
+/// Disk block addresses; kNilAddr marks "no block" in chain pointers.
+using BlockAddr = std::uint32_t;
+inline constexpr BlockAddr kNilAddr = 0xFFFFFFFFu;
+
+struct Geometry {
+  std::uint32_t num_tracks = 1024;
+  std::uint32_t blocks_per_track = 4;
+  std::uint32_t block_size = 1024;
+
+  [[nodiscard]] std::uint32_t capacity_blocks() const noexcept {
+    return num_tracks * blocks_per_track;
+  }
+  [[nodiscard]] std::uint32_t track_of(BlockAddr addr) const noexcept {
+    return addr / blocks_per_track;
+  }
+};
+
+/// Latency model.  The paper profile is the default: one flat 15 ms
+/// positioning delay per access plus a small transfer time per block.
+struct LatencyModel {
+  sim::SimTime access_latency = sim::msec(15.0);       ///< seek + rotation
+  sim::SimTime transfer_per_block = sim::msec(0.5);    ///< media transfer
+  /// If true, an access to the block immediately following the previous one
+  /// on the same track skips the positioning delay (head is already there).
+  bool sequential_discount = false;
+};
+
+struct DiskStats {
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+  std::uint64_t track_reads = 0;
+  std::uint64_t positioning_ops = 0;
+  sim::SimTime busy_time{0};
+};
+
+/// An in-memory simulated disk.  All timed operations must be invoked from a
+/// simulated process (they charge virtual time through the Context).
+/// A SimDisk is owned and accessed by exactly one server process, matching
+/// the paper's one-disk-per-LFS-node structure, so no internal locking or
+/// request queueing is modeled.
+class SimDisk {
+ public:
+  SimDisk(Geometry geometry, LatencyModel latency);
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }
+  [[nodiscard]] const DiskStats& stats() const noexcept { return stats_; }
+
+  /// Read one block.  Returns a copy of its contents.
+  util::Result<std::vector<std::byte>> read(sim::Context& ctx, BlockAddr addr);
+
+  /// Write one block (data must be exactly block_size bytes).
+  util::Status write(sim::Context& ctx, BlockAddr addr,
+                     std::span<const std::byte> data);
+
+  /// Read every block of the track containing `addr` in one revolution:
+  /// one positioning latency + blocks_per_track transfer times.  Returns the
+  /// blocks in track order together with the address of the first one.
+  util::Result<std::vector<std::vector<std::byte>>> read_track(
+      sim::Context& ctx, BlockAddr addr, BlockAddr* track_start);
+
+  /// Fault injection: after fail(), every operation returns kUnavailable
+  /// until repair() is called.  Used by the fault-tolerance benches.
+  void fail() noexcept { failed_ = true; }
+  void repair() noexcept { failed_ = false; }
+  [[nodiscard]] bool is_failed() const noexcept { return failed_; }
+
+  /// Untimed access for tests and integrity checkers (no latency charged,
+  /// no stats).  Returns nullopt for an out-of-range address.
+  [[nodiscard]] std::optional<std::span<const std::byte>> peek(BlockAddr addr) const;
+  void poke(BlockAddr addr, std::span<const std::byte> data);
+
+  /// Persist / restore the raw device image to a host file (untimed; models
+  /// powering the machine down and back up).  load_image fails if the file
+  /// is missing or its recorded geometry differs from this device's.
+  util::Status save_image(const std::string& path) const;
+  util::Status load_image(const std::string& path);
+
+ private:
+  util::Status check_addr(BlockAddr addr) const;
+  void charge_positioning(sim::Context& ctx, BlockAddr addr);
+
+  Geometry geometry_;
+  LatencyModel latency_;
+  std::vector<std::byte> store_;  ///< capacity_blocks * block_size, contiguous
+  DiskStats stats_;
+  BlockAddr last_addr_ = kNilAddr;
+  bool failed_ = false;
+};
+
+}  // namespace bridge::disk

@@ -1,0 +1,122 @@
+#include "src/efs/cache.hpp"
+
+namespace bridge::efs {
+
+void BlockCache::touch(Entry& entry, disk::BlockAddr addr) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(addr);
+  entry.lru_pos = lru_.begin();
+}
+
+util::Result<std::span<const std::byte>> BlockCache::fetch(sim::Context& ctx,
+                                                           disk::BlockAddr addr) {
+  if (auto it = entries_.find(addr); it != entries_.end()) {
+    ++stats_.hits;
+    ctx.charge(config_.hit_cpu);
+    touch(it->second, addr);
+    return std::span<const std::byte>(it->second.data);
+  }
+
+  ++stats_.misses;
+  if (config_.track_readahead) {
+    disk::BlockAddr track_start = 0;
+    auto blocks = dev_.read_track(ctx, addr, &track_start);
+    if (!blocks.is_ok()) return blocks.status();
+    auto& images = blocks.value();
+    // Decide which track-mates to keep BEFORE installing anything: the track
+    // images were captured from disk up front, and installing earlier blocks
+    // may evict (and flush) a dirty track-mate — re-installing its stale
+    // pre-flush image afterwards would corrupt the cache.
+    std::vector<bool> keep_cached(images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      auto a = static_cast<disk::BlockAddr>(track_start + i);
+      keep_cached[i] = (a != addr && contains(a));
+    }
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      auto a = static_cast<disk::BlockAddr>(track_start + i);
+      if (keep_cached[i]) continue;  // keep (possibly dirty) copy
+      if (auto st = install(ctx, a, std::move(images[i]), /*dirty=*/false);
+          !st.is_ok()) {
+        return st;
+      }
+      if (a != addr) ++stats_.readahead_blocks;
+    }
+  } else {
+    auto block = dev_.read(ctx, addr);
+    if (!block.is_ok()) return block.status();
+    if (auto st = install(ctx, addr, std::move(block).value(), /*dirty=*/false);
+        !st.is_ok()) {
+      return st;
+    }
+  }
+  auto it = entries_.find(addr);
+  touch(it->second, addr);
+  return std::span<const std::byte>(it->second.data);
+}
+
+util::Status BlockCache::write_through(sim::Context& ctx, disk::BlockAddr addr,
+                                       std::span<const std::byte> data) {
+  if (auto st = dev_.write(ctx, addr, data); !st.is_ok()) return st;
+  return install(ctx, addr, std::vector<std::byte>(data.begin(), data.end()),
+                 /*dirty=*/false);
+}
+
+util::Status BlockCache::write_back(sim::Context& ctx, disk::BlockAddr addr,
+                                    std::span<const std::byte> data) {
+  return install(ctx, addr, std::vector<std::byte>(data.begin(), data.end()),
+                 /*dirty=*/true);
+}
+
+void BlockCache::invalidate(disk::BlockAddr addr) {
+  if (auto it = entries_.find(addr); it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+}
+
+util::Status BlockCache::flush_all(sim::Context& ctx) {
+  for (auto& [addr, entry] : entries_) {
+    if (!entry.dirty) continue;
+    if (auto st = dev_.write(ctx, addr, entry.data); !st.is_ok()) return st;
+    entry.dirty = false;
+  }
+  return util::ok_status();
+}
+
+util::Status BlockCache::install(sim::Context& ctx, disk::BlockAddr addr,
+                                 std::vector<std::byte> data, bool dirty) {
+  if (auto it = entries_.find(addr); it != entries_.end()) {
+    it->second.data = std::move(data);
+    it->second.dirty = it->second.dirty || dirty;
+    touch(it->second, addr);
+    return util::ok_status();
+  }
+  while (entries_.size() >= config_.capacity_blocks) {
+    if (auto st = evict_one(ctx); !st.is_ok()) return st;
+  }
+  lru_.push_front(addr);
+  Entry entry;
+  entry.data = std::move(data);
+  entry.dirty = dirty;
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(addr, std::move(entry));
+  return util::ok_status();
+}
+
+util::Status BlockCache::evict_one(sim::Context& ctx) {
+  disk::BlockAddr victim = lru_.back();
+  auto it = entries_.find(victim);
+  if (it->second.dirty) {
+    ++stats_.dirty_evictions;
+    if (auto st = dev_.write(ctx, victim, it->second.data); !st.is_ok()) {
+      return st;
+    }
+  } else {
+    ++stats_.clean_evictions;
+  }
+  lru_.pop_back();
+  entries_.erase(it);
+  return util::ok_status();
+}
+
+}  // namespace bridge::efs

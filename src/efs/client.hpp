@@ -1,0 +1,99 @@
+// Typed EFS client.
+//
+// Wraps an RpcClient with the EFS protocol and keeps a per-file hint table:
+// after each read/write the returned block address is remembered and passed
+// as the hint on the next access to that file, which is how the Bridge
+// Server "softens the potential performance penalty of statelessness" (§4.3).
+#pragma once
+
+#include <unordered_map>
+
+#include "src/efs/protocol.hpp"
+#include "src/sim/rpc.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::efs {
+
+class EfsClient {
+ public:
+  /// `service` is the EFS server's mailbox address.  The client uses the
+  /// calling process's RpcClient (one per process), so several EfsClients —
+  /// one per LFS the caller talks to — can share it.
+  EfsClient(sim::RpcClient& rpc, sim::Address service)
+      : rpc_(&rpc), service_(service) {}
+
+  [[nodiscard]] sim::Address service() const noexcept { return service_; }
+
+  util::Status create(FileId id) {
+    CreateRequest req{id};
+    auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kCreate),
+                            util::encode_to_bytes(req));
+    return reply.status();
+  }
+
+  util::Status remove(FileId id) {
+    DeleteRequest req{id};
+    auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kDelete),
+                            util::encode_to_bytes(req));
+    hints_.erase(id);
+    return reply.status();
+  }
+
+  util::Result<InfoResponse> info(FileId id) {
+    InfoRequest req{id};
+    auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kInfo),
+                            util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<InfoResponse>(reply.value());
+  }
+
+  /// Read with the remembered hint (or an explicit one).
+  util::Result<ReadResponse> read(FileId id, std::uint32_t block_no) {
+    return read_with_hint(id, block_no, hint_for(id));
+  }
+  util::Result<ReadResponse> read_with_hint(FileId id, std::uint32_t block_no,
+                                            BlockAddr hint) {
+    ReadRequest req{id, block_no, hint};
+    auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kRead),
+                            util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    auto resp = util::decode_from_bytes<ReadResponse>(reply.value());
+    hints_[id] = resp.addr;
+    return resp;
+  }
+
+  util::Result<WriteResponse> write(FileId id, std::uint32_t block_no,
+                                    std::span<const std::byte> data) {
+    return write_with_hint(id, block_no, data, hint_for(id));
+  }
+  util::Result<WriteResponse> write_with_hint(FileId id, std::uint32_t block_no,
+                                              std::span<const std::byte> data,
+                                              BlockAddr hint) {
+    WriteRequest req{id, block_no, hint,
+                     std::vector<std::byte>(data.begin(), data.end())};
+    auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kWrite),
+                            util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    auto resp = util::decode_from_bytes<WriteResponse>(reply.value());
+    hints_[id] = resp.addr;
+    return resp;
+  }
+
+  util::Status sync() {
+    auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kSync), {});
+    return reply.status();
+  }
+
+  [[nodiscard]] BlockAddr hint_for(FileId id) const {
+    auto it = hints_.find(id);
+    return it == hints_.end() ? kNilAddr : it->second;
+  }
+  void forget_hints() { hints_.clear(); }
+
+ private:
+  sim::RpcClient* rpc_;
+  sim::Address service_;
+  std::unordered_map<FileId, BlockAddr> hints_;
+};
+
+}  // namespace bridge::efs

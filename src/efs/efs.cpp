@@ -1,0 +1,478 @@
+#include "src/efs/efs.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "src/util/logging.hpp"
+
+namespace bridge::efs {
+
+namespace {
+
+/// Assemble a full 1024-byte block image from a header and payload.
+std::vector<std::byte> make_block_image(const BlockHeader& header,
+                                        std::span<const std::byte> payload) {
+  std::vector<std::byte> image(kBlockSize);
+  store_header(image, header);
+  std::copy(payload.begin(), payload.end(), image.begin() + kEfsHeaderBytes);
+  return image;
+}
+
+std::vector<std::byte> payload_of(std::span<const std::byte> image) {
+  return {image.begin() + kEfsHeaderBytes, image.end()};
+}
+
+}  // namespace
+
+EfsCore::EfsCore(disk::SimDisk& dev, EfsConfig config)
+    : dev_(dev), config_(config), cache_(dev, config.cache) {
+  // The track read-ahead path installs a whole track per miss; a cache
+  // smaller than one track would thrash pathologically.
+  if (config_.cache.capacity_blocks < dev.geometry().blocks_per_track) {
+    config_.cache.capacity_blocks = dev.geometry().blocks_per_track;
+  }
+}
+
+void EfsCore::format() {
+  sb_ = Superblock{};
+  sb_.capacity_blocks = dev_.geometry().capacity_blocks();
+  sb_.data_start = sb_.dir_start + sb_.dir_blocks;
+  dir_.assign(dir_capacity(), DirEntry{});
+  free_list_.clear();
+  BlockHeader free_header;
+  free_header.magic = kMagicFreeBlock;
+  std::vector<std::byte> image(kBlockSize);
+  for (BlockAddr a = sb_.data_start; a < sb_.capacity_blocks; ++a) {
+    free_list_.push_back(a);
+    store_header(image, free_header);
+    dev_.poke(a, image);
+  }
+  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
+  poke_superblock();
+  for (std::uint32_t b = 0; b < sb_.dir_blocks; ++b) poke_dir_block(b);
+  formatted_ = true;
+}
+
+util::Status EfsCore::remount_from_disk() {
+  auto sb_image = dev_.peek(0);
+  if (!sb_image) return util::corrupt("no superblock");
+  util::Reader r(sb_image->subspan(0, 64));
+  Superblock sb = Superblock::decode(r);
+  if (sb.magic != kMagicSuperblock) return util::corrupt("bad superblock magic");
+  sb_ = sb;
+  dir_.assign(dir_capacity(), DirEntry{});
+  for (std::uint32_t b = 0; b < sb_.dir_blocks; ++b) {
+    auto image = dev_.peek(sb_.dir_start + b);
+    if (!image) return util::corrupt("directory block unreadable");
+    util::Reader dr(*image);
+    for (std::uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
+      dir_[b * kDirEntriesPerBlock + i] = DirEntry::decode(dr);
+    }
+  }
+  // Rebuild the free list by scanning block headers (ascending for locality).
+  free_list_.clear();
+  for (BlockAddr a = sb_.data_start; a < sb_.capacity_blocks; ++a) {
+    auto image = dev_.peek(a);
+    if (!image) return util::corrupt("data block unreadable");
+    if (parse_header(*image).magic == kMagicFreeBlock) free_list_.push_back(a);
+  }
+  formatted_ = true;
+  return util::ok_status();
+}
+
+std::int64_t EfsCore::dir_find(FileId id) const {
+  if (id == kInvalidFileId) return -1;
+  std::uint32_t cap = dir_capacity();
+  std::uint32_t slot = id % cap;
+  for (std::uint32_t probes = 0; probes < cap; ++probes) {
+    const DirEntry& e = dir_[slot];
+    if (e.empty() && !e.tombstone()) return -1;  // end of probe chain
+    if (!e.empty() && e.file_id == id) return slot;
+    slot = (slot + 1) % cap;
+  }
+  return -1;
+}
+
+std::int64_t EfsCore::dir_find_free(FileId id) const {
+  std::uint32_t cap = dir_capacity();
+  std::uint32_t slot = id % cap;
+  for (std::uint32_t probes = 0; probes < cap; ++probes) {
+    const DirEntry& e = dir_[slot];
+    if (e.empty()) return slot;  // empty or tombstone: reusable
+    slot = (slot + 1) % cap;
+  }
+  return -1;
+}
+
+void EfsCore::poke_dir_block(std::uint32_t dir_block_index) {
+  util::Writer w(kBlockSize);
+  for (std::uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
+    dir_[dir_block_index * kDirEntriesPerBlock + i].encode(w);
+  }
+  dev_.poke(sb_.dir_start + dir_block_index, w.buffer());
+}
+
+void EfsCore::poke_superblock() {
+  util::Writer w(kBlockSize);
+  sb_.encode(w);
+  std::vector<std::byte> image(kBlockSize);
+  std::copy(w.buffer().begin(), w.buffer().end(), image.begin());
+  dev_.poke(0, image);
+}
+
+util::Status EfsCore::dir_persist(sim::Context& ctx, std::uint32_t slot,
+                                  bool force) {
+  std::uint32_t dir_block = slot / kDirEntriesPerBlock;
+  poke_dir_block(dir_block);  // keep the on-disk image current
+  poke_superblock();
+  ++dir_mutations_;
+  if (force || dir_mutations_ % config_.dir_flush_interval == 0) {
+    // Charge the write-behind flush of the hot directory block.
+    ctx.charge(sim::msec(15.0));
+  }
+  return util::ok_status();
+}
+
+util::Result<BlockAddr> EfsCore::allocate_block(sim::Context& ctx) {
+  (void)ctx;  // allocation is an in-memory free-list pop
+  if (free_list_.empty()) return util::out_of_space("no free blocks");
+  BlockAddr addr = free_list_.front();
+  free_list_.pop_front();
+  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
+  return addr;
+}
+
+util::Status EfsCore::free_block(sim::Context& ctx, BlockAddr addr) {
+  BlockHeader header;
+  header.magic = kMagicFreeBlock;
+  std::vector<std::byte> image(kBlockSize);
+  store_header(image, header);
+  // Freed blocks are written through: EFS "includes a substantial amount of
+  // code to increase resiliency to failures" and frees each block explicitly
+  // (§4.5) — this write is what makes Delete cost ~20ms per local block.
+  if (auto st = dev_.write(ctx, addr, image); !st.is_ok()) return st;
+  cache_.invalidate(addr);
+  free_list_.push_back(addr);
+  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
+  return util::ok_status();
+}
+
+util::Status EfsCore::create(sim::Context& ctx, FileId id) {
+  if (!formatted_) return util::internal_error("not formatted");
+  if (dev_.is_failed()) return util::unavailable("disk failed");
+  if (id == kInvalidFileId) return util::invalid_argument("file id 0 reserved");
+  ctx.charge(config_.request_cpu);
+  if (dir_find(id) >= 0) {
+    return util::already_exists("file " + std::to_string(id));
+  }
+  std::int64_t slot = dir_find_free(id);
+  if (slot < 0) return util::out_of_space("directory full");
+  dir_[static_cast<std::size_t>(slot)] =
+      DirEntry{id, kNilAddr, 0, /*flags=*/0};
+  ++stats_.creates;
+  // Creation is durable immediately: one charged directory write.
+  return dir_persist(ctx, static_cast<std::uint32_t>(slot), /*force=*/true);
+}
+
+util::Status EfsCore::remove(sim::Context& ctx, FileId id) {
+  if (dev_.is_failed()) return util::unavailable("disk failed");
+  ctx.charge(config_.request_cpu);
+  std::int64_t slot = dir_find(id);
+  if (slot < 0) return util::not_found("file " + std::to_string(id));
+  DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+
+  // "A file deletion algorithm that traverses the file sequentially,
+  // explicitly freeing each block" (§4.5).
+  BlockAddr cur = entry.head;
+  for (std::uint32_t i = 0; i < entry.size_blocks; ++i) {
+    auto image = cache_.fetch(ctx, cur);
+    if (!image.is_ok()) return image.status();
+    BlockHeader header = parse_header(image.value());
+    if (header.file_id != id || header.magic != kMagicDataBlock) {
+      return util::corrupt("chain corruption in file " + std::to_string(id));
+    }
+    BlockAddr next = header.next;
+    if (auto st = free_block(ctx, cur); !st.is_ok()) return st;
+    cur = next;
+  }
+  entry = DirEntry{kInvalidFileId, kNilAddr, 0, DirEntry::kTombstone};
+  ++stats_.deletes;
+  return dir_persist(ctx, static_cast<std::uint32_t>(slot), /*force=*/true);
+}
+
+util::Result<FileInfo> EfsCore::info(sim::Context& ctx, FileId id) {
+  ctx.charge(config_.request_cpu);
+  std::int64_t slot = dir_find(id);
+  if (slot < 0) return util::not_found("file " + std::to_string(id));
+  const DirEntry& e = dir_[static_cast<std::size_t>(slot)];
+  return FileInfo{id, e.size_blocks, e.head};
+}
+
+util::Result<BlockAddr> EfsCore::locate(sim::Context& ctx, const DirEntry& entry,
+                                        std::uint32_t block_no, BlockAddr hint) {
+  // Candidate starting points: (address, its block number, known?).
+  std::uint32_t size = entry.size_blocks;
+  std::uint32_t dist_head = block_no;
+  std::uint32_t dist_tail = size - 1 - block_no;  // via head.prev, +1 fetch
+
+  BlockAddr start_addr = entry.head;
+  std::uint32_t start_no = 0;
+
+  if (config_.hints_enabled && hint != kNilAddr) {
+    auto image = cache_.fetch(ctx, hint);
+    if (image.is_ok()) {
+      BlockHeader h = parse_header(image.value());
+      if (h.magic == kMagicDataBlock && h.file_id == entry.file_id &&
+          h.block_no < size) {
+        std::uint32_t dist_hint = h.block_no > block_no ? h.block_no - block_no
+                                                        : block_no - h.block_no;
+        if (dist_hint <= dist_head && dist_hint <= dist_tail + 1) {
+          ++stats_.hint_uses;
+          start_addr = hint;
+          start_no = h.block_no;
+        }
+      } else {
+        ++stats_.hint_rejects;
+      }
+    }
+  }
+
+  if (start_no == 0 && start_addr == entry.head && dist_tail + 1 < dist_head) {
+    // Reach the tail through head.prev (one extra fetch), then walk backward.
+    auto head_image = cache_.fetch(ctx, entry.head);
+    if (!head_image.is_ok()) return head_image.status();
+    start_addr = parse_header(head_image.value()).prev;
+    start_no = size - 1;
+  }
+
+  BlockAddr cur = start_addr;
+  std::uint32_t cur_no = start_no;
+  while (cur_no != block_no) {
+    auto image = cache_.fetch(ctx, cur);
+    if (!image.is_ok()) return image.status();
+    BlockHeader h = parse_header(image.value());
+    if (h.file_id != entry.file_id) {
+      return util::corrupt("chain walk left file " +
+                           std::to_string(entry.file_id));
+    }
+    ++stats_.walk_steps;
+    if (cur_no < block_no) {
+      cur = h.next;
+      ++cur_no;
+    } else {
+      cur = h.prev;
+      --cur_no;
+    }
+  }
+  return cur;
+}
+
+util::Result<ReadResult> EfsCore::read(sim::Context& ctx, FileId id,
+                                       std::uint32_t block_no, BlockAddr hint) {
+  // A dead drive takes the whole LFS out of service, even for cached blocks
+  // — serving stale RAM copies of a failed device would mask the fault the
+  // §6 discussion is about.
+  if (dev_.is_failed()) return util::unavailable("disk failed");
+  ctx.charge(config_.request_cpu);
+  std::int64_t slot = dir_find(id);
+  if (slot < 0) return util::not_found("file " + std::to_string(id));
+  const DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  if (block_no >= entry.size_blocks) {
+    return util::invalid_argument("read past EOF");
+  }
+  auto located = locate(ctx, entry, block_no, hint);
+  if (!located.is_ok()) return located.status();
+  auto image = cache_.fetch(ctx, located.value());
+  if (!image.is_ok()) return image.status();
+  BlockHeader h = parse_header(image.value());
+  if (h.block_no != block_no || h.file_id != id) {
+    return util::corrupt("located wrong block");
+  }
+  ctx.charge(config_.record_cpu);
+  ++stats_.reads;
+  return ReadResult{located.value(), payload_of(image.value())};
+}
+
+util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry,
+                                              std::span<const std::byte> data) {
+  auto alloc = allocate_block(ctx);
+  if (!alloc.is_ok()) return alloc.status();
+  BlockAddr addr = alloc.value();
+
+  BlockHeader header;
+  header.magic = kMagicDataBlock;
+  header.file_id = entry.file_id;
+  header.block_no = entry.size_blocks;
+
+  if (entry.size_blocks == 0) {
+    header.next = addr;
+    header.prev = addr;
+    if (auto st = cache_.write_through(ctx, addr, make_block_image(header, data));
+        !st.is_ok()) {
+      return st;
+    }
+    entry.head = addr;
+  } else {
+    auto head_image = cache_.fetch(ctx, entry.head);
+    if (!head_image.is_ok()) return head_image.status();
+    std::vector<std::byte> head_copy(head_image.value().begin(),
+                                     head_image.value().end());
+    BlockHeader head_header = parse_header(head_copy);
+    BlockAddr tail_addr = head_header.prev;
+
+    header.next = entry.head;
+    header.prev = tail_addr;
+    if (auto st = cache_.write_through(ctx, addr, make_block_image(header, data));
+        !st.is_ok()) {
+      return st;
+    }
+
+    if (tail_addr == entry.head) {
+      // Single-block file: head and tail are the same image.
+      head_header.next = addr;
+      head_header.prev = addr;
+      store_header(head_copy, head_header);
+      if (auto st = cache_.write_back(ctx, entry.head, head_copy); !st.is_ok()) {
+        return st;
+      }
+    } else {
+      auto tail_image = cache_.fetch(ctx, tail_addr);
+      if (!tail_image.is_ok()) return tail_image.status();
+      std::vector<std::byte> tail_copy(tail_image.value().begin(),
+                                       tail_image.value().end());
+      BlockHeader tail_header = parse_header(tail_copy);
+      tail_header.next = addr;
+      store_header(tail_copy, tail_header);
+      if (auto st = cache_.write_back(ctx, tail_addr, tail_copy); !st.is_ok()) {
+        return st;
+      }
+      head_header.prev = addr;
+      store_header(head_copy, head_header);
+      if (auto st = cache_.write_back(ctx, entry.head, head_copy); !st.is_ok()) {
+        return st;
+      }
+    }
+  }
+  entry.size_blocks += 1;
+  ++stats_.appends;
+  return addr;
+}
+
+util::Result<BlockAddr> EfsCore::write(sim::Context& ctx, FileId id,
+                                       std::uint32_t block_no,
+                                       std::span<const std::byte> data,
+                                       BlockAddr hint) {
+  if (dev_.is_failed()) return util::unavailable("disk failed");
+  ctx.charge(config_.request_cpu);
+  if (data.size() != kEfsDataBytes) {
+    return util::invalid_argument("write payload must be kEfsDataBytes");
+  }
+  std::int64_t slot = dir_find(id);
+  if (slot < 0) return util::not_found("file " + std::to_string(id));
+  DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+
+  ctx.charge(config_.record_cpu);
+  if (block_no == entry.size_blocks) {
+    auto result = append_block(ctx, entry, data);
+    if (!result.is_ok()) return result;
+    ++stats_.writes;
+    if (auto st = dir_persist(ctx, static_cast<std::uint32_t>(slot),
+                              /*force=*/false);
+        !st.is_ok()) {
+      return st;
+    }
+    return result;
+  }
+  if (block_no > entry.size_blocks) {
+    return util::invalid_argument("write would leave a gap");
+  }
+  // Overwrite in place, preserving the chain header.
+  auto located = locate(ctx, entry, block_no, hint);
+  if (!located.is_ok()) return located.status();
+  auto image = cache_.fetch(ctx, located.value());
+  if (!image.is_ok()) return image.status();
+  BlockHeader header = parse_header(image.value());
+  if (auto st = cache_.write_through(ctx, located.value(),
+                                     make_block_image(header, data));
+      !st.is_ok()) {
+    return st;
+  }
+  ++stats_.writes;
+  return located.value();
+}
+
+util::Status EfsCore::sync(sim::Context& ctx) {
+  if (auto st = cache_.flush_all(ctx); !st.is_ok()) return st;
+  ctx.charge(sim::msec(15.0));  // directory + superblock flush
+  for (std::uint32_t b = 0; b < sb_.dir_blocks; ++b) poke_dir_block(b);
+  poke_superblock();
+  return util::ok_status();
+}
+
+std::span<const std::byte> EfsCore::cache_view(BlockAddr addr) const {
+  if (const auto* cached = cache_.peek(addr); cached != nullptr) {
+    return std::span<const std::byte>(*cached);
+  }
+  auto raw = dev_.peek(addr);
+  if (!raw) return {};
+  return *raw;
+}
+
+std::size_t EfsCore::file_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : dir_) {
+    if (!e.empty()) ++n;
+  }
+  return n;
+}
+
+util::Status EfsCore::verify_integrity() const {
+  // NOTE: untimed — inspects the device + dirty cache state via peek.
+  std::unordered_set<BlockAddr> seen;
+  for (const auto& entry : dir_) {
+    if (entry.empty()) continue;
+    if (entry.size_blocks == 0) {
+      if (entry.head != kNilAddr) {
+        return util::corrupt("empty file with non-nil head");
+      }
+      continue;
+    }
+    BlockAddr cur = entry.head;
+    BlockAddr prev_expected = kNilAddr;
+    for (std::uint32_t i = 0; i < entry.size_blocks; ++i) {
+      if (seen.count(cur) != 0) {
+        return util::corrupt("block shared between files or revisited");
+      }
+      seen.insert(cur);
+      auto raw = cache_view(cur);
+      if (raw.empty()) return util::corrupt("unreadable block in chain");
+      BlockHeader h = parse_header(raw);
+      if (h.magic != kMagicDataBlock) return util::corrupt("non-data block in chain");
+      if (h.file_id != entry.file_id) return util::corrupt("wrong file id in chain");
+      if (h.block_no != i) return util::corrupt("wrong block number in chain");
+      if (i > 0 && h.prev != prev_expected) {
+        return util::corrupt("prev pointer mismatch");
+      }
+      prev_expected = cur;
+      cur = h.next;
+    }
+    if (cur != entry.head) return util::corrupt("chain not circular");
+    // Closing link: head.prev must be the tail.
+    auto head_raw = cache_view(entry.head);
+    BlockHeader head_h = parse_header(head_raw);
+    if (entry.size_blocks > 1 && head_h.prev != prev_expected) {
+      return util::corrupt("head.prev is not the tail");
+    }
+  }
+  std::size_t data_blocks = sb_.capacity_blocks - sb_.data_start;
+  if (seen.size() + free_list_.size() != data_blocks) {
+    return util::corrupt("allocated + free != capacity (leak or double use)");
+  }
+  for (BlockAddr a : free_list_) {
+    if (seen.count(a) != 0) return util::corrupt("free block also in a chain");
+  }
+  return util::ok_status();
+}
+
+}  // namespace bridge::efs

@@ -1,0 +1,158 @@
+// The Elementary File System: a stateless flat-namespace local file system.
+//
+// Reimplementation of the Cronus EFS as described in §4.3:
+//  - file names are numbers hashed into a directory,
+//  - files are doubly linked circular lists of blocks,
+//  - every request can carry a disk-address hint; to find a block EFS
+//    searches the linked list from the closest of the head, the tail and the
+//    hint (provided the hint points into the correct file),
+//  - a block cache with full-track buffering accelerates sequential access.
+//
+// One EfsCore instance manages one SimDisk and is driven by one server
+// process (EfsServer).  All timed methods charge virtual time through the
+// Context; untimed inspection methods (verify_integrity, counters) exist for
+// tests and never touch the clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/disk/disk.hpp"
+#include "src/efs/cache.hpp"
+#include "src/efs/layout.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::efs {
+
+struct EfsConfig {
+  CacheConfig cache;
+  /// Honor request hints (§4.3).  Disabled only by the hint ablation bench.
+  bool hints_enabled = true;
+  /// CPU per request (decode, dispatch, directory probe).
+  sim::SimTime request_cpu = sim::usec(300);
+  /// CPU per block of payload handled (copying in/out of the cache).
+  sim::SimTime record_cpu = sim::usec(100);
+  /// Directory mutations between charged directory write-backs.  The
+  /// directory block is kept current on disk; the amortization models
+  /// write-behind of the hot directory block.
+  std::uint32_t dir_flush_interval = 16;
+};
+
+struct FileInfo {
+  FileId id = kInvalidFileId;
+  std::uint32_t size_blocks = 0;
+  BlockAddr head = kNilAddr;
+};
+
+struct ReadResult {
+  BlockAddr addr = kNilAddr;         ///< where the block lives (next hint)
+  std::vector<std::byte> data;       ///< kEfsDataBytes payload
+};
+
+struct EfsOpStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t creates = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t walk_steps = 0;        ///< chain links traversed by locate()
+  std::uint64_t hint_uses = 0;         ///< locates that started from a hint
+  std::uint64_t hint_rejects = 0;      ///< hints that pointed at a wrong block
+};
+
+class EfsCore {
+ public:
+  EfsCore(disk::SimDisk& dev, EfsConfig config);
+
+  /// Initialize an empty file system on the device (untimed; models mkfs
+  /// before the measurement interval).
+  void format();
+
+  /// Rebuild the in-memory directory and free list from the on-disk image
+  /// (untimed; used by persistence tests).  Fails if no valid superblock.
+  util::Status remount_from_disk();
+
+  util::Status create(sim::Context& ctx, FileId id);
+  util::Status remove(sim::Context& ctx, FileId id);
+  util::Result<FileInfo> info(sim::Context& ctx, FileId id);
+
+  /// Read local block `block_no` of file `id`.  `hint` is the disk address
+  /// of a nearby block of the same file (kNilAddr for none).
+  util::Result<ReadResult> read(sim::Context& ctx, FileId id,
+                                std::uint32_t block_no, BlockAddr hint);
+
+  /// Write local block `block_no` (exactly kEfsDataBytes bytes).  Writing at
+  /// block_no == size appends; beyond it is an error.  Returns the block's
+  /// disk address (the natural hint for the next call).
+  util::Result<BlockAddr> write(sim::Context& ctx, FileId id,
+                                std::uint32_t block_no,
+                                std::span<const std::byte> data, BlockAddr hint);
+
+  /// Flush dirty cache blocks and the directory (timed).
+  util::Status sync(sim::Context& ctx);
+
+  // --- Untimed inspection (tests, benches, integrity checking). ---
+
+  /// Walk every structure and verify the §6 invariants: circular doubly
+  /// linked chains, block numbering 0..size-1, disjoint files, and
+  /// allocated + free == capacity.  Returns the first violation found.
+  [[nodiscard]] util::Status verify_integrity() const;
+
+  [[nodiscard]] std::size_t free_block_count() const noexcept {
+    return free_list_.size();
+  }
+  [[nodiscard]] std::size_t file_count() const noexcept;
+  [[nodiscard]] const EfsOpStats& op_stats() const noexcept { return stats_; }
+  [[nodiscard]] const CacheStats& cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] const EfsConfig& config() const noexcept { return config_; }
+  [[nodiscard]] disk::SimDisk& device() noexcept { return dev_; }
+
+ private:
+  struct Located {
+    BlockAddr addr = kNilAddr;
+  };
+
+  [[nodiscard]] std::uint32_t dir_capacity() const noexcept {
+    return sb_.dir_blocks * kDirEntriesPerBlock;
+  }
+  /// Find the directory slot for `id`; returns index or -1.
+  [[nodiscard]] std::int64_t dir_find(FileId id) const;
+  /// Find a slot to insert `id` into; returns index or -1 (directory full).
+  [[nodiscard]] std::int64_t dir_find_free(FileId id) const;
+  /// Persist the directory block containing slot `slot`.  Charges a disk
+  /// write every dir_flush_interval mutations (or always if `force`).
+  util::Status dir_persist(sim::Context& ctx, std::uint32_t slot, bool force);
+  void poke_dir_block(std::uint32_t dir_block_index);
+  void poke_superblock();
+
+  util::Result<BlockAddr> allocate_block(sim::Context& ctx);
+  util::Status free_block(sim::Context& ctx, BlockAddr addr);
+
+  /// Chain search per §4.3: start from the closest of head, tail, and hint.
+  util::Result<BlockAddr> locate(sim::Context& ctx, const DirEntry& entry,
+                                 std::uint32_t block_no, BlockAddr hint);
+
+  util::Result<BlockAddr> append_block(sim::Context& ctx, DirEntry& entry,
+                                       std::span<const std::byte> data);
+
+  /// Untimed block view preferring unflushed cache contents over the device.
+  [[nodiscard]] std::span<const std::byte> cache_view(BlockAddr addr) const;
+
+  disk::SimDisk& dev_;
+  EfsConfig config_;
+  BlockCache cache_;
+  Superblock sb_;
+  std::vector<DirEntry> dir_;
+  std::deque<BlockAddr> free_list_;  ///< ascending after format: locality
+  std::uint32_t dir_mutations_ = 0;
+  EfsOpStats stats_;
+  bool formatted_ = false;
+};
+
+}  // namespace bridge::efs

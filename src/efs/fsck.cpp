@@ -1,0 +1,188 @@
+#include "src/efs/fsck.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/efs/layout.hpp"
+#include "src/util/serde.hpp"
+
+namespace bridge::efs {
+
+namespace {
+
+/// In-memory image of the whole device, streamed in track order.
+struct DiskImage {
+  Superblock sb;
+  std::vector<DirEntry> dir;
+  std::vector<BlockHeader> headers;  ///< indexed by BlockAddr
+};
+
+util::Result<DiskImage> stream_disk(sim::Context& ctx, disk::SimDisk& dev,
+                                    FsckReport& report) {
+  DiskImage image;
+  std::uint32_t capacity = dev.geometry().capacity_blocks();
+  image.headers.resize(capacity);
+
+  std::vector<std::vector<std::byte>> raw(capacity);
+  for (BlockAddr addr = 0; addr < capacity;
+       addr += dev.geometry().blocks_per_track) {
+    BlockAddr track_start = 0;
+    auto track = dev.read_track(ctx, addr, &track_start);
+    if (!track.is_ok()) return track.status();
+    for (std::size_t i = 0; i < track.value().size(); ++i) {
+      raw[track_start + i] = std::move(track.value()[i]);
+      ++report.blocks_scanned;
+    }
+  }
+
+  {
+    util::Reader r(std::span<const std::byte>(raw[0]).subspan(0, 64));
+    image.sb = Superblock::decode(r);
+  }
+  if (image.sb.magic != kMagicSuperblock ||
+      image.sb.capacity_blocks != capacity ||
+      image.sb.dir_start + image.sb.dir_blocks > capacity) {
+    return util::corrupt("superblock unusable; reformat required");
+  }
+  for (std::uint32_t b = 0; b < image.sb.dir_blocks; ++b) {
+    util::Reader r(raw[image.sb.dir_start + b]);
+    for (std::uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
+      image.dir.push_back(DirEntry::decode(r));
+    }
+  }
+  for (BlockAddr a = image.sb.data_start; a < capacity; ++a) {
+    image.headers[a] = parse_header(raw[a]);
+  }
+  return image;
+}
+
+/// Rewrite just the 24-byte header of a block (read-modify-write the image).
+util::Status rewrite_header(sim::Context& ctx, disk::SimDisk& dev,
+                            BlockAddr addr, const BlockHeader& header) {
+  auto current = dev.peek(addr);
+  if (!current) return util::invalid_argument("bad block address");
+  std::vector<std::byte> image(current->begin(), current->end());
+  store_header(image, header);
+  return dev.write(ctx, addr, image);
+}
+
+}  // namespace
+
+util::Result<FsckReport> fsck(sim::Context& ctx, disk::SimDisk& dev) {
+  FsckReport report;
+  auto streamed = stream_disk(ctx, dev, report);
+  if (!streamed.is_ok()) return streamed.status();
+  DiskImage image = std::move(streamed).value();
+  std::uint32_t capacity = dev.geometry().capacity_blocks();
+
+  auto valid_data_addr = [&](BlockAddr a) {
+    return a >= image.sb.data_start && a < capacity;
+  };
+
+  std::unordered_set<BlockAddr> reachable;
+  bool dir_dirty = false;
+
+  for (auto& entry : image.dir) {
+    if (entry.empty()) continue;
+    ++report.files_checked;
+    if (entry.size_blocks == 0) {
+      if (entry.head != kNilAddr) {
+        entry.head = kNilAddr;
+        dir_dirty = true;
+        report.clean = false;
+      }
+      continue;
+    }
+    // Walk the chain, validating each link against the self-describing
+    // headers; stop at the first inconsistency.
+    std::vector<BlockAddr> chain;
+    BlockAddr cur = entry.head;
+    for (std::uint32_t i = 0; i < entry.size_blocks; ++i) {
+      if (!valid_data_addr(cur) || reachable.count(cur) != 0) break;
+      const BlockHeader& h = image.headers[cur];
+      if (h.magic != kMagicDataBlock || h.file_id != entry.file_id ||
+          h.block_no != i) {
+        break;
+      }
+      chain.push_back(cur);
+      cur = h.next;
+    }
+    bool chain_ok = chain.size() == entry.size_blocks && cur == entry.head;
+
+    if (chain_ok) {
+      for (BlockAddr a : chain) reachable.insert(a);
+      continue;
+    }
+    report.clean = false;
+    if (chain.empty()) {
+      // Nothing salvageable: drop the entry (tombstone keeps probing valid).
+      entry = DirEntry{kInvalidFileId, kNilAddr, 0, DirEntry::kTombstone};
+      ++report.entries_dropped;
+      dir_dirty = true;
+      continue;
+    }
+    // Truncate to the valid prefix and re-close the circular list.
+    ++report.chains_truncated;
+    entry.size_blocks = static_cast<std::uint32_t>(chain.size());
+    dir_dirty = true;
+    BlockAddr head = chain.front();
+    BlockAddr tail = chain.back();
+    BlockHeader tail_header = image.headers[tail];
+    tail_header.next = head;
+    if (auto st = rewrite_header(ctx, dev, tail, tail_header); !st.is_ok()) {
+      return st;
+    }
+    image.headers[tail] = tail_header;
+    BlockHeader head_header = image.headers[head];
+    head_header.prev = tail;
+    if (auto st = rewrite_header(ctx, dev, head, head_header); !st.is_ok()) {
+      return st;
+    }
+    image.headers[head] = head_header;
+    for (BlockAddr a : chain) reachable.insert(a);
+  }
+
+  // Reclaim every unreachable data block (orphans from crashes, garbage
+  // headers, blocks of dropped files).
+  std::uint32_t free_count = 0;
+  for (BlockAddr a = image.sb.data_start; a < capacity; ++a) {
+    if (reachable.count(a) != 0) continue;
+    if (image.headers[a].magic == kMagicFreeBlock) {
+      ++free_count;
+      continue;
+    }
+    report.clean = false;
+    ++report.orphans_freed;
+    BlockHeader free_header;
+    free_header.magic = kMagicFreeBlock;
+    if (auto st = rewrite_header(ctx, dev, a, free_header); !st.is_ok()) {
+      return st;
+    }
+    ++free_count;
+  }
+
+  // Persist the repaired directory and superblock.
+  if (dir_dirty || !report.clean) {
+    for (std::uint32_t b = 0; b < image.sb.dir_blocks; ++b) {
+      util::Writer w(kBlockSize);
+      for (std::uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
+        image.dir[b * kDirEntriesPerBlock + i].encode(w);
+      }
+      std::vector<std::byte> block_image(kBlockSize);
+      std::copy(w.buffer().begin(), w.buffer().end(), block_image.begin());
+      if (auto st = dev.write(ctx, image.sb.dir_start + b, block_image);
+          !st.is_ok()) {
+        return st;
+      }
+    }
+    image.sb.free_count = free_count;
+    util::Writer w(kBlockSize);
+    image.sb.encode(w);
+    std::vector<std::byte> sb_image(kBlockSize);
+    std::copy(w.buffer().begin(), w.buffer().end(), sb_image.begin());
+    if (auto st = dev.write(ctx, 0, sb_image); !st.is_ok()) return st;
+  }
+  return report;
+}
+
+}  // namespace bridge::efs

@@ -1,0 +1,36 @@
+// Offline file-system check and repair for EFS.
+//
+// The Cronus EFS that Bridge builds on "included a substantial amount of
+// code to increase resiliency to failures" (§4.5) — its doubly linked,
+// self-describing block headers exist precisely so a checker can rebuild
+// consistent state.  This module is that checker: it streams the disk once
+// (track-at-a-time), validates every directory entry's chain against the
+// block headers, truncates chains at the first inconsistency (repairing the
+// circular links), frees orphaned data blocks, and rewrites the directory
+// and free state.  After fsck, EfsCore::remount_from_disk is guaranteed to
+// succeed and verify_integrity to pass.
+#pragma once
+
+#include <cstdint>
+
+#include "src/disk/disk.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::efs {
+
+struct FsckReport {
+  bool clean = true;                   ///< no repairs were needed
+  std::uint32_t files_checked = 0;
+  std::uint32_t chains_truncated = 0;  ///< files cut at a broken link
+  std::uint32_t entries_dropped = 0;   ///< directory entries beyond repair
+  std::uint32_t orphans_freed = 0;     ///< unreachable data blocks reclaimed
+  std::uint32_t blocks_scanned = 0;
+};
+
+/// Check and repair the file system on `dev`.  Timed: charges one streaming
+/// pass over the disk plus one write per repaired block.  Returns an error
+/// only if the superblock itself is unusable.
+util::Result<FsckReport> fsck(sim::Context& ctx, disk::SimDisk& dev);
+
+}  // namespace bridge::efs

@@ -1,0 +1,17 @@
+#include "src/efs/layout.hpp"
+
+namespace bridge::efs {
+
+BlockHeader parse_header(std::span<const std::byte> block) {
+  util::Reader r(block.subspan(0, kEfsHeaderBytes));
+  return BlockHeader::decode(r);
+}
+
+void store_header(std::span<std::byte> block, const BlockHeader& header) {
+  util::Writer w(kEfsHeaderBytes);
+  header.encode(w);
+  const auto& bytes = w.buffer();
+  for (std::size_t i = 0; i < bytes.size(); ++i) block[i] = bytes[i];
+}
+
+}  // namespace bridge::efs

@@ -1,0 +1,136 @@
+// On-disk layout of the Elementary File System (EFS).
+//
+// Following §4.3 of the paper: files are doubly linked circular lists of
+// 1024-byte blocks.  Each block carries a 24-byte EFS header (file number,
+// local block number, next/prev pointers); Bridge takes a further 40 bytes
+// from the data area for its own header, leaving 960 bytes of user data per
+// block.  File names are numbers hashed into a flat directory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/disk/disk.hpp"
+#include "src/util/serde.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::efs {
+
+using disk::BlockAddr;
+using disk::kNilAddr;
+using FileId = std::uint32_t;
+
+/// File id 0 is reserved as the empty directory-slot marker.
+inline constexpr FileId kInvalidFileId = 0;
+
+inline constexpr std::uint32_t kBlockSize = 1024;
+inline constexpr std::uint32_t kEfsHeaderBytes = 24;
+/// Payload bytes an EFS client reads/writes per block (Bridge puts its own
+/// 40-byte header at the front of this region).
+inline constexpr std::uint32_t kEfsDataBytes = kBlockSize - kEfsHeaderBytes;  // 1000
+inline constexpr std::uint32_t kBridgeHeaderBytes = 40;
+/// User data bytes per block once both headers are accounted for.
+inline constexpr std::uint32_t kUserDataBytes =
+    kEfsDataBytes - kBridgeHeaderBytes;  // 960
+
+inline constexpr std::uint32_t kMagicDataBlock = 0xEF51;
+inline constexpr std::uint32_t kMagicFreeBlock = 0xEF5F;
+inline constexpr std::uint32_t kMagicSuperblock = 0xEF50;
+
+/// The 24-byte header at the front of every data block.
+struct BlockHeader {
+  std::uint32_t magic = kMagicDataBlock;
+  FileId file_id = kInvalidFileId;
+  std::uint32_t block_no = 0;  ///< local (per-LFS) block number within file
+  BlockAddr next = kNilAddr;   ///< p blocks away in the Bridge file (§4.3)
+  BlockAddr prev = kNilAddr;
+  std::uint32_t reserved = 0;
+
+  void encode(util::Writer& w) const {
+    w.u32(magic);
+    w.u32(file_id);
+    w.u32(block_no);
+    w.u32(next);
+    w.u32(prev);
+    w.u32(reserved);
+  }
+  static BlockHeader decode(util::Reader& r) {
+    BlockHeader h;
+    h.magic = r.u32();
+    h.file_id = r.u32();
+    h.block_no = r.u32();
+    h.next = r.u32();
+    h.prev = r.u32();
+    h.reserved = r.u32();
+    return h;
+  }
+};
+
+/// Parse the header at the front of a raw 1024-byte block image.
+BlockHeader parse_header(std::span<const std::byte> block);
+/// Overwrite the header at the front of a raw block image.
+void store_header(std::span<std::byte> block, const BlockHeader& header);
+
+/// Superblock (disk block 0).
+struct Superblock {
+  std::uint32_t magic = kMagicSuperblock;
+  std::uint32_t dir_start = 1;        ///< first directory block
+  std::uint32_t dir_blocks = 8;       ///< directory region length
+  std::uint32_t data_start = 9;       ///< first allocatable block
+  std::uint32_t capacity_blocks = 0;  ///< total blocks on the device
+  std::uint32_t free_count = 0;
+
+  void encode(util::Writer& w) const {
+    w.u32(magic);
+    w.u32(dir_start);
+    w.u32(dir_blocks);
+    w.u32(data_start);
+    w.u32(capacity_blocks);
+    w.u32(free_count);
+  }
+  static Superblock decode(util::Reader& r) {
+    Superblock sb;
+    sb.magic = r.u32();
+    sb.dir_start = r.u32();
+    sb.dir_blocks = r.u32();
+    sb.data_start = r.u32();
+    sb.capacity_blocks = r.u32();
+    sb.free_count = r.u32();
+    return sb;
+  }
+};
+
+/// One 16-byte directory slot; 64 slots per directory block.
+struct DirEntry {
+  FileId file_id = kInvalidFileId;  ///< 0 = empty slot
+  BlockAddr head = kNilAddr;        ///< first block of the circular chain
+  std::uint32_t size_blocks = 0;
+  std::uint32_t flags = 0;  ///< bit0: tombstone (keeps probe chains intact)
+
+  static constexpr std::uint32_t kTombstone = 1u;
+
+  [[nodiscard]] bool empty() const noexcept { return file_id == kInvalidFileId; }
+  [[nodiscard]] bool tombstone() const noexcept {
+    return (flags & kTombstone) != 0;
+  }
+
+  void encode(util::Writer& w) const {
+    w.u32(file_id);
+    w.u32(head);
+    w.u32(size_blocks);
+    w.u32(flags);
+  }
+  static DirEntry decode(util::Reader& r) {
+    DirEntry e;
+    e.file_id = r.u32();
+    e.head = r.u32();
+    e.size_blocks = r.u32();
+    e.flags = r.u32();
+    return e;
+  }
+};
+
+inline constexpr std::uint32_t kDirEntryBytes = 16;
+inline constexpr std::uint32_t kDirEntriesPerBlock = kBlockSize / kDirEntryBytes;
+
+}  // namespace bridge::efs

@@ -1,0 +1,118 @@
+// EFS wire protocol: request/response structs and their serialization.
+//
+// Every request is stateless and self-describing; reads and writes carry a
+// disk-address hint (§4.3).  Responses return the block's disk address so the
+// caller can pass it back as the hint for the next sequential access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/efs/layout.hpp"
+#include "src/util/serde.hpp"
+
+namespace bridge::efs {
+
+enum class MsgType : std::uint32_t {
+  kCreate = 0x100,
+  kDelete = 0x101,
+  kInfo = 0x102,
+  kRead = 0x103,
+  kWrite = 0x104,
+  kSync = 0x105,
+};
+
+struct CreateRequest {
+  FileId file_id = kInvalidFileId;
+  void encode(util::Writer& w) const { w.u32(file_id); }
+  static CreateRequest decode(util::Reader& r) { return {r.u32()}; }
+};
+
+struct DeleteRequest {
+  FileId file_id = kInvalidFileId;
+  void encode(util::Writer& w) const { w.u32(file_id); }
+  static DeleteRequest decode(util::Reader& r) { return {r.u32()}; }
+};
+
+struct InfoRequest {
+  FileId file_id = kInvalidFileId;
+  void encode(util::Writer& w) const { w.u32(file_id); }
+  static InfoRequest decode(util::Reader& r) { return {r.u32()}; }
+};
+
+struct InfoResponse {
+  std::uint32_t size_blocks = 0;
+  BlockAddr head = kNilAddr;
+  void encode(util::Writer& w) const {
+    w.u32(size_blocks);
+    w.u32(head);
+  }
+  static InfoResponse decode(util::Reader& r) {
+    InfoResponse resp;
+    resp.size_blocks = r.u32();
+    resp.head = r.u32();
+    return resp;
+  }
+};
+
+struct ReadRequest {
+  FileId file_id = kInvalidFileId;
+  std::uint32_t block_no = 0;
+  BlockAddr hint = kNilAddr;
+  void encode(util::Writer& w) const {
+    w.u32(file_id);
+    w.u32(block_no);
+    w.u32(hint);
+  }
+  static ReadRequest decode(util::Reader& r) {
+    ReadRequest req;
+    req.file_id = r.u32();
+    req.block_no = r.u32();
+    req.hint = r.u32();
+    return req;
+  }
+};
+
+struct ReadResponse {
+  BlockAddr addr = kNilAddr;
+  std::vector<std::byte> data;  ///< kEfsDataBytes payload
+  void encode(util::Writer& w) const {
+    w.u32(addr);
+    w.bytes(data);
+  }
+  static ReadResponse decode(util::Reader& r) {
+    ReadResponse resp;
+    resp.addr = r.u32();
+    resp.data = r.bytes();
+    return resp;
+  }
+};
+
+struct WriteRequest {
+  FileId file_id = kInvalidFileId;
+  std::uint32_t block_no = 0;
+  BlockAddr hint = kNilAddr;
+  std::vector<std::byte> data;  ///< kEfsDataBytes payload
+  void encode(util::Writer& w) const {
+    w.u32(file_id);
+    w.u32(block_no);
+    w.u32(hint);
+    w.bytes(data);
+  }
+  static WriteRequest decode(util::Reader& r) {
+    WriteRequest req;
+    req.file_id = r.u32();
+    req.block_no = r.u32();
+    req.hint = r.u32();
+    req.data = r.bytes();
+    return req;
+  }
+};
+
+struct WriteResponse {
+  BlockAddr addr = kNilAddr;
+  void encode(util::Writer& w) const { w.u32(addr); }
+  static WriteResponse decode(util::Reader& r) { return {r.u32()}; }
+};
+
+}  // namespace bridge::efs

@@ -1,0 +1,105 @@
+#include "src/efs/server.hpp"
+
+#include <string>
+
+#include "src/util/logging.hpp"
+
+namespace bridge::efs {
+
+EfsServer::EfsServer(sim::Runtime& rt, sim::NodeId node, disk::Geometry geometry,
+                     disk::LatencyModel latency, EfsConfig config)
+    : rt_(rt), node_(node) {
+  disk_ = std::make_unique<disk::SimDisk>(geometry, latency);
+  core_ = std::make_unique<EfsCore>(*disk_, config);
+  core_->format();
+  mailbox_ = std::make_unique<sim::Mailbox>(rt.scheduler(), node);
+}
+
+void EfsServer::start() {
+  if (started_) return;
+  started_ = true;
+  rt_.spawn(node_, "efs@" + std::to_string(node_), [this](sim::Context& ctx) {
+    ctx.set_daemon();
+    serve(ctx);
+  });
+}
+
+void EfsServer::serve(sim::Context& ctx) {
+  while (true) {
+    sim::Envelope env = mailbox_->recv();
+    handle(ctx, env);
+  }
+}
+
+void EfsServer::handle(sim::Context& ctx, const sim::Envelope& env) {
+  using util::Reader;
+  using util::Writer;
+  try {
+    switch (static_cast<MsgType>(env.type)) {
+      case MsgType::kCreate: {
+        Reader r(env.payload);
+        auto req = CreateRequest::decode(r);
+        sim::send_reply(ctx, env, core_->create(ctx, req.file_id));
+        return;
+      }
+      case MsgType::kDelete: {
+        Reader r(env.payload);
+        auto req = DeleteRequest::decode(r);
+        sim::send_reply(ctx, env, core_->remove(ctx, req.file_id));
+        return;
+      }
+      case MsgType::kInfo: {
+        Reader r(env.payload);
+        auto req = InfoRequest::decode(r);
+        auto result = core_->info(ctx, req.file_id);
+        if (!result.is_ok()) {
+          sim::send_reply(ctx, env, result.status());
+          return;
+        }
+        InfoResponse resp{result.value().size_blocks, result.value().head};
+        sim::send_reply(ctx, env, util::ok_status(),
+                        util::encode_to_bytes(resp));
+        return;
+      }
+      case MsgType::kRead: {
+        Reader r(env.payload);
+        auto req = ReadRequest::decode(r);
+        auto result = core_->read(ctx, req.file_id, req.block_no, req.hint);
+        if (!result.is_ok()) {
+          sim::send_reply(ctx, env, result.status());
+          return;
+        }
+        ReadResponse resp{result.value().addr, std::move(result.value().data)};
+        sim::send_reply(ctx, env, util::ok_status(),
+                        util::encode_to_bytes(resp));
+        return;
+      }
+      case MsgType::kWrite: {
+        Reader r(env.payload);
+        auto req = WriteRequest::decode(r);
+        auto result =
+            core_->write(ctx, req.file_id, req.block_no, req.data, req.hint);
+        if (!result.is_ok()) {
+          sim::send_reply(ctx, env, result.status());
+          return;
+        }
+        WriteResponse resp{result.value()};
+        sim::send_reply(ctx, env, util::ok_status(),
+                        util::encode_to_bytes(resp));
+        return;
+      }
+      case MsgType::kSync: {
+        sim::send_reply(ctx, env, core_->sync(ctx));
+        return;
+      }
+    }
+    sim::send_reply(ctx, env,
+                    util::invalid_argument("unknown EFS message type " +
+                                           std::to_string(env.type)));
+  } catch (const util::StatusError& e) {
+    // Malformed payload (serde failure): report instead of dying.
+    sim::send_reply(ctx, env, e.status());
+  }
+}
+
+}  // namespace bridge::efs

@@ -1,0 +1,47 @@
+// EFS server process: one per LFS node, owning that node's disk.
+//
+// "The instances of EFS are self-sufficient, and operate in ignorance of one
+// another" (§4.3).  Each server is a daemon process that drains its mailbox,
+// executes requests against its EfsCore, and replies.  Requests from
+// processes on the same node pay only the cheap local message latency —
+// exactly the locality Bridge tools exploit.
+#pragma once
+
+#include <memory>
+
+#include "src/disk/disk.hpp"
+#include "src/efs/efs.hpp"
+#include "src/efs/protocol.hpp"
+#include "src/sim/rpc.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace bridge::efs {
+
+class EfsServer {
+ public:
+  /// Creates the disk + file system for `node` (formatted, empty).
+  EfsServer(sim::Runtime& rt, sim::NodeId node, disk::Geometry geometry,
+            disk::LatencyModel latency, EfsConfig config);
+
+  /// Spawn the daemon service loop.  Call once, before Runtime::run.
+  void start();
+
+  [[nodiscard]] sim::Address address() noexcept { return mailbox_->address(); }
+  [[nodiscard]] sim::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] EfsCore& core() noexcept { return *core_; }
+  [[nodiscard]] const EfsCore& core() const noexcept { return *core_; }
+  [[nodiscard]] disk::SimDisk& disk() noexcept { return *disk_; }
+
+ private:
+  void serve(sim::Context& ctx);
+  void handle(sim::Context& ctx, const sim::Envelope& env);
+
+  sim::Runtime& rt_;
+  sim::NodeId node_;
+  std::unique_ptr<disk::SimDisk> disk_;
+  std::unique_ptr<EfsCore> core_;
+  std::unique_ptr<sim::Mailbox> mailbox_;
+  bool started_ = false;
+};
+
+}  // namespace bridge::efs

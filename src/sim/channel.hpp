@@ -1,0 +1,152 @@
+// Typed, latency-aware message channel.
+//
+// A Channel<T> is an unbounded FIFO of timestamped items.  send() enqueues an
+// item that becomes visible at `now + latency`; recv() blocks the calling
+// simulated process until an item has arrived.  Channels are the only
+// inter-process communication primitive in the simulation; the byte-level
+// Mailbox used for RPC is a Channel<Envelope>.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/scheduler.hpp"
+#include "src/sim/time.hpp"
+
+namespace bridge::sim {
+
+template <typename T>
+class Channel {
+ public:
+  /// `node` is the location of the receiving end; the Runtime uses it to
+  /// compute message latency.
+  Channel(Scheduler& sched, NodeId node) : sched_(sched), node_(node) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+  /// Enqueue `value`, visible to receivers at now + latency.  Callable from
+  /// any simulated process (or the controller before run()).
+  ///
+  /// Deliveries are FIFO per sender: a message never overtakes an earlier
+  /// message from the same process, even if its modeled latency is smaller
+  /// (smaller payloads would otherwise leapfrog large ones, which real
+  /// per-source FIFO links do not do).
+  void send(T value, SimTime latency = SimTime(0)) {
+    auto lock = sched_.lock();
+    SimTime at = sched_.now() + latency;
+    Process* sender = sched_.current();
+    ProcessId sender_id = sender == nullptr ? 0 : sender->id();
+    auto [it, inserted] = last_delivery_.try_emplace(sender_id, at);
+    if (!inserted) {
+      at = std::max(at, it->second);
+      it->second = at;
+    }
+    items_.push(Item{at, next_seq_++, std::move(value)});
+    // Wake every parked receiver at the delivery time; stale-epoch filtering
+    // makes redundant wakes harmless.
+    for (Process* waiter : waiters_) {
+      sched_.schedule_wake_locked(*waiter, at);
+    }
+  }
+
+  /// Block until an item is available, then return it.
+  T recv() {
+    auto lock = sched_.lock();
+    Process* self = sched_.current();
+    while (true) {
+      if (!items_.empty() && items_.top().at <= sched_.now()) {
+        T value = std::move(const_cast<Item&>(items_.top()).value);
+        items_.pop();
+        return value;
+      }
+      waiters_.push_back(self);
+      if (!items_.empty()) {
+        // An item is in flight; make sure somebody wakes us when it lands.
+        sched_.schedule_wake_locked(*self, items_.top().at);
+      }
+      sched_.park_current(lock);
+      remove_waiter(self);
+    }
+  }
+
+  /// Receive with a deadline: blocks until an item is available or `timeout`
+  /// of virtual time has elapsed, whichever is first.  Returns nullopt on
+  /// timeout.  Used by workers that must not park forever when a controller
+  /// abandons them.
+  std::optional<T> recv_for(SimTime timeout) {
+    auto lock = sched_.lock();
+    Process* self = sched_.current();
+    SimTime deadline = sched_.now() + timeout;
+    while (true) {
+      if (!items_.empty() && items_.top().at <= sched_.now()) {
+        T value = std::move(const_cast<Item&>(items_.top()).value);
+        items_.pop();
+        return value;
+      }
+      if (sched_.now() >= deadline) return std::nullopt;
+      waiters_.push_back(self);
+      // Wake at the earlier of the next delivery and the deadline.
+      SimTime wake_at = deadline;
+      if (!items_.empty() && items_.top().at < wake_at) {
+        wake_at = items_.top().at;
+      }
+      sched_.schedule_wake_locked(*self, wake_at);
+      sched_.park_current(lock);
+      remove_waiter(self);
+    }
+  }
+
+  /// Non-blocking receive of an already-delivered item.
+  std::optional<T> try_recv() {
+    auto lock = sched_.lock();
+    if (!items_.empty() && items_.top().at <= sched_.now()) {
+      T value = std::move(const_cast<Item&>(items_.top()).value);
+      items_.pop();
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  /// Number of items enqueued (delivered or still in flight).
+  [[nodiscard]] std::size_t pending() {
+    auto lock = sched_.lock();
+    return items_.size();
+  }
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;
+    T value;
+  };
+  struct ItemLater {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void remove_waiter(Process* self) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == self) {
+        waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Scheduler& sched_;
+  NodeId node_;
+  std::priority_queue<Item, std::vector<Item>, ItemLater> items_;
+  std::vector<Process*> waiters_;
+  std::unordered_map<ProcessId, SimTime> last_delivery_;  ///< per-sender FIFO
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bridge::sim

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation (splitmix64 core).
+//
+// Simulation components never touch std::random_device or global state; every
+// stochastic choice flows from an explicit seed so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace bridge::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = -bound % bound;
+    while (true) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng split() { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bridge::sim

@@ -1,0 +1,180 @@
+// Request/reply messaging over mailboxes.
+//
+// Every Bridge and EFS service is a simulated process that owns a Mailbox (a
+// Channel of byte Envelopes) and serves typed requests.  The wire format is
+// produced by util::serde, so payloads are genuine byte strings — nothing is
+// smuggled through shared pointers except the mailbox addresses themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/sim/channel.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/util/serde.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::sim {
+
+class Mailbox;
+
+/// Location of a service: its mailbox plus the node it lives on (the node
+/// determines message latency).
+struct Address {
+  Mailbox* box = nullptr;
+  NodeId node = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return box != nullptr; }
+  friend bool operator==(const Address& a, const Address& b) noexcept {
+    return a.box == b.box;
+  }
+};
+
+/// One message.  `type` identifies the request/reply kind (each protocol
+/// defines its own enum); `correlation` matches replies to calls.
+struct Envelope {
+  std::uint32_t type = 0;
+  std::uint64_t correlation = 0;
+  Address reply_to;
+  std::vector<std::byte> payload;
+};
+
+/// Modeled fixed wire overhead of an envelope (headers, addressing).
+inline constexpr std::size_t kEnvelopeOverheadBytes = 24;
+
+/// Serialize an Address into a payload.  Within the simulation an address is
+/// a capability (mailbox pointer + node); on a real network this would be a
+/// host/port pair.  The Get Info reply and parallel-open worker lists carry
+/// these.
+void encode_address(util::Writer& w, const Address& addr);
+Address decode_address(util::Reader& r);
+
+class Mailbox : public Channel<Envelope> {
+ public:
+  using Channel<Envelope>::Channel;
+  [[nodiscard]] Address address() noexcept { return Address{this, node()}; }
+};
+
+inline void encode_address(util::Writer& w, const Address& addr) {
+  w.u64(reinterpret_cast<std::uintptr_t>(addr.box));
+  w.u32(addr.node);
+}
+
+inline Address decode_address(util::Reader& r) {
+  Address addr;
+  addr.box = reinterpret_cast<Mailbox*>(static_cast<std::uintptr_t>(r.u64()));
+  addr.node = r.u32();
+  return addr;
+}
+
+/// Deliver `env` to `dst`, modeling latency and accounting traffic.
+inline void post(const Context& ctx, const Address& dst, Envelope env) {
+  std::size_t bytes = env.payload.size() + kEnvelopeOverheadBytes;
+  SimTime latency =
+      ctx.runtime().topology().message_latency(ctx.node(), dst.node, bytes);
+  ctx.runtime().account_message(ctx.node(), dst.node, bytes);
+  dst.box->send(std::move(env), latency);
+}
+
+/// Reply payloads carry a status prefix followed by the response body.
+inline std::vector<std::byte> make_reply_payload(
+    const util::Status& status, std::span<const std::byte> body = {}) {
+  util::Writer w(body.size() + 16);
+  w.u8(static_cast<std::uint8_t>(status.code()));
+  w.str(status.message());
+  w.raw(body);
+  return std::move(w).take();
+}
+
+/// Split a reply payload back into status + body bytes.
+inline util::Result<std::vector<std::byte>> parse_reply_payload(
+    std::span<const std::byte> payload) {
+  util::Reader r(payload);
+  auto code = static_cast<util::ErrorCode>(r.u8());
+  std::string message = r.str();
+  if (code != util::ErrorCode::kOk) {
+    return util::Status(code, std::move(message));
+  }
+  auto rest = r.raw(r.remaining());
+  return std::vector<std::byte>(rest.begin(), rest.end());
+}
+
+/// Server-side helper: send a status+body reply for `request`.
+inline void send_reply(const Context& ctx, const Envelope& request,
+                       const util::Status& status,
+                       std::span<const std::byte> body = {}) {
+  Envelope reply;
+  reply.type = request.type;
+  reply.correlation = request.correlation;
+  reply.payload = make_reply_payload(status, body);
+  post(ctx, request.reply_to, std::move(reply));
+}
+
+/// Client-side call helper.  Each client process stacks one of these; it owns
+/// the reply mailbox for the lifetime of the process.
+class RpcClient {
+ public:
+  explicit RpcClient(Context& ctx)
+      : ctx_(ctx), reply_box_(ctx.runtime().scheduler(), ctx.node()) {}
+
+  /// Issue `type(request_bytes)` to `service` and block for the reply.
+  /// Returns the reply body, or the error status the server sent.
+  util::Result<std::vector<std::byte>> call(const Address& service,
+                                            std::uint32_t type,
+                                            std::span<const std::byte> request) {
+    std::uint64_t corr = next_correlation_++;
+    Envelope env;
+    env.type = type;
+    env.correlation = corr;
+    env.reply_to = reply_box_.address();
+    env.payload.assign(request.begin(), request.end());
+    post(ctx_, service, std::move(env));
+    return wait_reply(corr);
+  }
+
+  /// Fire-and-forget request carrying this client's reply address (the
+  /// callee may reply later; pair with wait_reply).
+  std::uint64_t call_async(const Address& service, std::uint32_t type,
+                           std::span<const std::byte> request) {
+    std::uint64_t corr = next_correlation_++;
+    Envelope env;
+    env.type = type;
+    env.correlation = corr;
+    env.reply_to = reply_box_.address();
+    env.payload.assign(request.begin(), request.end());
+    post(ctx_, service, std::move(env));
+    return corr;
+  }
+
+  /// Block for the reply to a specific call_async correlation id.  Replies
+  /// to other outstanding calls that arrive first are stashed, not dropped.
+  util::Result<std::vector<std::byte>> wait_reply(std::uint64_t correlation) {
+    for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+      if (it->correlation == correlation) {
+        Envelope reply = std::move(*it);
+        stash_.erase(it);
+        return parse_reply_payload(reply.payload);
+      }
+    }
+    while (true) {
+      Envelope reply = reply_box_.recv();
+      if (reply.correlation != correlation) {
+        stash_.push_back(std::move(reply));
+        continue;
+      }
+      return parse_reply_payload(reply.payload);
+    }
+  }
+
+  [[nodiscard]] Address reply_address() noexcept { return reply_box_.address(); }
+
+ private:
+  Context& ctx_;
+  Mailbox reply_box_;
+  std::vector<Envelope> stash_;
+  std::uint64_t next_correlation_ = 1;
+};
+
+}  // namespace bridge::sim

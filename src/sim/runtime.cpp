@@ -1,0 +1,56 @@
+#include "src/sim/runtime.hpp"
+
+#include <stdexcept>
+
+namespace bridge::sim {
+
+Runtime::Runtime(std::uint32_t num_nodes, Topology topology, std::uint64_t seed)
+    : num_nodes_(num_nodes), topology_(topology), seed_(seed) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("Runtime requires at least one node");
+  }
+}
+
+ProcessHandle Runtime::spawn(NodeId node, std::string name,
+                             std::function<void(Context&)> body, SimTime delay) {
+  if (node >= num_nodes_) {
+    throw std::invalid_argument("spawn: node id out of range");
+  }
+  Runtime* rt = this;
+  // The body closure needs the Process* that spawn creates.  The start event
+  // cannot fire until control returns to the scheduler, so filling the slot
+  // right after spawn() and before returning is race-free.
+  auto slot = std::make_shared<Process*>(nullptr);
+  ProcessHandle handle = sched_.spawn(
+      node, std::move(name),
+      [rt, body = std::move(body), slot] {
+        Context ctx(*rt, **slot);
+        body(ctx);
+      },
+      delay);
+  *slot = handle.get();
+  return handle;
+}
+
+void Runtime::account_message(NodeId from, NodeId to, std::size_t bytes) {
+  if (from == to) {
+    ++msg_stats_.local_messages;
+    msg_stats_.local_bytes += bytes;
+  } else {
+    ++msg_stats_.remote_messages;
+    msg_stats_.remote_bytes += bytes;
+  }
+}
+
+SimTime Context::now() const noexcept { return rt_->scheduler().now(); }
+
+void Context::sleep(SimTime d) const {
+  if (d.us() <= 0) return;
+  rt_->scheduler().sleep_until(rt_->scheduler().now() + d);
+}
+
+Rng Context::rng() const {
+  return Rng(rt_->seed() * 0x9e3779b97f4a7c15ULL + self_->id());
+}
+
+}  // namespace bridge::sim

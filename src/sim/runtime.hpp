@@ -1,0 +1,121 @@
+// Runtime facade: scheduler + topology + message accounting.
+//
+// A Runtime represents one simulated multiprocessor: `num_nodes` processors,
+// an interconnect (Topology), and a population of processes.  Application
+// code receives a Context, the per-process capability object through which it
+// observes time, sleeps/charges CPU, spawns helpers, and sends messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/sim/channel.hpp"
+#include "src/sim/rng.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/sim/time.hpp"
+#include "src/sim/topology.hpp"
+
+namespace bridge::sim {
+
+class Runtime;
+
+/// Per-process view of the runtime, passed to every process body.
+class Context {
+ public:
+  Context(Runtime& rt, Process& self) : rt_(&rt), self_(&self) {}
+
+  [[nodiscard]] Runtime& runtime() const noexcept { return *rt_; }
+  [[nodiscard]] NodeId node() const noexcept { return self_->node(); }
+  [[nodiscard]] ProcessId pid() const noexcept { return self_->id(); }
+  [[nodiscard]] const std::string& name() const noexcept { return self_->name(); }
+
+  [[nodiscard]] SimTime now() const noexcept;
+
+  /// Block for `d` of virtual time.
+  void sleep(SimTime d) const;
+  /// Model CPU consumption — identical to sleep, named for intent at call
+  /// sites ("this request costs 300us of processor time").
+  void charge(SimTime d) const { sleep(d); }
+
+  /// Mark this process as a long-lived server; it may stay parked when the
+  /// simulation goes idle without being reported as deadlocked.
+  void set_daemon() const { self_->set_daemon(true); }
+
+  /// Deterministic per-process random stream.
+  [[nodiscard]] Rng rng() const;
+
+  /// Send on a typed channel; latency is derived from the topology using the
+  /// receiver's node and `payload_bytes` (the modeled wire size).
+  template <typename T>
+  void send(Channel<T>& channel, T value, std::size_t payload_bytes) const;
+
+ private:
+  Runtime* rt_;
+  Process* self_;
+};
+
+/// Message-traffic counters, exposed for tests and benches (e.g. verifying
+/// that tools move less data across nodes than naive access).
+struct MessageStats {
+  std::uint64_t local_messages = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t remote_bytes = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(std::uint32_t num_nodes, Topology topology = {},
+                   std::uint64_t seed = 1);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] SimTime now() const noexcept { return sched_.now(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Spawn a process on `node`.  The body runs when the scheduler reaches the
+  /// spawn time (+delay).
+  ProcessHandle spawn(NodeId node, std::string name,
+                      std::function<void(Context&)> body,
+                      SimTime delay = SimTime(0));
+
+  /// Create a typed channel whose receiving end lives on `node`.
+  template <typename T>
+  std::shared_ptr<Channel<T>> make_channel(NodeId node) {
+    return std::make_shared<Channel<T>>(sched_, node);
+  }
+
+  /// Run the simulation to quiescence.
+  void run() { sched_.run(); }
+
+  [[nodiscard]] const MessageStats& message_stats() const noexcept {
+    return msg_stats_;
+  }
+
+  /// Record one message for the stats counters (called by Context::send and
+  /// the RPC layer).
+  void account_message(NodeId from, NodeId to, std::size_t bytes);
+
+ private:
+  std::uint32_t num_nodes_;
+  Topology topology_;
+  std::uint64_t seed_;
+  Scheduler sched_;
+  MessageStats msg_stats_;
+};
+
+template <typename T>
+void Context::send(Channel<T>& channel, T value, std::size_t payload_bytes) const {
+  SimTime latency =
+      rt_->topology().message_latency(node(), channel.node(), payload_bytes);
+  rt_->account_message(node(), channel.node(), payload_bytes);
+  channel.send(std::move(value), latency);
+}
+
+}  // namespace bridge::sim

@@ -1,0 +1,154 @@
+#include "src/sim/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.hpp"
+
+namespace bridge::sim {
+
+namespace {
+/// Thrown into a parked process when the scheduler is torn down so its stack
+/// unwinds and its thread can be joined.  Never escapes process_main.
+struct ProcessKilled {};
+}  // namespace
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  if (us_ >= 60'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", minutes());
+  } else if (us_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", sec());
+  } else if (us_ >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ms());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+Process::Process(Scheduler& sched, ProcessId id, NodeId node, std::string name)
+    : sched_(sched), id_(id), node_(node), name_(std::move(name)) {}
+
+Process::~Process() = default;
+
+Scheduler::Scheduler() = default;
+
+Scheduler::~Scheduler() {
+  // Unwind any process that never finished (daemon servers, parked waiters).
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    for (auto& p : processes_) {
+      p->cv_.notify_all();
+    }
+  }
+  for (auto& p : processes_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+}
+
+ProcessHandle Scheduler::spawn(NodeId node, std::string name,
+                               std::function<void()> fn, SimTime delay) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto proc = std::make_unique<Process>(*this, next_pid_++, node, std::move(name));
+  Process* p = proc.get();
+  p->body_ = std::move(fn);
+  p->thread_ = std::thread([this, p] { process_main(*p); });
+  events_.push(Event{clock_ + delay, next_seq_++, p, /*epoch=*/0, /*is_start=*/true});
+  processes_.push_back(std::move(proc));
+  ++stats_.processes_spawned;
+  return ProcessHandle(p);
+}
+
+void Scheduler::process_main(Process& p) {
+  {
+    // Wait for the first dispatch (or teardown).
+    std::unique_lock<std::mutex> lock(mutex_);
+    p.cv_.wait(lock, [this, &p] { return current_ == &p || draining_; });
+    if (draining_ && current_ != &p) {
+      p.state_ = Process::State::kFinished;
+      return;
+    }
+    p.state_ = Process::State::kRunning;
+  }
+  try {
+    p.body_();
+  } catch (const ProcessKilled&) {
+    // Teardown: fall through to the finish block.
+  } catch (const std::exception& e) {
+    util::LogMessage(util::LogLevel::kError, "sim")
+        << "process '" << p.name_ << "' died: " << e.what();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  p.state_ = Process::State::kFinished;
+  if (current_ == &p) {
+    current_ = nullptr;
+    controller_cv_.notify_one();
+  }
+}
+
+void Scheduler::schedule_wake_locked(Process& p, SimTime when) {
+  events_.push(Event{std::max(when, clock_), next_seq_++, &p, p.epoch_,
+                     /*is_start=*/false});
+  ++stats_.wakes_scheduled;
+}
+
+void Scheduler::park_current(std::unique_lock<std::mutex>& lock) {
+  Process* self = current_;
+  self->state_ = Process::State::kParked;
+  current_ = nullptr;
+  controller_cv_.notify_one();
+  self->cv_.wait(lock, [this, self] { return current_ == self || draining_; });
+  if (draining_ && current_ != self) throw ProcessKilled{};
+  self->state_ = Process::State::kRunning;
+  ++self->epoch_;  // stale any other pending wakes aimed at the old park
+}
+
+void Scheduler::sleep_until(SimTime when) {
+  auto lock = this->lock();
+  schedule_wake_locked(*current_, when);
+  park_current(lock);
+}
+
+void Scheduler::dispatch(const Event& ev, std::unique_lock<std::mutex>& lock) {
+  Process* p = ev.process;
+  if (ev.is_start) {
+    if (p->state_ != Process::State::kCreated) return;
+  } else {
+    if (p->state_ != Process::State::kParked || ev.epoch != p->epoch_) {
+      ++stats_.stale_wakes_skipped;
+      return;
+    }
+  }
+  ++stats_.events_dispatched;
+  current_ = p;
+  p->cv_.notify_one();
+  controller_cv_.wait(lock, [this] { return current_ == nullptr; });
+}
+
+void Scheduler::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    clock_ = std::max(clock_, ev.time);
+    dispatch(ev, lock);
+  }
+  deadlocked_ = false;
+  for (auto& p : processes_) {
+    if (p->state_ == Process::State::kParked && !p->daemon_) deadlocked_ = true;
+  }
+}
+
+std::vector<std::string> Scheduler::parked_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& p : processes_) {
+    if (p->state_ == Process::State::kParked && !p->daemon_) {
+      names.push_back(p->name_);
+    }
+  }
+  return names;
+}
+
+}  // namespace bridge::sim

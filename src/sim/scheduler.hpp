@@ -1,0 +1,179 @@
+// Deterministic discrete-event scheduler with thread-backed processes.
+//
+// Each simulated process runs on its own OS thread but the scheduler admits
+// exactly ONE process at a time, resuming them in (virtual time, sequence)
+// order.  Process code is therefore written in plain blocking style
+// (sleep / recv / rpc-call) yet the whole simulation is deterministic: two
+// runs with the same seed produce identical event orders and identical
+// virtual timings.
+//
+// Parking protocol: a process parks for exactly one reason at a time (sleep
+// expiry or a channel/mailbox wait).  Every park is tagged with the process's
+// current epoch; wake events carry the epoch they intend to wake.  A wake
+// event whose epoch no longer matches is stale and is skipped, which makes
+// spurious or duplicate wakeups harmless.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace bridge::sim {
+
+class Scheduler;
+
+using NodeId = std::uint32_t;
+using ProcessId = std::uint64_t;
+
+/// One simulated process.  Created via Scheduler::spawn; users interact with
+/// it through Context (see context.hpp) from inside and ProcessHandle from
+/// outside.
+class Process {
+ public:
+  Process(Scheduler& sched, ProcessId id, NodeId node, std::string name);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool finished() const noexcept { return state_ == State::kFinished; }
+
+  /// Daemon processes (long-lived servers) may remain parked when the event
+  /// queue drains without counting as a deadlock.
+  void set_daemon(bool daemon) noexcept { daemon_ = daemon; }
+  [[nodiscard]] bool daemon() const noexcept { return daemon_; }
+
+ private:
+  friend class Scheduler;
+
+  enum class State : std::uint8_t { kCreated, kParked, kRunning, kFinished };
+
+  Scheduler& sched_;
+  ProcessId id_;
+  NodeId node_;
+  std::string name_;
+  State state_ = State::kCreated;
+  bool daemon_ = false;
+  std::uint64_t epoch_ = 0;  ///< incremented on every resume; stales old wakes
+  std::function<void()> body_;
+  std::thread thread_;
+  std::condition_variable cv_;
+};
+
+/// Opaque reference to a spawned process.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+  explicit ProcessHandle(Process* p) : process_(p) {}
+  [[nodiscard]] bool valid() const noexcept { return process_ != nullptr; }
+  [[nodiscard]] ProcessId id() const noexcept { return process_->id(); }
+  [[nodiscard]] NodeId node() const noexcept { return process_->node(); }
+  [[nodiscard]] bool finished() const noexcept { return process_->finished(); }
+
+  /// Underlying process; for library-internal plumbing (Runtime, tests).
+  [[nodiscard]] Process* get() const noexcept { return process_; }
+
+ private:
+  friend class Scheduler;
+  Process* process_ = nullptr;
+};
+
+/// Aggregate statistics maintained by the scheduler, for tests and traces.
+struct SchedulerStats {
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t processes_spawned = 0;
+  std::uint64_t wakes_scheduled = 0;
+  std::uint64_t stale_wakes_skipped = 0;
+};
+
+/// The discrete-event core.  Not thread-safe for external callers: spawn and
+/// run from one controlling thread; process bodies use Context.
+class Scheduler {
+ public:
+  Scheduler();
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Create a process pinned to `node` whose body is `fn`.  It starts when
+  /// run() reaches the current virtual time (plus `delay`).
+  ProcessHandle spawn(NodeId node, std::string name, std::function<void()> fn,
+                      SimTime delay = SimTime(0));
+
+  /// Dispatch events until none remain.  Returns when every spawned process
+  /// has finished or is parked with no pending wake (the latter is a
+  /// deadlock; see deadlocked()).
+  void run();
+
+  /// True if run() returned with parked-but-unwakeable processes.
+  [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+  /// Names of processes still parked after run(); empty unless deadlocked.
+  [[nodiscard]] std::vector<std::string> parked_process_names() const;
+
+  [[nodiscard]] SimTime now() const noexcept { return clock_; }
+  [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
+
+  // --- Primitives used by Context / Channel / Mailbox (process-side). ---
+  // These must be called from the currently running simulated process.
+
+  /// Block the current process until `when`, then resume it.
+  void sleep_until(SimTime when);
+  /// Park the current process with no scheduled wake; some other agent must
+  /// call schedule_wake first (same lock scope) or later.
+  void park_current(std::unique_lock<std::mutex>& lock);
+  /// Schedule a wake for `p` at `when` targeting its current epoch.
+  /// Call with the scheduler lock held (lock()).
+  void schedule_wake_locked(Process& p, SimTime when);
+  /// The currently running process (nullptr if called from the controller).
+  [[nodiscard]] Process* current() const noexcept { return current_; }
+
+  /// The big simulation lock; channel/mailbox implementations take it while
+  /// manipulating queues and parking.
+  [[nodiscard]] std::unique_lock<std::mutex> lock() {
+    return std::unique_lock<std::mutex>(mutex_);
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;       ///< tie-breaker: FIFO among same-time events
+    Process* process;
+    std::uint64_t epoch;     ///< wake is stale unless process->epoch_ matches
+    bool is_start;           ///< first dispatch of a freshly spawned process
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(const Event& ev, std::unique_lock<std::mutex>& lock);
+  void process_main(Process& p);
+
+  std::mutex mutex_;
+  std::condition_variable controller_cv_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* current_ = nullptr;  ///< non-null while a process owns the sim
+  SimTime clock_{0};
+  std::uint64_t next_seq_ = 0;
+  ProcessId next_pid_ = 1;
+  SchedulerStats stats_;
+  bool deadlocked_ = false;
+  bool draining_ = false;  ///< destructor: force-finish parked processes
+};
+
+}  // namespace bridge::sim

@@ -1,0 +1,69 @@
+// Virtual time for the discrete-event simulation.
+//
+// All Bridge "measurements" are virtual durations: the simulation advances a
+// microsecond-resolution clock by disk latencies, message latencies, and
+// explicit CPU charges, exactly the quantities the paper's timings are made
+// of.  SimTime is a strong typedef over int64 microseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bridge::sim {
+
+/// A point in (or duration of) virtual time, in microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t microseconds) : us_(microseconds) {}
+
+  [[nodiscard]] constexpr std::int64_t us() const noexcept { return us_; }
+  [[nodiscard]] constexpr double ms() const noexcept {
+    return static_cast<double>(us_) / 1e3;
+  }
+  [[nodiscard]] constexpr double sec() const noexcept {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double minutes() const noexcept {
+    return static_cast<double>(us_) / 60e6;
+  }
+
+  constexpr SimTime& operator+=(SimTime d) noexcept {
+    us_ += d.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime d) noexcept {
+    us_ -= d.us_;
+    return *this;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime(a.us_ + b.us_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime(a.us_ - b.us_);
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) noexcept {
+    return SimTime(a.us_ * k);
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) noexcept {
+    return SimTime(a.us_ * k);
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) noexcept = default;
+
+  /// Render as "12.345 ms" / "3.2 s" for traces.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+constexpr SimTime usec(std::int64_t n) { return SimTime(n); }
+constexpr SimTime msec(double d) {
+  return SimTime(static_cast<std::int64_t>(d * 1e3));
+}
+constexpr SimTime seconds(double d) {
+  return SimTime(static_cast<std::int64_t>(d * 1e6));
+}
+
+}  // namespace bridge::sim

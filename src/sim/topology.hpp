@@ -1,0 +1,34 @@
+// Interconnect latency model.
+//
+// The paper's prototype ran on a BBN Butterfly, where messages between nodes
+// traverse a switching network while intra-node messages are shared-memory
+// queue operations.  We model exactly what the timings depend on: a fixed
+// per-message cost (cheaper locally), plus a per-byte serialization cost.
+#pragma once
+
+#include <cstddef>
+
+#include "src/sim/time.hpp"
+
+namespace bridge::sim {
+
+struct Topology {
+  /// Fixed cost of a message whose endpoints share a node (shared-memory
+  /// atomic queue operation on the Butterfly).
+  SimTime local_latency = usec(80);
+  /// Fixed cost of a cross-node message (switch traversal + remote enqueue).
+  SimTime remote_latency = usec(500);
+  /// Per-byte transfer cost for message payloads (remote only; local
+  /// messages pass pointers through shared memory).
+  double remote_us_per_byte = 0.25;
+
+  [[nodiscard]] SimTime message_latency(NodeId from, NodeId to,
+                                        std::size_t payload_bytes) const {
+    if (from == to) return local_latency;
+    return remote_latency +
+           usec(static_cast<std::int64_t>(remote_us_per_byte *
+                                          static_cast<double>(payload_bytes)));
+  }
+};
+
+}  // namespace bridge::sim

@@ -1,0 +1,169 @@
+#include "src/tools/copy.hpp"
+
+#include "src/core/bridge_block.hpp"
+#include "src/core/interleave.hpp"
+#include "src/efs/client.hpp"
+
+namespace bridge::tools {
+
+namespace {
+
+struct EcopyResult {
+  std::uint64_t blocks = 0;
+  std::uint64_t summary = 0;
+  util::ErrorCode error = util::ErrorCode::kOk;
+  std::string message;
+};
+
+struct EcopyTask {
+  sim::Address lfs_service;
+  std::uint32_t lfs_index = 0;
+  std::uint32_t offset = 0;        ///< this worker's position in the stripe
+  std::uint64_t local_count = 0;   ///< constituent blocks to process
+  core::FileMeta src;
+  core::FileMeta dst;              ///< dst.id == 0 means scan-only
+  std::uint32_t total_lfs = 0;
+};
+
+/// The per-LFS worker: "Send Read to LFS; while not end of file: transform,
+/// Send Write to LFS; Send Read to LFS" — entirely node-local traffic.
+EcopyResult ecopy(sim::Context& ctx, const EcopyTask& task,
+                  BlockFilter& filter) {
+  EcopyResult result;
+  sim::RpcClient rpc(ctx);
+  efs::EfsClient efs(rpc, task.lfs_service);
+  for (std::uint64_t local = 0; local < task.local_count; ++local) {
+    auto read = efs.read(task.src.lfs_file_id,
+                         static_cast<std::uint32_t>(local));
+    if (!read.is_ok()) {
+      result.error = read.status().code();
+      result.message = read.status().message();
+      return result;
+    }
+    auto unwrapped = core::unwrap_block(read.value().data);
+    if (!unwrapped.is_ok()) {
+      result.error = unwrapped.status().code();
+      result.message = unwrapped.status().message();
+      return result;
+    }
+    std::uint64_t global_no =
+        local * task.src.width + task.offset;
+    ctx.charge(filter.cpu_per_block());
+    auto output = filter.apply(unwrapped.value().user_data, global_no);
+    if (task.dst.id != 0) {
+      core::BridgeBlockHeader header;
+      header.file_id = task.dst.id;
+      header.global_block_no = global_no;
+      header.width = task.dst.width;
+      header.start_lfs = task.dst.start_lfs;
+      auto wrapped = core::wrap_block(header, output);
+      if (!wrapped.is_ok()) {
+        result.error = wrapped.status().code();
+        result.message = wrapped.status().message();
+        return result;
+      }
+      auto write = efs.write(task.dst.lfs_file_id,
+                             static_cast<std::uint32_t>(local),
+                             wrapped.value());
+      if (!write.is_ok()) {
+        result.error = write.status().code();
+        result.message = write.status().message();
+        return result;
+      }
+    }
+    ++result.blocks;
+  }
+  result.summary = filter.summary();
+  return result;
+}
+
+util::Result<CopyReport> run_filter_tool(sim::Context& ctx,
+                                         core::BridgeApi& client,
+                                         const std::string& src,
+                                         const std::string& dst,
+                                         CopyOptions options) {
+  sim::SimTime start = ctx.now();
+  auto env = discover(client);
+  if (!env.is_ok()) return env.status();
+
+  auto src_open = client.open(src);
+  if (!src_open.is_ok()) return src_open.status();
+  core::FileMeta src_meta = src_open.value().meta;
+  if (static_cast<core::Distribution>(src_meta.distribution) !=
+      core::Distribution::kRoundRobin) {
+    return util::invalid_argument(
+        "copy tool requires a round-robin interleaved source");
+  }
+
+  core::FileMeta dst_meta;  // id 0 = scan-only
+  if (!dst.empty()) {
+    core::CreateOptions create;
+    create.width = src_meta.width;
+    create.start_lfs = src_meta.start_lfs;
+    auto created = client.create(dst, create);
+    if (!created.is_ok()) return created.status();
+    auto dst_open = client.open(dst);
+    if (!dst_open.is_ok()) return dst_open.status();
+    dst_meta = dst_open.value().meta;
+  }
+
+  auto factory = options.filter_factory;
+  if (!factory) {
+    factory = [] {
+      return std::unique_ptr<BlockFilter>(std::make_unique<IdentityFilter>());
+    };
+  }
+
+  std::uint32_t p = env.value().num_lfs();
+  std::uint32_t w = src_meta.width;
+  WorkerGroup<EcopyResult> group(ctx, options.fanout);
+  for (std::uint32_t j = 0; j < w; ++j) {
+    std::uint32_t lfs = (src_meta.start_lfs + j) % p;
+    EcopyTask task;
+    task.lfs_service = env.value().lfs_service(lfs);
+    task.lfs_index = lfs;
+    task.offset = j;
+    task.local_count =
+        src_meta.size_blocks / w + (j < src_meta.size_blocks % w ? 1 : 0);
+    task.src = src_meta;
+    task.dst = dst_meta;
+    task.total_lfs = p;
+    group.spawn(env.value().lfs_node(lfs), "ecopy@" + std::to_string(lfs),
+                [task, factory](sim::Context& worker_ctx) {
+                  auto filter = factory();
+                  return ecopy(worker_ctx, task, *filter);
+                });
+  }
+
+  CopyReport report;
+  report.workers = group.spawned();
+  for (auto& result : group.wait_all()) {
+    if (result.error != util::ErrorCode::kOk) {
+      return util::Status(result.error, std::move(result.message));
+    }
+    report.blocks += result.blocks;
+    report.summary += result.summary;
+  }
+  report.elapsed = ctx.now() - start;
+  return report;
+}
+
+}  // namespace
+
+util::Result<CopyReport> run_copy_tool(sim::Context& ctx,
+                                       core::BridgeApi& client,
+                                       const std::string& src,
+                                       const std::string& dst,
+                                       CopyOptions options) {
+  if (dst.empty()) return util::invalid_argument("copy needs a destination");
+  return run_filter_tool(ctx, client, src, dst, std::move(options));
+}
+
+util::Result<CopyReport> run_scan_tool(sim::Context& ctx,
+                                       core::BridgeApi& client,
+                                       const std::string& src,
+                                       CopyOptions options) {
+  return run_filter_tool(ctx, client, src, "", std::move(options));
+}
+
+}  // namespace bridge::tools

@@ -1,0 +1,246 @@
+// One-to-one block filters for the copy-tool family.
+//
+// "The while loop in ecopy could contain any transformation on the blocks of
+// data that preserves their number and order.  Any of the filter programs
+// produced by inserting such transformations should run within a constant
+// factor of the copy tool's time. ... simple modifications to the copy tool
+// allow us to perform character translation, encryption, or lexical analysis
+// on fixed-length lines.  By returning a small amount of information at
+// completion time, we can also perform sequential searches or produce
+// summary information" (§4.2, §5.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+#include "src/util/hash.hpp"
+
+namespace bridge::tools {
+
+/// Per-worker block transformation + summary accumulator.  apply() must
+/// preserve block count and order; the returned payload replaces the block's
+/// user data (scan-only tools return the input unchanged).
+class BlockFilter {
+ public:
+  virtual ~BlockFilter() = default;
+
+  virtual std::vector<std::byte> apply(std::span<const std::byte> input,
+                                       std::uint64_t global_block_no) = 0;
+
+  /// CPU charged on the LFS node per block processed.
+  [[nodiscard]] virtual sim::SimTime cpu_per_block() const {
+    return sim::usec(50);
+  }
+
+  /// Small per-worker result "returned at completion time" (match counts,
+  /// word counts, checksums); summed across workers by the tool.
+  [[nodiscard]] virtual std::uint64_t summary() const { return 0; }
+};
+
+/// One fresh filter instance per worker (filters keep per-worker state).
+using FilterFactory = std::unique_ptr<BlockFilter> (*)();
+
+/// Plain copy.
+class IdentityFilter final : public BlockFilter {
+ public:
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t) override {
+    return {input.begin(), input.end()};
+  }
+};
+
+/// Character translation on the block (the paper's example: one-to-one
+/// filters on fixed-length lines).  Uppercases ASCII.
+class UppercaseFilter final : public BlockFilter {
+ public:
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t) override {
+    std::vector<std::byte> out(input.begin(), input.end());
+    for (auto& b : out) {
+      auto c = static_cast<unsigned char>(b);
+      if (c >= 'a' && c <= 'z') b = std::byte(c - 'a' + 'A');
+    }
+    return out;
+  }
+  [[nodiscard]] sim::SimTime cpu_per_block() const override {
+    return sim::usec(120);
+  }
+};
+
+/// ROT13 character translation (self-inverse).
+class Rot13Filter final : public BlockFilter {
+ public:
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t) override {
+    std::vector<std::byte> out(input.begin(), input.end());
+    for (auto& b : out) {
+      auto c = static_cast<unsigned char>(b);
+      if (c >= 'a' && c <= 'z') b = std::byte((c - 'a' + 13) % 26 + 'a');
+      else if (c >= 'A' && c <= 'Z') b = std::byte((c - 'A' + 13) % 26 + 'A');
+    }
+    return out;
+  }
+  [[nodiscard]] sim::SimTime cpu_per_block() const override {
+    return sim::usec(120);
+  }
+};
+
+/// XOR stream "encryption" keyed by block number (self-inverse; stands in
+/// for the paper's encryption filter).
+class XorEncryptFilter final : public BlockFilter {
+ public:
+  explicit XorEncryptFilter(std::uint64_t key = 0x5EC2E7) : key_(key) {}
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t global_block_no) override {
+    std::vector<std::byte> out(input.begin(), input.end());
+    std::uint64_t stream = util::mix64(key_ ^ global_block_no);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (i % 8 == 0) stream = util::mix64(stream);
+      out[i] ^= std::byte(static_cast<std::uint8_t>(stream >> ((i % 8) * 8)));
+    }
+    return out;
+  }
+  [[nodiscard]] sim::SimTime cpu_per_block() const override {
+    return sim::usec(200);
+  }
+
+ private:
+  std::uint64_t key_;
+};
+
+/// Lexical analysis on fixed-length lines: counts newline-terminated lines
+/// and whitespace-separated words.  summary() = (lines << 32) | words.
+class LexFilter final : public BlockFilter {
+ public:
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t) override {
+    bool in_word = false;
+    for (std::byte b : input) {
+      char c = static_cast<char>(b);
+      if (c == '\n') ++lines_;
+      bool space = c == ' ' || c == '\n' || c == '\t' || c == '\0';
+      if (!space && !in_word) ++words_;
+      in_word = !space;
+    }
+    return {input.begin(), input.end()};
+  }
+  [[nodiscard]] sim::SimTime cpu_per_block() const override {
+    return sim::usec(300);
+  }
+  [[nodiscard]] std::uint64_t summary() const override {
+    return (lines_ << 32) | (words_ & 0xFFFFFFFFull);
+  }
+
+ private:
+  std::uint64_t lines_ = 0;
+  std::uint64_t words_ = 0;
+};
+
+/// Sequential search: counts occurrences of a fixed byte pattern in each
+/// block (the "grep" standard tool).  Scan-only.
+class GrepFilter final : public BlockFilter {
+ public:
+  explicit GrepFilter(std::string pattern) : pattern_(std::move(pattern)) {}
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t) override {
+    if (!pattern_.empty() && input.size() >= pattern_.size()) {
+      for (std::size_t i = 0; i + pattern_.size() <= input.size(); ++i) {
+        bool match = true;
+        for (std::size_t j = 0; j < pattern_.size(); ++j) {
+          if (static_cast<char>(input[i + j]) != pattern_[j]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) ++matches_;
+      }
+    }
+    return {input.begin(), input.end()};
+  }
+  [[nodiscard]] sim::SimTime cpu_per_block() const override {
+    return sim::usec(400);
+  }
+  [[nodiscard]] std::uint64_t summary() const override { return matches_; }
+
+ private:
+  std::string pattern_;
+  std::uint64_t matches_ = 0;
+};
+
+/// Run-length compression (§6: "the exportation of user-level code allows
+/// data to be filtered (and presumably compressed) before it must be
+/// moved").  Encoding: pairs of (count u8, byte); incompressible blocks are
+/// stored verbatim behind a 1-byte tag.  summary() = total output bytes, so
+/// a scan reports the achievable compression without moving the data.
+class RleCompressFilter final : public BlockFilter {
+ public:
+  static constexpr std::byte kTagRle{1};
+  static constexpr std::byte kTagRaw{0};
+
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t) override {
+    std::vector<std::byte> out;
+    out.reserve(input.size() + 1);
+    out.push_back(kTagRle);
+    std::size_t i = 0;
+    while (i < input.size()) {
+      std::size_t run = 1;
+      while (i + run < input.size() && run < 255 && input[i + run] == input[i]) {
+        ++run;
+      }
+      out.push_back(std::byte(static_cast<std::uint8_t>(run)));
+      out.push_back(input[i]);
+      i += run;
+    }
+    if (out.size() >= input.size() + 1) {
+      out.assign(1, kTagRaw);
+      out.insert(out.end(), input.begin(), input.end());
+    }
+    output_bytes_ += out.size();
+    return out;
+  }
+
+  /// Inverse transform (for the decompressing copy direction).
+  static std::vector<std::byte> expand(std::span<const std::byte> encoded) {
+    std::vector<std::byte> out;
+    if (encoded.empty()) return out;
+    if (encoded[0] == kTagRaw) {
+      out.assign(encoded.begin() + 1, encoded.end());
+      return out;
+    }
+    for (std::size_t i = 1; i + 1 < encoded.size(); i += 2) {
+      auto count = static_cast<std::uint8_t>(encoded[i]);
+      out.insert(out.end(), count, encoded[i + 1]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] sim::SimTime cpu_per_block() const override {
+    return sim::usec(250);
+  }
+  [[nodiscard]] std::uint64_t summary() const override { return output_bytes_; }
+
+ private:
+  std::uint64_t output_bytes_ = 0;
+};
+
+/// Summary information: XOR of per-block FNV checksums (order-independent
+/// whole-file fingerprint).
+class ChecksumFilter final : public BlockFilter {
+ public:
+  std::vector<std::byte> apply(std::span<const std::byte> input,
+                               std::uint64_t) override {
+    checksum_ ^= util::fnv1a_32(input);
+    return {input.begin(), input.end()};
+  }
+  [[nodiscard]] std::uint64_t summary() const override { return checksum_; }
+
+ private:
+  std::uint64_t checksum_ = 0;
+};
+
+}  // namespace bridge::tools

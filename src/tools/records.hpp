@@ -1,0 +1,104 @@
+// Variable-length record packing.
+//
+// The sort tool assumes "records the same size as a disk block" (§5.2:
+// "odd-sized records make the algorithm significantly messier, but do not
+// affect its asymptotic complexity").  Real workloads have odd-sized
+// records; this layer packs them into fixed 960-byte block payloads (length
+// prefixed, non-spanning) so applications can stream records through the
+// naive, parallel and tool views without caring about block boundaries.
+//
+// Wire format per block: repeated { u16 length, bytes }, terminated by a
+// 0xFFFF sentinel or the end of the block.  A record must fit in one block
+// (at most kMaxRecordBytes); the packer starts a new block when the next
+// record does not fit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/efs/layout.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::tools {
+
+inline constexpr std::size_t kRecordLengthBytes = 2;
+inline constexpr std::uint16_t kEndOfBlockMark = 0xFFFF;
+inline constexpr std::size_t kMaxRecordBytes =
+    efs::kUserDataBytes - 2 * kRecordLengthBytes;  // payload + sentinel room
+
+/// Accumulates records into full block payloads.
+class RecordPacker {
+ public:
+  /// Append one record.  Returns a completed block payload whenever the
+  /// record did not fit into the current block (caller writes it and the
+  /// record starts the next block).
+  util::Result<std::optional<std::vector<std::byte>>> add(
+      std::span<const std::byte> record) {
+    if (record.size() > kMaxRecordBytes) {
+      return util::invalid_argument("record exceeds kMaxRecordBytes");
+    }
+    std::optional<std::vector<std::byte>> flushed;
+    if (current_.size() + kRecordLengthBytes + record.size() +
+            kRecordLengthBytes >
+        efs::kUserDataBytes) {
+      flushed = seal();
+    }
+    auto length = static_cast<std::uint16_t>(record.size());
+    current_.push_back(std::byte(static_cast<std::uint8_t>(length & 0xFF)));
+    current_.push_back(std::byte(static_cast<std::uint8_t>(length >> 8)));
+    current_.insert(current_.end(), record.begin(), record.end());
+    ++records_in_block_;
+    return flushed;
+  }
+
+  /// Finish: returns the final partial block (nullopt if empty).
+  std::optional<std::vector<std::byte>> finish() {
+    if (records_in_block_ == 0) return std::nullopt;
+    return seal();
+  }
+
+ private:
+  std::vector<std::byte> seal() {
+    current_.push_back(std::byte{0xFF});
+    current_.push_back(std::byte{0xFF});
+    std::vector<std::byte> done = std::move(current_);
+    current_.clear();
+    records_in_block_ = 0;
+    return done;
+  }
+
+  std::vector<std::byte> current_;
+  std::uint32_t records_in_block_ = 0;
+};
+
+/// Iterates the records inside one packed block payload.
+class RecordUnpacker {
+ public:
+  explicit RecordUnpacker(std::span<const std::byte> block) : block_(block) {}
+
+  /// Next record, or nullopt at the end of the block.  Throws nothing; a
+  /// malformed block yields an error status once.
+  util::Result<std::optional<std::span<const std::byte>>> next() {
+    if (pos_ + kRecordLengthBytes > block_.size()) return {std::nullopt};
+    std::uint16_t length =
+        static_cast<std::uint16_t>(static_cast<std::uint8_t>(block_[pos_])) |
+        (static_cast<std::uint16_t>(static_cast<std::uint8_t>(block_[pos_ + 1]))
+         << 8);
+    if (length == kEndOfBlockMark) return {std::nullopt};
+    pos_ += kRecordLengthBytes;
+    if (pos_ + length > block_.size()) {
+      return util::corrupt("packed record overruns block");
+    }
+    auto record = block_.subspan(pos_, length);
+    pos_ += length;
+    return {std::optional<std::span<const std::byte>>(record)};
+  }
+
+ private:
+  std::span<const std::byte> block_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bridge::tools

@@ -1,0 +1,42 @@
+// Phase 1 of the merge-sort tool: per-LFS external sort (§5.2).
+//
+// "In parallel perform local external sorts on each LFS.  Consider the
+// resulting files to be 'interleaved' across only one processor."
+//
+// Each worker reads its node's constituent of the input file, forms sorted
+// runs of c records in core, then 2-way-merges runs (all node-local traffic)
+// until its portion is one sorted width-1 Bridge file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/protocol.hpp"
+#include "src/sim/rpc.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/tools/sort/sort_common.hpp"
+#include "src/util/status.hpp"
+
+namespace bridge::tools {
+
+struct LocalSortTask {
+  sim::Address lfs_service;
+  std::uint32_t lfs_index = 0;
+  std::uint32_t offset = 0;       ///< worker's position in the source stripe
+  std::uint64_t local_count = 0;  ///< records in this node's constituent
+  core::FileMeta src;
+  core::FileMeta run;  ///< width-1 output file rooted on this LFS
+  SortTuning tuning;
+};
+
+struct LocalSortResult {
+  std::uint64_t records = 0;
+  std::uint32_t merge_passes = 0;
+  util::ErrorCode error = util::ErrorCode::kOk;
+  std::string message;
+};
+
+/// Run the local external sort on the current (LFS-resident) process.
+LocalSortResult run_local_sort(sim::Context& ctx, const LocalSortTask& task);
+
+}  // namespace bridge::tools

@@ -1,0 +1,44 @@
+// The merge-sort tool (§5.2): local external sorts, then a log(p)-depth
+// tree of token-passing parallel merges.
+//
+//   In parallel perform local external sorts on each LFS.
+//   x := p
+//   while x > 1
+//     Merge pairs of files in parallel
+//     x := x/2
+//     Consider the new files to be interleaved across p/x processors
+//     Discard the old files in parallel
+//   endwhile
+#pragma once
+
+#include <string>
+
+#include "src/core/client.hpp"
+#include "src/sim/runtime.hpp"
+#include "src/tools/sort/sort_common.hpp"
+#include "src/tools/tool_base.hpp"
+
+namespace bridge::tools {
+
+struct SortOptions {
+  SortTuning tuning;
+  FanOutConfig fanout;
+};
+
+struct SortReport {
+  std::uint64_t records = 0;
+  std::uint32_t merge_passes = 0;      ///< global (phase 2) passes
+  sim::SimTime local_phase{};          ///< Table 4 "Local Sort"
+  sim::SimTime merge_phase{};          ///< Table 4 "Merge"
+  sim::SimTime total{};                ///< Table 4 "Total"
+};
+
+/// Sort Bridge file `src` (round-robin interleaved, record = block, key =
+/// leading uint64) into a new p-way interleaved Bridge file `dst`.
+util::Result<SortReport> run_sort_tool(sim::Context& ctx,
+                                       core::BridgeApi& client,
+                                       const std::string& src,
+                                       const std::string& dst,
+                                       SortOptions options = {});
+
+}  // namespace bridge::tools

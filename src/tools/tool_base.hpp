@@ -1,0 +1,127 @@
+// Tool framework.
+//
+// "Bridge tools are applications that become part of the file system. ...
+// Typical interaction involves (1) a brief phase of communication with the
+// Bridge Server to create and open files, and to learn the names of the LFS
+// processes, (2) the creation of subprocesses on all the LFS nodes, and (3)
+// a lengthy series of interactions between the subprocesses and the
+// instances of LFS" (§4.2).
+//
+// WorkerGroup implements step (2): it spawns worker processes on the LFS
+// nodes — sequentially or through an embedded binary tree (the §5.1
+// "O(log p) startup and completion") — and collects one result per worker.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/client.hpp"
+#include "src/core/protocol.hpp"
+#include "src/efs/layout.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace bridge::tools {
+
+struct FanOutConfig {
+  /// Spawn workers through an embedded binary tree: startup latency grows
+  /// with log2(t) instead of t.
+  bool tree = true;
+  /// Coordinator CPU (or per-tree-level latency) to create one subprocess.
+  sim::SimTime spawn_cost = sim::msec(2.0);
+};
+
+/// Spawns workers and gathers one result of type R from each.
+/// R must be copyable/movable; results are delivered through a channel on
+/// the coordinator's node.
+template <typename R>
+class WorkerGroup {
+ public:
+  WorkerGroup(sim::Context& ctx, FanOutConfig config)
+      : ctx_(ctx),
+        config_(config),
+        results_(ctx.runtime().scheduler(), ctx.node()) {}
+
+  /// Spawn the next worker on `node`.  `body` runs there and its return
+  /// value is shipped back to the coordinator.
+  void spawn(sim::NodeId node, const std::string& name,
+             std::function<R(sim::Context&)> body) {
+    sim::SimTime delay{0};
+    if (config_.tree) {
+      // Worker i sits at depth floor(log2(i+1)) of the startup tree; each
+      // level costs one spawn_cost of forwarding.
+      auto depth = static_cast<std::int64_t>(
+          std::floor(std::log2(static_cast<double>(spawned_ + 1))));
+      delay = config_.spawn_cost * (depth + 1);
+    } else {
+      // Sequential initiation: the coordinator pays for each spawn in turn.
+      ctx_.charge(config_.spawn_cost);
+    }
+    auto* results = &results_;
+    ctx_.runtime().spawn(
+        node, name,
+        [results, body = std::move(body)](sim::Context& worker_ctx) {
+          R result = body(worker_ctx);
+          worker_ctx.send(*results, std::move(result), /*payload_bytes=*/64);
+        },
+        delay);
+    ++spawned_;
+  }
+
+  /// Block until every spawned worker has reported; returns results in
+  /// arrival order.
+  std::vector<R> wait_all() {
+    std::vector<R> results;
+    results.reserve(spawned_);
+    for (std::uint32_t i = 0; i < spawned_; ++i) {
+      results.push_back(results_.recv());
+    }
+    if (config_.tree && spawned_ > 0) {
+      // Completion notifications funnel back up the tree.
+      auto levels = static_cast<std::int64_t>(
+          std::ceil(std::log2(static_cast<double>(spawned_) + 1.0)));
+      ctx_.charge(config_.spawn_cost * levels);
+    }
+    return results;
+  }
+
+  [[nodiscard]] std::uint32_t spawned() const noexcept { return spawned_; }
+
+ private:
+  sim::Context& ctx_;
+  FanOutConfig config_;
+  sim::Channel<R> results_;
+  std::uint32_t spawned_ = 0;
+};
+
+/// Everything a tool learns in its startup conversation with the server.
+struct ToolEnv {
+  core::GetInfoResponse info;
+
+  [[nodiscard]] std::uint32_t num_lfs() const noexcept { return info.num_lfs; }
+  [[nodiscard]] sim::Address lfs_service(std::uint32_t i) const {
+    return info.lfs_services[i];
+  }
+  [[nodiscard]] sim::NodeId lfs_node(std::uint32_t i) const {
+    return info.lfs_nodes[i];
+  }
+};
+
+/// Step (1): Get Info from the Bridge Server.
+inline util::Result<ToolEnv> discover(core::BridgeApi& client) {
+  auto info = client.get_info();
+  if (!info.is_ok()) return info.status();
+  return ToolEnv{std::move(info).value()};
+}
+
+/// LFS ids for tool-private temporary files, outside the Bridge Server's id
+/// space (Bridge ids start at 1000 and grow slowly).
+[[nodiscard]] inline efs::FileId tool_temp_file_id(std::uint32_t lfs_index,
+                                                   std::uint32_t seq) {
+  return 0x40000000u + lfs_index * 0x10000u + seq;
+}
+
+}  // namespace bridge::tools

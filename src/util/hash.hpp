@@ -1,0 +1,29 @@
+// Small non-cryptographic hashes used for block checksums and hashed
+// data-distribution experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bridge::util {
+
+/// FNV-1a 32-bit over a byte span; used as the Bridge block checksum.
+inline std::uint32_t fnv1a_32(std::span<const std::byte> data) noexcept {
+  std::uint32_t h = 2166136261u;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer; used to hash block numbers for hashed distribution.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace bridge::util

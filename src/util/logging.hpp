@@ -1,0 +1,44 @@
+// Tiny leveled logger.  Logging in the simulation is rare (it is a
+// measurement harness), but components log structural events at kDebug and
+// anomalies at kWarn so failures in tests are diagnosable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bridge::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.  Defaults to kWarn so
+/// test and bench output stays clean.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr: "[level] component: message".  Thread-safe.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper: LogMessage(kWarn, "efs") << "bad block " << n;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) log_line(level_, component_, stream_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bridge::util

@@ -1,0 +1,143 @@
+// Lightweight Status / Result<T> error-propagation types.
+//
+// Bridge is a distributed system: most failures (missing file, bad block
+// number, node down) are expected conditions that callers handle, so the
+// public API reports them as values rather than exceptions.  Exceptions are
+// reserved for programming errors (precondition violations) and for the
+// simulation harness itself.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bridge::util {
+
+/// Error categories used across the Bridge code base.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,         ///< file / block / directory entry does not exist
+  kAlreadyExists,    ///< create of an existing file id
+  kInvalidArgument,  ///< malformed request, bad block number, bad width
+  kOutOfSpace,       ///< disk or free list exhausted
+  kCorrupt,          ///< on-disk structure failed validation
+  kUnavailable,      ///< node or service down (fault injection)
+  kInternal,         ///< bug or protocol violation
+};
+
+/// Human-readable name of an ErrorCode ("NOT_FOUND", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// A success-or-error value.  Cheap to copy on the success path.
+class Status {
+ public:
+  Status() noexcept : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Render as "NOT_FOUND: no such file 17" (or "OK").
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status ok_status() { return Status::ok(); }
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status out_of_space(std::string msg) {
+  return {ErrorCode::kOutOfSpace, std::move(msg)};
+}
+inline Status corrupt(std::string msg) {
+  return {ErrorCode::kCorrupt, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Thrown by Result<T>::value() on an error result, and by check helpers.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// A value or an error.  `Result<T> r = compute(); if (!r.is_ok()) ...`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).is_ok()) {
+      data_ = Status(ErrorCode::kInternal, "ok Status used as Result error");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  /// Access the value; throws StatusError if this holds an error.
+  [[nodiscard]] T& value() & {
+    ensure_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    ensure_ok();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    ensure_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void ensure_ok() const {
+    if (!is_ok()) throw StatusError(std::get<Status>(data_));
+  }
+  std::variant<T, Status> data_;
+};
+
+/// Throw StatusError unless `status` is OK.  Used at API boundaries where the
+/// caller considers failure a bug (tests, examples, benches).
+inline void throw_if_error(const Status& status) {
+  if (!status.is_ok()) throw StatusError(status);
+}
+
+}  // namespace bridge::util

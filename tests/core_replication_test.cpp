@@ -1,0 +1,213 @@
+// Fault-tolerance extensions: mirroring and parity under single-LFS failure,
+// plus DeleteMany and analysis-model sanity.
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.hpp"
+#include "src/core/instance.hpp"
+#include "src/core/replication.hpp"
+
+namespace bridge::core {
+namespace {
+
+SystemConfig cfg(std::uint32_t p) {
+  return SystemConfig::paper_profile(p, 1024);
+}
+
+std::vector<std::byte> record(std::uint32_t tag) {
+  std::vector<std::byte> data(efs::kUserDataBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::byte(static_cast<std::uint8_t>(tag * 7 + i * 3));
+  }
+  return data;
+}
+
+TEST(MirroredFile, SurvivesSingleLfsFailure) {
+  BridgeInstance inst(cfg(4));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    for (std::uint32_t i = 0; i < 24; ++i) {
+      ASSERT_TRUE(file.value().append(record(i)).is_ok());
+    }
+  });
+  inst.run();
+
+  inst.lfs(2).disk().fail();
+  int recovered = 0, correct = 0;
+  inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_EQ(file.value().size_blocks(), 24u);
+    for (std::uint32_t i = 0; i < 24; ++i) {
+      bool used_mirror = false;
+      auto r = file.value().read(i, &used_mirror);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      if (r.value() == record(i)) ++correct;
+      if (used_mirror) ++recovered;
+    }
+  });
+  inst.run();
+  EXPECT_EQ(correct, 24);
+  EXPECT_EQ(recovered, 6);  // every 4th block lived on LFS 2
+}
+
+TEST(MirroredFile, MirrorPlacementAvoidsPrimaryLfs) {
+  BridgeInstance inst(cfg(4));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(file.value().append(record(i)).is_ok());
+    }
+  });
+  inst.run();
+  // Primary holds 2 blocks per LFS; mirror adds 2 more: 4 appends per LFS.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(inst.lfs(i).core().op_stats().appends, 4u) << "lfs " << i;
+  }
+}
+
+TEST(MirroredFile, NeedsTwoLfs) {
+  BridgeInstance inst(cfg(1));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    EXPECT_EQ(MirroredFile::open(ctx, client, "m").status().code(),
+              util::ErrorCode::kInvalidArgument);
+  });
+  inst.run();
+}
+
+TEST(ParityFile, ReconstructsFailedLfsBlocks) {
+  BridgeInstance inst(cfg(5));  // 4 data + 1 parity
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_EQ(file.value().data_width(), 4u);
+    for (std::uint32_t stripe = 0; stripe < 6; ++stripe) {
+      std::vector<std::vector<std::byte>> blocks;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        blocks.push_back(record(stripe * 4 + i));
+      }
+      ASSERT_TRUE(file.value().append_stripe(blocks).is_ok());
+    }
+  });
+  inst.run();
+
+  inst.lfs(1).disk().fail();
+  int reconstructed = 0, correct = 0;
+  inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    for (std::uint32_t i = 0; i < 24; ++i) {
+      bool rebuilt = false;
+      auto r = file.value().read(i, &rebuilt);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      // Reconstructed blocks come back padded to the full user-data size.
+      auto want = record(i);
+      ASSERT_GE(r.value().size(), want.size());
+      EXPECT_TRUE(std::equal(want.begin(), want.end(), r.value().begin()))
+          << "block " << i;
+      if (std::equal(want.begin(), want.end(), r.value().begin())) ++correct;
+      if (rebuilt) ++reconstructed;
+    }
+  });
+  inst.run();
+  EXPECT_EQ(correct, 24);
+  EXPECT_EQ(reconstructed, 6);  // LFS 1 held every 4th data block
+}
+
+TEST(ParityFile, DoubleFailureIsDetected) {
+  BridgeInstance inst(cfg(5));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    std::vector<std::vector<std::byte>> blocks;
+    for (std::uint32_t i = 0; i < 4; ++i) blocks.push_back(record(i));
+    ASSERT_TRUE(file.value().append_stripe(blocks).is_ok());
+  });
+  inst.run();
+  inst.lfs(0).disk().fail();
+  inst.lfs(1).disk().fail();
+  inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    auto r = file.value().read(0);
+    EXPECT_EQ(r.status().code(), util::ErrorCode::kUnavailable);
+  });
+  inst.run();
+}
+
+TEST(DeleteMany, RemovesBatchAndOverlapsWork) {
+  BridgeInstance inst(cfg(4));
+  inst.run_client("setup", [&](sim::Context&, BridgeClient& client) {
+    for (int f = 0; f < 3; ++f) {
+      std::string name = "f" + std::to_string(f);
+      ASSERT_TRUE(client.create(name).is_ok());
+      auto open = client.open(name);
+      ASSERT_TRUE(open.is_ok());
+      for (std::uint32_t i = 0; i < 16; ++i) {
+        ASSERT_TRUE(client.seq_write(open.value().session, record(i)).is_ok());
+      }
+    }
+  });
+  inst.run();
+  EXPECT_EQ(inst.server().directory_size(), 3u);
+
+  sim::SimTime batch_time{};
+  inst.run_client("deleter", [&](sim::Context& ctx, BridgeClient& client) {
+    auto start = ctx.now();
+    ASSERT_TRUE(client.remove_many({"f0", "f1", "f2"}).is_ok());
+    batch_time = ctx.now() - start;
+  });
+  inst.run();
+  EXPECT_EQ(inst.server().directory_size(), 0u);
+  EXPECT_TRUE(inst.verify_all_lfs().is_ok());
+  // Overlapped: 3 files x 4 blocks/LFS at ~20ms each would be ~240ms+
+  // sequential per-file; the batch must beat 3x the single-file cost
+  // (conservative bound: under 2.5x of one file's delete).
+  EXPECT_LT(batch_time.ms(), 700.0);
+}
+
+TEST(DeleteMany, MissingFileFailsCleanly) {
+  BridgeInstance inst(cfg(2));
+  inst.run_client("deleter", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("real").is_ok());
+    EXPECT_EQ(client.remove_many({"real", "ghost"}).code(),
+              util::ErrorCode::kNotFound);
+  });
+  inst.run();
+}
+
+TEST(AnalysisModel, CopyPredictionIsNearLinear) {
+  CostModel model;
+  double t2 = predicted_copy_seconds(10240, 2, model);
+  double t32 = predicted_copy_seconds(10240, 32, model);
+  EXPECT_GT(t2 / t32, 12.0);
+  EXPECT_LT(t2 / t32, 16.0);
+}
+
+TEST(AnalysisModel, SortPredictionIsSuperLinear) {
+  CostModel model;
+  auto total = [&](std::uint32_t p) {
+    return predicted_local_sort_seconds(10240, p, 512, false, 4.4, model) +
+           predicted_merge_seconds(10240, p, model);
+  };
+  double speedup = total(2) / total(32);
+  EXPECT_GT(speedup, 16.0) << "sort model should be super-linear";
+}
+
+TEST(AnalysisModel, HintedLocalMergeRemovesAnomaly) {
+  CostModel model;
+  double unhinted = predicted_local_sort_seconds(10240, 2, 512, false, 4.4, model);
+  double hinted = predicted_local_sort_seconds(10240, 2, 512, true, 4.4, model);
+  EXPECT_GT(unhinted, 3.0 * hinted);
+}
+
+TEST(AnalysisModel, TokenRingWidthIsSeveralDozen) {
+  CostModel model;
+  double width = max_useful_merge_width(model);
+  EXPECT_GT(width, 24.0);   // "several dozen" (§6)
+  EXPECT_LT(width, 200.0);
+}
+
+}  // namespace
+}  // namespace bridge::core

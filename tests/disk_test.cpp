@@ -1,0 +1,170 @@
+// SimDisk: latency accounting, track reads, bounds, fault injection.
+#include <gtest/gtest.h>
+
+#include "src/disk/disk.hpp"
+
+namespace bridge::disk {
+namespace {
+
+Geometry small_geometry() {
+  Geometry g;
+  g.num_tracks = 16;
+  g.blocks_per_track = 4;
+  g.block_size = 1024;
+  return g;
+}
+
+std::vector<std::byte> pattern_block(std::uint8_t fill, std::size_t n = 1024) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+TEST(Disk, WriteThenReadRoundTrips) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    auto data = pattern_block(0x5A);
+    ASSERT_TRUE(disk.write(ctx, 7, data).is_ok());
+    auto got = disk.read(ctx, 7);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), data);
+  });
+  rt.run();
+}
+
+TEST(Disk, EachAccessChargesLatency) {
+  sim::Runtime rt(1);
+  LatencyModel lat;
+  lat.access_latency = sim::msec(15.0);
+  lat.transfer_per_block = sim::msec(0.5);
+  SimDisk disk(small_geometry(), lat);
+  sim::SimTime elapsed{};
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    auto data = pattern_block(1);
+    (void)disk.write(ctx, 0, data);
+    (void)disk.read(ctx, 40);
+    elapsed = ctx.now();
+  });
+  rt.run();
+  EXPECT_EQ(elapsed.us(), 31'000);  // 2 * (15ms + 0.5ms)
+}
+
+TEST(Disk, SequentialDiscountSkipsPositioning) {
+  sim::Runtime rt(1);
+  LatencyModel lat;
+  lat.access_latency = sim::msec(15.0);
+  lat.transfer_per_block = sim::msec(0.5);
+  lat.sequential_discount = true;
+  SimDisk disk(small_geometry(), lat);
+  sim::SimTime elapsed{};
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    (void)disk.read(ctx, 0);  // 15.5ms
+    (void)disk.read(ctx, 1);  // 0.5ms (same track, next block)
+    (void)disk.read(ctx, 2);  // 0.5ms
+    (void)disk.read(ctx, 4);  // 15.5ms (new track)
+    elapsed = ctx.now();
+  });
+  rt.run();
+  EXPECT_EQ(elapsed.us(), 32'000);
+}
+
+TEST(Disk, TrackReadCostsOnePositioning) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  sim::SimTime elapsed{};
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    BlockAddr start = kNilAddr;
+    auto blocks = disk.read_track(ctx, 6, &start);
+    ASSERT_TRUE(blocks.is_ok());
+    EXPECT_EQ(start, 4u);  // track 1 starts at block 4
+    EXPECT_EQ(blocks.value().size(), 4u);
+    elapsed = ctx.now();
+  });
+  rt.run();
+  EXPECT_EQ(elapsed.us(), 17'000);  // 15ms + 4 * 0.5ms
+}
+
+TEST(Disk, TrackReadReturnsCorrectContents) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    for (std::uint8_t i = 0; i < 4; ++i) {
+      (void)disk.write(ctx, 8 + i, pattern_block(i));
+    }
+    auto blocks = disk.read_track(ctx, 9, nullptr);
+    ASSERT_TRUE(blocks.is_ok());
+    for (std::uint8_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(blocks.value()[i], pattern_block(i)) << "block " << int(i);
+    }
+  });
+  rt.run();
+}
+
+TEST(Disk, OutOfRangeRejected) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    EXPECT_EQ(disk.read(ctx, 64).status().code(),
+              util::ErrorCode::kInvalidArgument);
+    EXPECT_EQ(disk.write(ctx, 9999, pattern_block(0)).code(),
+              util::ErrorCode::kInvalidArgument);
+  });
+  rt.run();
+}
+
+TEST(Disk, WrongSizeWriteRejected) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    EXPECT_EQ(disk.write(ctx, 0, pattern_block(0, 100)).code(),
+              util::ErrorCode::kInvalidArgument);
+  });
+  rt.run();
+}
+
+TEST(Disk, FailAndRepair) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(disk.write(ctx, 3, pattern_block(9)).is_ok());
+    disk.fail();
+    EXPECT_EQ(disk.read(ctx, 3).status().code(), util::ErrorCode::kUnavailable);
+    EXPECT_EQ(disk.write(ctx, 3, pattern_block(1)).code(),
+              util::ErrorCode::kUnavailable);
+    disk.repair();
+    auto got = disk.read(ctx, 3);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), pattern_block(9));  // data survived the outage
+  });
+  rt.run();
+}
+
+TEST(Disk, StatsAccumulate) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    (void)disk.write(ctx, 0, pattern_block(1));
+    (void)disk.read(ctx, 0);
+    (void)disk.read_track(ctx, 0, nullptr);
+  });
+  rt.run();
+  const auto& st = disk.stats();
+  EXPECT_EQ(st.block_writes, 1u);
+  EXPECT_EQ(st.block_reads, 1u + 4u);
+  EXPECT_EQ(st.track_reads, 1u);
+  EXPECT_EQ(st.positioning_ops, 3u);
+}
+
+TEST(Disk, PeekAndPokeAreUntimed) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  auto data = pattern_block(0x77);
+  disk.poke(5, data);
+  auto view = disk.peek(5);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(std::equal(view->begin(), view->end(), data.begin()));
+  EXPECT_FALSE(disk.peek(64).has_value());
+  EXPECT_EQ(disk.stats().block_reads, 0u);
+}
+
+}  // namespace
+}  // namespace bridge::disk

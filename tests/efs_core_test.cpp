@@ -1,0 +1,355 @@
+// EfsCore: the local file system's behaviour and invariants — creation,
+// append/overwrite, chain structure, hints, deletion, persistence, errors.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/efs/efs.hpp"
+
+namespace bridge::efs {
+namespace {
+
+disk::Geometry geo(std::uint32_t tracks = 256) {
+  disk::Geometry g;
+  g.num_tracks = tracks;
+  g.blocks_per_track = 4;
+  return g;
+}
+
+std::vector<std::byte> payload(std::uint32_t tag) {
+  std::vector<std::byte> data(kEfsDataBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::byte(static_cast<std::uint8_t>(tag + i * 7));
+  }
+  return data;
+}
+
+/// Run `body` inside one simulated process over a freshly formatted EFS.
+void with_efs(std::function<void(sim::Context&, EfsCore&)> body,
+              EfsConfig cfg = {}, std::uint32_t tracks = 256) {
+  sim::Runtime rt(1);
+  disk::SimDisk dev(geo(tracks), disk::LatencyModel{});
+  EfsCore efs(dev, cfg);
+  efs.format();
+  rt.spawn(0, "t", [&](sim::Context& ctx) { body(ctx, efs); });
+  rt.run();
+  ASSERT_FALSE(rt.scheduler().deadlocked());
+}
+
+TEST(EfsCore, CreateWriteReadRoundTrip) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 42).is_ok());
+    auto w = efs.write(ctx, 42, 0, payload(1), kNilAddr);
+    ASSERT_TRUE(w.is_ok());
+    auto r = efs.read(ctx, 42, 0, kNilAddr);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, payload(1));
+    EXPECT_EQ(r.value().addr, w.value());
+  });
+}
+
+TEST(EfsCore, SequentialAppendBuildsCorrectChain) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 7).is_ok());
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 7, i, payload(i), kNilAddr).is_ok());
+    }
+    auto info = efs.info(ctx, 7);
+    ASSERT_TRUE(info.is_ok());
+    EXPECT_EQ(info.value().size_blocks, 20u);
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      auto r = efs.read(ctx, 7, i, kNilAddr);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value().data, payload(i));
+    }
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, OverwriteReplacesDataPreservingChain) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 3).is_ok());
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 3, i, payload(i), kNilAddr).is_ok());
+    }
+    ASSERT_TRUE(efs.write(ctx, 3, 2, payload(99), kNilAddr).is_ok());
+    auto r = efs.read(ctx, 3, 2, kNilAddr);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, payload(99));
+    auto info = efs.info(ctx, 3);
+    EXPECT_EQ(info.value().size_blocks, 5u);  // no growth
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, GapWriteRejected) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+    EXPECT_EQ(efs.write(ctx, 1, 5, payload(0), kNilAddr).status().code(),
+              util::ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(EfsCore, ReadPastEofRejected) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+    ASSERT_TRUE(efs.write(ctx, 1, 0, payload(0), kNilAddr).is_ok());
+    EXPECT_EQ(efs.read(ctx, 1, 1, kNilAddr).status().code(),
+              util::ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(EfsCore, MissingFileIsNotFound) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    EXPECT_EQ(efs.read(ctx, 9, 0, kNilAddr).status().code(),
+              util::ErrorCode::kNotFound);
+    EXPECT_EQ(efs.info(ctx, 9).status().code(), util::ErrorCode::kNotFound);
+    EXPECT_EQ(efs.remove(ctx, 9).code(), util::ErrorCode::kNotFound);
+  });
+}
+
+TEST(EfsCore, DuplicateCreateRejected) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 5).is_ok());
+    EXPECT_EQ(efs.create(ctx, 5).code(), util::ErrorCode::kAlreadyExists);
+  });
+}
+
+TEST(EfsCore, FileIdZeroRejected) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    EXPECT_EQ(efs.create(ctx, 0).code(), util::ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(EfsCore, DeleteFreesEveryBlock) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    std::size_t free_before = efs.free_block_count();
+    ASSERT_TRUE(efs.create(ctx, 11).is_ok());
+    for (std::uint32_t i = 0; i < 30; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 11, i, payload(i), kNilAddr).is_ok());
+    }
+    EXPECT_EQ(efs.free_block_count(), free_before - 30);
+    ASSERT_TRUE(efs.remove(ctx, 11).is_ok());
+    EXPECT_EQ(efs.free_block_count(), free_before);
+    EXPECT_EQ(efs.file_count(), 0u);
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, DeletedBlocksAreReusable) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 1, i, payload(i), kNilAddr).is_ok());
+    }
+    ASSERT_TRUE(efs.remove(ctx, 1).is_ok());
+    ASSERT_TRUE(efs.create(ctx, 2).is_ok());
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 2, i, payload(100 + i), kNilAddr).is_ok());
+    }
+    auto r = efs.read(ctx, 2, 9, kNilAddr);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, payload(109));
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, OutOfSpaceSurfaces) {
+  // Tiny disk: 8 tracks * 4 = 32 blocks, 9 reserved -> 23 data blocks.
+  with_efs(
+      [](sim::Context& ctx, EfsCore& efs) {
+        ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+        std::uint32_t written = 0;
+        while (true) {
+          auto w = efs.write(ctx, 1, written, payload(written), kNilAddr);
+          if (!w.is_ok()) {
+            EXPECT_EQ(w.status().code(), util::ErrorCode::kOutOfSpace);
+            break;
+          }
+          ++written;
+          ASSERT_LT(written, 100u);
+        }
+        EXPECT_EQ(written, 23u);
+        EXPECT_TRUE(efs.verify_integrity().is_ok());
+      },
+      EfsConfig{}, /*tracks=*/8);
+}
+
+TEST(EfsCore, HintAcceleratesSequentialRead) {
+  EfsConfig cfg;
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 4).is_ok());
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 4, i, payload(i), kNilAddr).is_ok());
+    }
+    // Sequential scan passing last address as hint: walk steps stay ~1/block.
+    std::uint64_t walk_before = efs.op_stats().walk_steps;
+    BlockAddr hint = kNilAddr;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      auto r = efs.read(ctx, 4, i, hint);
+      ASSERT_TRUE(r.is_ok());
+      hint = r.value().addr;
+    }
+    std::uint64_t hinted_walk = efs.op_stats().walk_steps - walk_before;
+    EXPECT_LE(hinted_walk, 210u);
+    EXPECT_GT(efs.op_stats().hint_uses, 150u);
+  });
+}
+
+TEST(EfsCore, NoHintReadsWalkFromNearestEnd) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 4).is_ok());
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 4, i, payload(i), kNilAddr).is_ok());
+    }
+    std::uint64_t walk_before = efs.op_stats().walk_steps;
+    // Block 97 is closest to the tail: walking from head would cost 97 steps,
+    // from the tail only 2.
+    ASSERT_TRUE(efs.read(ctx, 4, 97, kNilAddr).is_ok());
+    EXPECT_LE(efs.op_stats().walk_steps - walk_before, 3u);
+  });
+}
+
+TEST(EfsCore, HintFromWrongFileRejected) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+    ASSERT_TRUE(efs.create(ctx, 2).is_ok());
+    ASSERT_TRUE(efs.write(ctx, 1, 0, payload(1), kNilAddr).is_ok());
+    auto w2 = efs.write(ctx, 2, 0, payload(2), kNilAddr);
+    ASSERT_TRUE(w2.is_ok());
+    // Pass file 2's block as a hint for file 1: must still find the right
+    // block (and count a hint reject).
+    auto r = efs.read(ctx, 1, 0, w2.value());
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, payload(1));
+    EXPECT_GE(efs.op_stats().hint_rejects, 1u);
+  });
+}
+
+TEST(EfsCore, HintsCanBeDisabled) {
+  EfsConfig cfg;
+  cfg.hints_enabled = false;
+  with_efs(
+      [](sim::Context& ctx, EfsCore& efs) {
+        ASSERT_TRUE(efs.create(ctx, 4).is_ok());
+        for (std::uint32_t i = 0; i < 50; ++i) {
+          ASSERT_TRUE(efs.write(ctx, 4, i, payload(i), kNilAddr).is_ok());
+        }
+        BlockAddr hint = kNilAddr;
+        for (std::uint32_t i = 0; i < 50; ++i) {
+          auto r = efs.read(ctx, 4, i, hint);
+          ASSERT_TRUE(r.is_ok());
+          hint = r.value().addr;
+        }
+        EXPECT_EQ(efs.op_stats().hint_uses, 0u);
+      },
+      cfg);
+}
+
+TEST(EfsCore, ManyFilesStayDisjoint) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    for (FileId f = 1; f <= 12; ++f) {
+      ASSERT_TRUE(efs.create(ctx, f).is_ok());
+    }
+    for (std::uint32_t i = 0; i < 15; ++i) {
+      for (FileId f = 1; f <= 12; ++f) {
+        ASSERT_TRUE(efs.write(ctx, f, i, payload(f * 1000 + i), kNilAddr).is_ok());
+      }
+    }
+    for (FileId f = 1; f <= 12; ++f) {
+      for (std::uint32_t i = 0; i < 15; ++i) {
+        auto r = efs.read(ctx, f, i, kNilAddr);
+        ASSERT_TRUE(r.is_ok());
+        EXPECT_EQ(r.value().data, payload(f * 1000 + i));
+      }
+    }
+    EXPECT_EQ(efs.file_count(), 12u);
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, SyncThenRemountPreservesEverything) {
+  sim::Runtime rt(1);
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  EfsCore efs(dev, EfsConfig{});
+  efs.format();
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(efs.create(ctx, 21).is_ok());
+    for (std::uint32_t i = 0; i < 25; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 21, i, payload(i), kNilAddr).is_ok());
+    }
+    ASSERT_TRUE(efs.sync(ctx).is_ok());
+  });
+  rt.run();
+
+  // "Mount" a fresh EfsCore over the same device.
+  sim::Runtime rt2(1);
+  EfsCore efs2(dev, EfsConfig{});
+  ASSERT_TRUE(efs2.remount_from_disk().is_ok());
+  EXPECT_EQ(efs2.file_count(), 1u);
+  EXPECT_EQ(efs2.free_block_count(), efs.free_block_count());
+  rt2.spawn(0, "t", [&](sim::Context& ctx) {
+    auto info = efs2.info(ctx, 21);
+    ASSERT_TRUE(info.is_ok());
+    EXPECT_EQ(info.value().size_blocks, 25u);
+    for (std::uint32_t i = 0; i < 25; ++i) {
+      auto r = efs2.read(ctx, 21, i, kNilAddr);
+      ASSERT_TRUE(r.is_ok());
+      EXPECT_EQ(r.value().data, payload(i));
+    }
+  });
+  rt2.run();
+  EXPECT_TRUE(efs2.verify_integrity().is_ok());
+}
+
+TEST(EfsCore, WrongPayloadSizeRejected) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+    std::vector<std::byte> bad(100);
+    EXPECT_EQ(efs.write(ctx, 1, 0, bad, kNilAddr).status().code(),
+              util::ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(EfsCore, AppendCostMatchesPaperWriteRegime) {
+  // Steady-state sequential append should cost roughly the paper's 31 ms
+  // Write figure (one data write + amortized pointer flushes).
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 8).is_ok());
+    // Warm up.
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 8, i, payload(i), kNilAddr).is_ok());
+    }
+    auto before = ctx.now();
+    for (std::uint32_t i = 64; i < 192; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 8, i, payload(i), kNilAddr).is_ok());
+    }
+    double per_write_ms = (ctx.now() - before).ms() / 128.0;
+    EXPECT_GT(per_write_ms, 15.0);
+    EXPECT_LT(per_write_ms, 45.0);
+  });
+}
+
+TEST(EfsCore, SequentialReadCostBeatsDiskLatency) {
+  // Full-track buffering: amortized sequential read "substantially less than
+  // disk latency" (§4.5).
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 8).is_ok());
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 8, i, payload(i), kNilAddr).is_ok());
+    }
+    auto before = ctx.now();
+    BlockAddr hint = kNilAddr;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      auto r = efs.read(ctx, 8, i, hint);
+      ASSERT_TRUE(r.is_ok());
+      hint = r.value().addr;
+    }
+    double per_read_ms = (ctx.now() - before).ms() / 256.0;
+    EXPECT_LT(per_read_ms, 15.0);
+    EXPECT_GT(per_read_ms, 1.0);
+  });
+}
+
+}  // namespace
+}  // namespace bridge::efs

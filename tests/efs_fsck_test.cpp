@@ -1,0 +1,247 @@
+// fsck: repair of deliberately corrupted EFS disks — broken chain links,
+// orphaned blocks, garbage headers, dropped directory entries — followed by
+// successful remount and full integrity.
+#include <gtest/gtest.h>
+
+#include "src/efs/efs.hpp"
+#include "src/efs/fsck.hpp"
+
+namespace bridge::efs {
+namespace {
+
+disk::Geometry geo() {
+  disk::Geometry g;
+  g.num_tracks = 256;
+  g.blocks_per_track = 4;
+  return g;
+}
+
+std::vector<std::byte> payload(std::uint32_t tag) {
+  std::vector<std::byte> data(kEfsDataBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::byte(static_cast<std::uint8_t>(tag * 3 + i));
+  }
+  return data;
+}
+
+/// Build a formatted disk with `files` files of `blocks` blocks, synced.
+void populate(disk::SimDisk& dev, std::uint32_t files, std::uint32_t blocks) {
+  sim::Runtime rt(1);
+  EfsCore fs(dev, EfsConfig{});
+  fs.format();
+  rt.spawn(0, "w", [&](sim::Context& ctx) {
+    for (FileId f = 1; f <= files; ++f) {
+      ASSERT_TRUE(fs.create(ctx, f).is_ok());
+      for (std::uint32_t i = 0; i < blocks; ++i) {
+        ASSERT_TRUE(fs.write(ctx, f, i, payload(f * 100 + i), disk::kNilAddr)
+                        .is_ok());
+      }
+    }
+    ASSERT_TRUE(fs.sync(ctx).is_ok());
+  });
+  rt.run();
+}
+
+/// Find the disk address of (file, local block) by walking raw headers.
+disk::BlockAddr find_block(disk::SimDisk& dev, FileId file,
+                           std::uint32_t block_no) {
+  for (disk::BlockAddr a = 0; a < dev.geometry().capacity_blocks(); ++a) {
+    auto raw = dev.peek(a);
+    if (!raw) continue;
+    auto h = parse_header(*raw);
+    if (h.magic == kMagicDataBlock && h.file_id == file &&
+        h.block_no == block_no) {
+      return a;
+    }
+  }
+  return disk::kNilAddr;
+}
+
+FsckReport run_fsck(disk::SimDisk& dev) {
+  FsckReport report;
+  sim::Runtime rt(1);
+  rt.spawn(0, "fsck", [&](sim::Context& ctx) {
+    auto result = fsck(ctx, dev);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    report = result.value();
+  });
+  rt.run();
+  return report;
+}
+
+void expect_remount_healthy(disk::SimDisk& dev) {
+  EfsCore fs(dev, EfsConfig{});
+  ASSERT_TRUE(fs.remount_from_disk().is_ok());
+  EXPECT_TRUE(fs.verify_integrity().is_ok());
+}
+
+TEST(Fsck, CleanDiskReportsClean) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  populate(dev, 3, 10);
+  auto report = run_fsck(dev);
+  EXPECT_TRUE(report.clean);
+  EXPECT_EQ(report.files_checked, 3u);
+  EXPECT_EQ(report.chains_truncated, 0u);
+  EXPECT_EQ(report.orphans_freed, 0u);
+  expect_remount_healthy(dev);
+}
+
+TEST(Fsck, BrokenNextPointerTruncatesChain) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  populate(dev, 1, 12);
+  // Smash block 5's next pointer to garbage.
+  auto addr = find_block(dev, 1, 5);
+  ASSERT_NE(addr, disk::kNilAddr);
+  auto raw = dev.peek(addr);
+  std::vector<std::byte> image(raw->begin(), raw->end());
+  auto header = parse_header(image);
+  header.next = 0xDEAD;
+  store_header(image, header);
+  dev.poke(addr, image);
+
+  auto report = run_fsck(dev);
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.chains_truncated, 1u);
+  EXPECT_EQ(report.orphans_freed, 6u);  // blocks 6..11 became unreachable
+
+  // The surviving prefix reads back intact.
+  EfsCore fs(dev, EfsConfig{});
+  ASSERT_TRUE(fs.remount_from_disk().is_ok());
+  EXPECT_TRUE(fs.verify_integrity().is_ok());
+  sim::Runtime rt(1);
+  rt.spawn(0, "r", [&](sim::Context& ctx) {
+    auto info = fs.info(ctx, 1);
+    ASSERT_TRUE(info.is_ok());
+    EXPECT_EQ(info.value().size_blocks, 6u);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      auto r = fs.read(ctx, 1, i, disk::kNilAddr);
+      ASSERT_TRUE(r.is_ok());
+      EXPECT_EQ(r.value().data, payload(100 + i));
+    }
+  });
+  rt.run();
+}
+
+TEST(Fsck, GarbageHeaderMidChain) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  populate(dev, 2, 8);
+  auto addr = find_block(dev, 2, 3);
+  ASSERT_NE(addr, disk::kNilAddr);
+  std::vector<std::byte> garbage(1024, std::byte{0xFF});
+  dev.poke(addr, garbage);
+
+  auto report = run_fsck(dev);
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.chains_truncated, 1u);
+  // File 1 untouched, file 2 truncated to 3 blocks.
+  EfsCore fs(dev, EfsConfig{});
+  ASSERT_TRUE(fs.remount_from_disk().is_ok());
+  EXPECT_TRUE(fs.verify_integrity().is_ok());
+  sim::Runtime rt(1);
+  rt.spawn(0, "r", [&](sim::Context& ctx) {
+    EXPECT_EQ(fs.info(ctx, 1).value().size_blocks, 8u);
+    EXPECT_EQ(fs.info(ctx, 2).value().size_blocks, 3u);
+  });
+  rt.run();
+}
+
+TEST(Fsck, HeadDestroyedDropsEntry) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  populate(dev, 1, 6);
+  auto addr = find_block(dev, 1, 0);
+  std::vector<std::byte> garbage(1024, std::byte{0xAB});
+  dev.poke(addr, garbage);
+
+  auto report = run_fsck(dev);
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.entries_dropped, 1u);
+  EXPECT_EQ(report.orphans_freed, 6u);  // the garbage block + the 5 stranded
+
+  EfsCore fs(dev, EfsConfig{});
+  ASSERT_TRUE(fs.remount_from_disk().is_ok());
+  EXPECT_EQ(fs.file_count(), 0u);
+  EXPECT_TRUE(fs.verify_integrity().is_ok());
+}
+
+TEST(Fsck, OrphanedBlocksReclaimed) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  populate(dev, 1, 4);
+  // Forge a data block that no directory entry references.
+  BlockHeader forged;
+  forged.magic = kMagicDataBlock;
+  forged.file_id = 999;
+  forged.block_no = 0;
+  std::vector<std::byte> image(1024);
+  store_header(image, forged);
+  // Find a free block to plant it on.
+  disk::BlockAddr planted = disk::kNilAddr;
+  for (disk::BlockAddr a = 9; a < dev.geometry().capacity_blocks(); ++a) {
+    if (parse_header(*dev.peek(a)).magic == kMagicFreeBlock) {
+      planted = a;
+      break;
+    }
+  }
+  ASSERT_NE(planted, disk::kNilAddr);
+  dev.poke(planted, image);
+
+  auto report = run_fsck(dev);
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.orphans_freed, 1u);
+  EXPECT_EQ(report.chains_truncated, 0u);
+
+  // The reclaimed block is allocatable again.
+  EfsCore fs(dev, EfsConfig{});
+  ASSERT_TRUE(fs.remount_from_disk().is_ok());
+  EXPECT_TRUE(fs.verify_integrity().is_ok());
+}
+
+TEST(Fsck, CrossLinkedChainsRepaired) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  populate(dev, 2, 6);
+  // Point file 1 block 2's next INTO file 2's chain (cross-link).
+  auto a = find_block(dev, 1, 2);
+  auto foreign = find_block(dev, 2, 3);
+  ASSERT_NE(a, disk::kNilAddr);
+  ASSERT_NE(foreign, disk::kNilAddr);
+  auto raw = dev.peek(a);
+  std::vector<std::byte> image(raw->begin(), raw->end());
+  auto header = parse_header(image);
+  header.next = foreign;
+  store_header(image, header);
+  dev.poke(a, image);
+
+  auto report = run_fsck(dev);
+  EXPECT_FALSE(report.clean);
+  // File 1 truncated at the cross-link (wrong file id at the target).
+  EXPECT_GE(report.chains_truncated, 1u);
+  expect_remount_healthy(dev);
+}
+
+TEST(Fsck, UnformattedDiskRejected) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  sim::Runtime rt(1);
+  rt.spawn(0, "fsck", [&](sim::Context& ctx) {
+    auto result = fsck(ctx, dev);
+    EXPECT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), util::ErrorCode::kCorrupt);
+  });
+  rt.run();
+}
+
+TEST(Fsck, IsIdempotent) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  populate(dev, 2, 10);
+  auto addr = find_block(dev, 1, 4);
+  std::vector<std::byte> garbage(1024, std::byte{0x11});
+  dev.poke(addr, garbage);
+
+  auto first = run_fsck(dev);
+  EXPECT_FALSE(first.clean);
+  auto second = run_fsck(dev);
+  EXPECT_TRUE(second.clean);
+  EXPECT_EQ(second.chains_truncated, 0u);
+  EXPECT_EQ(second.orphans_freed, 0u);
+}
+
+}  // namespace
+}  // namespace bridge::efs

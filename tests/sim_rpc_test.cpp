@@ -1,0 +1,163 @@
+// RPC layer: request/reply matching, status propagation, async calls with
+// out-of-order replies, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/rpc.hpp"
+
+namespace bridge::sim {
+namespace {
+
+using util::ErrorCode;
+using util::Reader;
+using util::Writer;
+
+constexpr std::uint32_t kEcho = 1;
+constexpr std::uint32_t kFail = 2;
+constexpr std::uint32_t kSlowDouble = 3;
+
+/// Spawns a trivial service on `node` that echoes, fails, or doubles.
+Address spawn_test_server(Runtime& rt, NodeId node, Mailbox& box) {
+  rt.spawn(node, "server", [&box](Context& ctx) {
+    ctx.set_daemon();
+    while (true) {
+      Envelope env = box.recv();
+      switch (env.type) {
+        case kEcho:
+          send_reply(ctx, env, util::ok_status(), env.payload);
+          break;
+        case kFail:
+          send_reply(ctx, env, util::not_found("no such thing"));
+          break;
+        case kSlowDouble: {
+          Reader r(env.payload);
+          std::uint64_t v = r.u64();
+          ctx.charge(msec(static_cast<double>(v)));
+          Writer w;
+          w.u64(v * 2);
+          send_reply(ctx, env, util::ok_status(), w.buffer());
+          break;
+        }
+        default:
+          send_reply(ctx, env, util::invalid_argument("bad type"));
+      }
+    }
+  });
+  return box.address();
+}
+
+TEST(Rpc, EchoRoundTrip) {
+  Runtime rt(2);
+  Mailbox box(rt.scheduler(), 1);
+  Address svc = spawn_test_server(rt, 1, box);
+  std::string got;
+  rt.spawn(0, "client", [&](Context& ctx) {
+    RpcClient cli(ctx);
+    Writer w;
+    w.str("ping");
+    auto result = cli.call(svc, kEcho, w.buffer());
+    ASSERT_TRUE(result.is_ok());
+    Reader r(result.value());
+    got = r.str();
+  });
+  rt.run();
+  EXPECT_EQ(got, "ping");
+}
+
+TEST(Rpc, ErrorStatusPropagates) {
+  Runtime rt(1);
+  Mailbox box(rt.scheduler(), 0);
+  Address svc = spawn_test_server(rt, 0, box);
+  util::Status status;
+  rt.spawn(0, "client", [&](Context& ctx) {
+    RpcClient cli(ctx);
+    auto result = cli.call(svc, kFail, {});
+    status = result.status();
+  });
+  rt.run();
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "no such thing");
+}
+
+TEST(Rpc, RoundTripTakesTwoMessageLatencies) {
+  Topology topo;
+  topo.remote_latency = usec(1000);
+  topo.remote_us_per_byte = 0.0;
+  Runtime rt(2, topo);
+  Mailbox box(rt.scheduler(), 1);
+  Address svc = spawn_test_server(rt, 1, box);
+  SimTime done{-1};
+  rt.spawn(0, "client", [&](Context& ctx) {
+    RpcClient cli(ctx);
+    auto result = cli.call(svc, kEcho, {});
+    ASSERT_TRUE(result.is_ok());
+    done = ctx.now();
+  });
+  rt.run();
+  EXPECT_EQ(done.us(), 2'000);
+}
+
+TEST(Rpc, AsyncRepliesMatchedOutOfOrder) {
+  Runtime rt(2);
+  Mailbox box(rt.scheduler(), 1);
+  Address svc = spawn_test_server(rt, 1, box);
+  std::uint64_t first = 0, second = 0;
+  rt.spawn(0, "client", [&](Context& ctx) {
+    RpcClient cli(ctx);
+    // The 20ms job is issued first, the 1ms job second; the second reply
+    // arrives first.  wait_reply must still match correctly.
+    Writer slow;
+    slow.u64(20);
+    Writer fast;
+    fast.u64(1);
+    auto c1 = cli.call_async(svc, kSlowDouble, slow.buffer());
+    auto c2 = cli.call_async(svc, kSlowDouble, fast.buffer());
+    auto r1 = cli.wait_reply(c1);
+    auto r2 = cli.wait_reply(c2);
+    ASSERT_TRUE(r1.is_ok());
+    ASSERT_TRUE(r2.is_ok());
+    first = Reader(r1.value()).u64();
+    second = Reader(r2.value()).u64();
+  });
+  rt.run();
+  EXPECT_EQ(first, 40u);
+  EXPECT_EQ(second, 2u);
+}
+
+TEST(Rpc, ManyClientsOneServer) {
+  Runtime rt(4);
+  Mailbox box(rt.scheduler(), 0);
+  Address svc = spawn_test_server(rt, 0, box);
+  int ok_count = 0;
+  for (int i = 0; i < 12; ++i) {
+    rt.spawn(1 + (i % 3), "client" + std::to_string(i), [&, i](Context& ctx) {
+      RpcClient cli(ctx);
+      Writer w;
+      w.u64(static_cast<std::uint64_t>(i));
+      auto result = cli.call(svc, kEcho, w.buffer());
+      if (result.is_ok() && Reader(result.value()).u64() == static_cast<std::uint64_t>(i)) {
+        ++ok_count;
+      }
+    });
+  }
+  rt.run();
+  EXPECT_EQ(ok_count, 12);
+}
+
+TEST(Rpc, ReplyPayloadRoundTrip) {
+  auto payload = make_reply_payload(util::ok_status(),
+                                    std::vector<std::byte>{std::byte{1}, std::byte{2}});
+  auto parsed = parse_reply_payload(payload);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().size(), 2u);
+
+  auto err = make_reply_payload(util::out_of_space("disk full"));
+  auto parsed_err = parse_reply_payload(err);
+  EXPECT_FALSE(parsed_err.is_ok());
+  EXPECT_EQ(parsed_err.status().code(), ErrorCode::kOutOfSpace);
+  EXPECT_EQ(parsed_err.status().message(), "disk full");
+}
+
+}  // namespace
+}  // namespace bridge::sim

@@ -1,0 +1,173 @@
+// Unit tests for the discrete-event scheduler: virtual time, determinism,
+// ordering, daemon semantics, and process lifecycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/runtime.hpp"
+
+namespace bridge::sim {
+namespace {
+
+TEST(Scheduler, VirtualTimeAdvancesThroughSleep) {
+  Runtime rt(1);
+  SimTime observed_before{-1}, observed_after{-1};
+  rt.spawn(0, "sleeper", [&](Context& ctx) {
+    observed_before = ctx.now();
+    ctx.sleep(msec(15));
+    observed_after = ctx.now();
+  });
+  rt.run();
+  EXPECT_EQ(observed_before.us(), 0);
+  EXPECT_EQ(observed_after.us(), 15'000);
+}
+
+TEST(Scheduler, ZeroAndNegativeSleepIsNoop) {
+  Runtime rt(1);
+  SimTime end{-1};
+  rt.spawn(0, "p", [&](Context& ctx) {
+    ctx.sleep(SimTime(0));
+    ctx.sleep(SimTime(-5));
+    end = ctx.now();
+  });
+  rt.run();
+  EXPECT_EQ(end.us(), 0);
+}
+
+TEST(Scheduler, ProcessesInterleaveInTimeOrder) {
+  Runtime rt(2);
+  std::vector<int> order;
+  rt.spawn(0, "a", [&](Context& ctx) {
+    ctx.sleep(msec(10));
+    order.push_back(1);
+    ctx.sleep(msec(20));  // wakes at 30
+    order.push_back(3);
+  });
+  rt.spawn(1, "b", [&](Context& ctx) {
+    ctx.sleep(msec(20));  // wakes at 20
+    order.push_back(2);
+    ctx.sleep(msec(20));  // wakes at 40
+    order.push_back(4);
+  });
+  rt.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Scheduler, SameTimeEventsDispatchInSpawnOrder) {
+  Runtime rt(1);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    rt.spawn(0, "p" + std::to_string(i), [&order, i](Context& ctx) {
+      ctx.sleep(msec(5));
+      order.push_back(i);
+    });
+  }
+  rt.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Scheduler, SpawnFromWithinProcess) {
+  Runtime rt(2);
+  SimTime child_start{-1};
+  rt.spawn(0, "parent", [&](Context& ctx) {
+    ctx.sleep(msec(3));
+    ctx.runtime().spawn(1, "child", [&](Context& cctx) {
+      child_start = cctx.now();
+    });
+  });
+  rt.run();
+  EXPECT_EQ(child_start.us(), 3'000);
+}
+
+TEST(Scheduler, SpawnDelayIsHonored) {
+  Runtime rt(1);
+  SimTime start{-1};
+  rt.spawn(0, "delayed", [&](Context& ctx) { start = ctx.now(); }, msec(42));
+  rt.run();
+  EXPECT_EQ(start.us(), 42'000);
+}
+
+TEST(Scheduler, HandleReportsCompletion) {
+  Runtime rt(1);
+  auto h = rt.spawn(0, "p", [&](Context& ctx) { ctx.sleep(msec(1)); });
+  EXPECT_FALSE(h.finished());
+  rt.run();
+  EXPECT_TRUE(h.finished());
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Runtime rt(4, Topology{}, /*seed=*/7);
+    std::vector<std::uint64_t> trace;
+    for (NodeId n = 0; n < 4; ++n) {
+      rt.spawn(n, "w", [&trace, n](Context& ctx) {
+        auto rng = ctx.rng();
+        for (int i = 0; i < 10; ++i) {
+          ctx.sleep(usec(static_cast<std::int64_t>(rng.next_below(1000)) + 1));
+          trace.push_back(ctx.now().us() * 16 + n);
+        }
+      });
+    }
+    rt.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Scheduler, DaemonDoesNotCountAsDeadlock) {
+  Runtime rt(1);
+  auto chan = rt.make_channel<int>(0);
+  rt.spawn(0, "server", [&](Context& ctx) {
+    ctx.set_daemon();
+    chan->recv();  // never satisfied
+  });
+  rt.run();
+  EXPECT_FALSE(rt.scheduler().deadlocked());
+  EXPECT_TRUE(rt.scheduler().parked_process_names().empty());
+}
+
+TEST(Scheduler, NonDaemonParkedIsDeadlock) {
+  Runtime rt(1);
+  auto chan = rt.make_channel<int>(0);
+  rt.spawn(0, "stuck", [&](Context&) { chan->recv(); });
+  rt.run();
+  EXPECT_TRUE(rt.scheduler().deadlocked());
+  auto names = rt.scheduler().parked_process_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "stuck");
+}
+
+TEST(Scheduler, ManyProcessesScale) {
+  Runtime rt(32);
+  int completed = 0;
+  for (int i = 0; i < 256; ++i) {
+    rt.spawn(i % 32, "w" + std::to_string(i), [&](Context& ctx) {
+      for (int k = 0; k < 20; ++k) ctx.sleep(usec(100));
+      ++completed;
+    });
+  }
+  rt.run();
+  EXPECT_EQ(completed, 256);
+  EXPECT_EQ(rt.now().us(), 2'000);
+}
+
+TEST(Scheduler, SpawnOutOfRangeNodeThrows) {
+  Runtime rt(2);
+  EXPECT_THROW(rt.spawn(2, "bad", [](Context&) {}), std::invalid_argument);
+}
+
+TEST(Scheduler, ZeroNodesRejected) {
+  EXPECT_THROW(Runtime rt(0), std::invalid_argument);
+}
+
+TEST(Scheduler, StatsCountSpawnsAndEvents) {
+  Runtime rt(1);
+  rt.spawn(0, "p", [](Context& ctx) { ctx.sleep(msec(1)); });
+  rt.run();
+  const auto& st = rt.scheduler().stats();
+  EXPECT_EQ(st.processes_spawned, 1u);
+  EXPECT_GE(st.events_dispatched, 2u);  // start + sleep wake
+}
+
+}  // namespace
+}  // namespace bridge::sim

@@ -1,0 +1,148 @@
+// Simulation-runtime stress: determinism under heavy concurrency, fan-in
+// channel ordering, RPC storms, and scheduler statistics sanity.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/sim/rpc.hpp"
+
+namespace bridge::sim {
+namespace {
+
+TEST(SimStress, HeavyRunIsDeterministic) {
+  auto run_once = [] {
+    Runtime rt(16, Topology{}, /*seed=*/99);
+    auto sink = rt.make_channel<std::uint64_t>(0);
+    // 64 producers with pseudo-random work patterns feeding one consumer.
+    for (std::uint32_t producer = 0; producer < 64; ++producer) {
+      rt.spawn(producer % 16, "p" + std::to_string(producer),
+               [&, producer](Context& ctx) {
+                 auto rng = ctx.rng();
+                 for (int i = 0; i < 30; ++i) {
+                   ctx.sleep(usec(static_cast<std::int64_t>(rng.next_below(500))));
+                   ctx.send(*sink, (std::uint64_t{producer} << 32) | i, 16);
+                 }
+               });
+    }
+    std::vector<std::uint64_t> order;
+    rt.spawn(0, "consumer", [&](Context&) {
+      for (int i = 0; i < 64 * 30; ++i) order.push_back(sink->recv());
+    });
+    rt.run();
+    return order;
+  };
+  auto first = run_once();
+  auto second = run_once();
+  ASSERT_EQ(first.size(), 1920u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SimStress, FanInPreservesPerSenderOrder) {
+  Runtime rt(8);
+  auto sink = rt.make_channel<std::pair<int, int>>(0);
+  for (int sender = 0; sender < 8; ++sender) {
+    rt.spawn(sender, "s" + std::to_string(sender), [&, sender](Context& ctx) {
+      for (int i = 0; i < 50; ++i) {
+        // Varying payload sizes would reorder without per-sender FIFO.
+        ctx.send(*sink, {sender, i}, static_cast<std::size_t>(1 + (i * 97) % 4000));
+      }
+    });
+  }
+  std::vector<int> next_expected(8, 0);
+  bool ordered = true;
+  rt.spawn(0, "consumer", [&](Context&) {
+    for (int i = 0; i < 8 * 50; ++i) {
+      auto [sender, seq] = sink->recv();
+      if (seq != next_expected[sender]) ordered = false;
+      ++next_expected[sender];
+    }
+  });
+  rt.run();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(std::accumulate(next_expected.begin(), next_expected.end(), 0), 400);
+}
+
+TEST(SimStress, RpcStormAllCallsAnswered) {
+  Runtime rt(8);
+  Mailbox service_box(rt.scheduler(), 0);
+  rt.spawn(0, "server", [&](Context& ctx) {
+    ctx.set_daemon();
+    while (true) {
+      Envelope env = service_box.recv();
+      ctx.charge(usec(50));
+      send_reply(ctx, env, util::ok_status(), env.payload);
+    }
+  });
+  int completed = 0;
+  for (int client = 0; client < 40; ++client) {
+    rt.spawn(1 + client % 7, "c" + std::to_string(client),
+             [&, client](Context& ctx) {
+               RpcClient rpc(ctx);
+               for (int i = 0; i < 25; ++i) {
+                 util::Writer w;
+                 w.u64(static_cast<std::uint64_t>(client * 1000 + i));
+                 auto reply = rpc.call(service_box.address(), 1, w.buffer());
+                 ASSERT_TRUE(reply.is_ok());
+                 util::Reader r(reply.value());
+                 ASSERT_EQ(r.u64(), static_cast<std::uint64_t>(client * 1000 + i));
+               }
+               ++completed;
+             });
+  }
+  rt.run();
+  EXPECT_EQ(completed, 40);
+  EXPECT_FALSE(rt.scheduler().deadlocked());
+}
+
+TEST(SimStress, DeepSpawnChains) {
+  // Each process spawns the next; 200 generations deep.
+  Runtime rt(4);
+  int reached = 0;
+  std::function<void(Context&)> body = [&](Context& ctx) {
+    ++reached;
+    if (reached < 200) {
+      ctx.runtime().spawn((ctx.node() + 1) % 4, "gen", body);
+    }
+  };
+  rt.spawn(0, "gen0", body);
+  rt.run();
+  EXPECT_EQ(reached, 200);
+}
+
+TEST(SimStress, StatsAreConsistent) {
+  Runtime rt(4);
+  for (int i = 0; i < 10; ++i) {
+    rt.spawn(i % 4, "w", [](Context& ctx) {
+      for (int k = 0; k < 5; ++k) ctx.sleep(usec(10));
+    });
+  }
+  rt.run();
+  const auto& stats = rt.scheduler().stats();
+  EXPECT_EQ(stats.processes_spawned, 10u);
+  // start + 5 sleeps per process.
+  EXPECT_EQ(stats.events_dispatched, 10u * 6u);
+  EXPECT_GE(stats.wakes_scheduled, 10u * 5u);
+}
+
+TEST(SimStress, ManyChannelsManyWaiters) {
+  Runtime rt(8);
+  std::vector<std::shared_ptr<Channel<int>>> channels;
+  for (int i = 0; i < 32; ++i) {
+    channels.push_back(rt.make_channel<int>(i % 8));
+  }
+  int received = 0;
+  for (int i = 0; i < 32; ++i) {
+    rt.spawn(i % 8, "rx" + std::to_string(i), [&, i](Context&) {
+      received += channels[i]->recv();
+    });
+  }
+  rt.spawn(0, "tx", [&](Context& ctx) {
+    ctx.sleep(msec(1));
+    for (int i = 0; i < 32; ++i) ctx.send(*channels[i], 1, 8);
+  });
+  rt.run();
+  EXPECT_EQ(received, 32);
+}
+
+}  // namespace
+}  // namespace bridge::sim

@@ -1,0 +1,118 @@
+// Tool framework: WorkerGroup fan-out semantics (tree vs sequential timing,
+// result collection, node placement) and ToolEnv discovery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/instance.hpp"
+#include "src/tools/tool_base.hpp"
+
+namespace bridge::tools {
+namespace {
+
+core::SystemConfig cfg(std::uint32_t p) {
+  return core::SystemConfig::paper_profile(p, 128);
+}
+
+TEST(WorkerGroup, CollectsOneResultPerWorker) {
+  sim::Runtime rt(8);
+  std::vector<int> results;
+  rt.spawn(0, "coordinator", [&](sim::Context& ctx) {
+    WorkerGroup<int> group(ctx, FanOutConfig{});
+    for (int i = 0; i < 6; ++i) {
+      group.spawn(i % 8, "w" + std::to_string(i),
+                  [i](sim::Context&) { return i * i; });
+    }
+    EXPECT_EQ(group.spawned(), 6u);
+    results = group.wait_all();
+  });
+  rt.run();
+  ASSERT_EQ(results.size(), 6u);
+  std::multiset<int> got(results.begin(), results.end());
+  EXPECT_EQ(got, (std::multiset<int>{0, 1, 4, 9, 16, 25}));
+}
+
+TEST(WorkerGroup, WorkersRunOnRequestedNodes) {
+  sim::Runtime rt(4);
+  std::vector<sim::NodeId> nodes;
+  rt.spawn(0, "coordinator", [&](sim::Context& ctx) {
+    WorkerGroup<sim::NodeId> group(ctx, FanOutConfig{});
+    for (sim::NodeId n = 0; n < 4; ++n) {
+      group.spawn(n, "w", [](sim::Context& worker_ctx) {
+        return worker_ctx.node();
+      });
+    }
+    nodes = group.wait_all();
+  });
+  rt.run();
+  std::set<sim::NodeId> distinct(nodes.begin(), nodes.end());
+  EXPECT_EQ(distinct, (std::set<sim::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(WorkerGroup, TreeStartupIsLogarithmic) {
+  // With tree fan-out, the LAST of 32 workers starts after ~log2(32)+1
+  // levels of spawn_cost; sequentially it starts after 32 of them.
+  auto last_start_us = [&](bool tree) {
+    sim::Runtime rt(32);
+    std::int64_t latest = 0;
+    rt.spawn(0, "coordinator", [&](sim::Context& ctx) {
+      FanOutConfig config;
+      config.tree = tree;
+      config.spawn_cost = sim::msec(2.0);
+      WorkerGroup<int> group(ctx, config);
+      for (int i = 0; i < 32; ++i) {
+        group.spawn(i % 32, "w", [&latest](sim::Context& worker_ctx) {
+          latest = std::max(latest, worker_ctx.now().us());
+          return 0;
+        });
+      }
+      (void)group.wait_all();
+    });
+    rt.run();
+    return latest;
+  };
+  std::int64_t tree = last_start_us(true);
+  std::int64_t sequential = last_start_us(false);
+  EXPECT_LT(tree, 14'000);       // ~6 levels * 2ms
+  EXPECT_GT(sequential, 60'000); // 32 * 2ms
+}
+
+TEST(WorkerGroup, ZeroWorkersWaitsTrivially) {
+  sim::Runtime rt(1);
+  bool done = false;
+  rt.spawn(0, "coordinator", [&](sim::Context& ctx) {
+    WorkerGroup<int> group(ctx, FanOutConfig{});
+    EXPECT_TRUE(group.wait_all().empty());
+    done = true;
+  });
+  rt.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ToolEnv, DiscoverReturnsMachineShape) {
+  core::BridgeInstance inst(cfg(5));
+  inst.run_client("tool", [&](sim::Context&, core::BridgeClient& client) {
+    auto env = discover(client);
+    ASSERT_TRUE(env.is_ok());
+    EXPECT_EQ(env.value().num_lfs(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(env.value().lfs_service(i).valid());
+      EXPECT_EQ(env.value().lfs_node(i), i);
+    }
+  });
+  inst.run();
+}
+
+TEST(ToolTempFileIds, DisjointFromBridgeIdsAndEachOther) {
+  std::set<efs::FileId> seen;
+  for (std::uint32_t lfs = 0; lfs < 32; ++lfs) {
+    for (std::uint32_t seq = 0; seq < 64; ++seq) {
+      efs::FileId id = tool_temp_file_id(lfs, seq);
+      EXPECT_GE(id, 0x40000000u);  // above the Bridge server id space
+      EXPECT_TRUE(seen.insert(id).second) << "collision lfs=" << lfs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bridge::tools

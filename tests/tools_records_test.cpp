@@ -1,0 +1,132 @@
+// Variable-length record packing: round trips, block boundaries, end-to-end
+// streaming through a Bridge file.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/instance.hpp"
+#include "src/tools/records.hpp"
+
+namespace bridge::tools {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> data(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) data[i] = std::byte(text[i]);
+  return data;
+}
+
+std::string text_of(std::span<const std::byte> data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+/// Pack records, then unpack every produced block and return the records.
+std::vector<std::string> round_trip(const std::vector<std::string>& records) {
+  RecordPacker packer;
+  std::vector<std::vector<std::byte>> blocks;
+  for (const auto& record : records) {
+    auto flushed = packer.add(bytes_of(record));
+    EXPECT_TRUE(flushed.is_ok());
+    if (flushed.value()) blocks.push_back(std::move(*flushed.value()));
+  }
+  if (auto last = packer.finish()) blocks.push_back(std::move(*last));
+
+  std::vector<std::string> out;
+  for (const auto& block : blocks) {
+    RecordUnpacker unpacker(block);
+    while (true) {
+      auto record = unpacker.next();
+      EXPECT_TRUE(record.is_ok());
+      if (!record.value()) break;
+      out.push_back(text_of(*record.value()));
+    }
+  }
+  return out;
+}
+
+TEST(Records, SimpleRoundTrip) {
+  std::vector<std::string> records{"alpha", "bravo charlie", "", "delta"};
+  EXPECT_EQ(round_trip(records), records);
+}
+
+TEST(Records, ManyRecordsSpanManyBlocks) {
+  std::vector<std::string> records;
+  for (int i = 0; i < 500; ++i) {
+    records.push_back("record-" + std::to_string(i) +
+                      std::string(static_cast<std::size_t>(i % 97), 'x'));
+  }
+  EXPECT_EQ(round_trip(records), records);
+}
+
+TEST(Records, MaxSizeRecordFitsExactly) {
+  std::vector<std::string> records{std::string(kMaxRecordBytes, 'M'), "tail"};
+  EXPECT_EQ(round_trip(records), records);
+}
+
+TEST(Records, OversizedRecordRejected) {
+  RecordPacker packer;
+  std::vector<std::byte> big(kMaxRecordBytes + 1);
+  EXPECT_EQ(packer.add(big).status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Records, EmptyPackerFinishesEmpty) {
+  RecordPacker packer;
+  EXPECT_FALSE(packer.finish().has_value());
+}
+
+TEST(Records, CorruptBlockReportsError) {
+  // A length that overruns the block.
+  std::vector<std::byte> bad{std::byte{0xF0}, std::byte{0x00}, std::byte{'x'}};
+  RecordUnpacker unpacker(bad);
+  auto first = unpacker.next();
+  EXPECT_FALSE(first.is_ok());
+  EXPECT_EQ(first.status().code(), util::ErrorCode::kCorrupt);
+}
+
+TEST(Records, StreamThroughBridgeFile) {
+  // Pack a log of odd-sized entries into blocks, write them through the
+  // naive interface, read back and unpack.
+  auto cfg = core::SystemConfig::paper_profile(4, 512);
+  core::BridgeInstance inst(cfg);
+  std::vector<std::string> entries;
+  for (int i = 0; i < 200; ++i) {
+    entries.push_back("event " + std::to_string(i) + " payload " +
+                      std::string(static_cast<std::size_t>((i * 13) % 200), 'p'));
+  }
+  std::vector<std::string> decoded;
+  inst.run_client("io", [&](sim::Context&, core::BridgeClient& client) {
+    ASSERT_TRUE(client.create("packed.log").is_ok());
+    auto open = client.open("packed.log");
+    ASSERT_TRUE(open.is_ok());
+    RecordPacker packer;
+    auto write_block = [&](const std::vector<std::byte>& block) {
+      ASSERT_TRUE(client.seq_write(open.value().session, block).is_ok());
+    };
+    for (const auto& entry : entries) {
+      auto flushed = packer.add(bytes_of(entry));
+      ASSERT_TRUE(flushed.is_ok());
+      if (flushed.value()) write_block(*flushed.value());
+    }
+    if (auto last = packer.finish()) write_block(*last);
+
+    auto reader = client.open("packed.log");
+    ASSERT_TRUE(reader.is_ok());
+    while (true) {
+      auto r = client.seq_read(reader.value().session);
+      ASSERT_TRUE(r.is_ok());
+      if (r.value().eof) break;
+      RecordUnpacker unpacker(r.value().data);
+      while (true) {
+        auto record = unpacker.next();
+        ASSERT_TRUE(record.is_ok());
+        if (!record.value()) break;
+        decoded.push_back(text_of(*record.value()));
+      }
+    }
+  });
+  inst.run();
+  EXPECT_EQ(decoded, entries);
+}
+
+}  // namespace
+}  // namespace bridge::tools

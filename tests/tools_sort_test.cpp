@@ -1,0 +1,225 @@
+// Sort tool: output sorted + permutation of input (property, multiple p and
+// sizes), merge invariants, phase reporting, degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/instance.hpp"
+#include "src/tools/sort/sort_tool.hpp"
+
+namespace bridge::tools {
+namespace {
+
+using core::BridgeClient;
+using core::BridgeInstance;
+using core::SystemConfig;
+
+SystemConfig cfg(std::uint32_t p, std::uint32_t blocks_per_lfs = 2048) {
+  return SystemConfig::paper_profile(p, blocks_per_lfs);
+}
+
+/// A record whose payload starts with the little-endian key, then filler
+/// derived from the key (so payload identity follows key identity).
+std::vector<std::byte> keyed_record(std::uint64_t key) {
+  std::vector<std::byte> data(efs::kUserDataBytes);
+  util::Writer w;
+  w.u64(key);
+  std::copy(w.buffer().begin(), w.buffer().end(), data.begin());
+  for (std::size_t i = 8; i < data.size(); ++i) {
+    data[i] = std::byte(static_cast<std::uint8_t>((key * 131 + i) & 0xFF));
+  }
+  return data;
+}
+
+void make_keyed_file(BridgeInstance& inst, const std::string& name,
+                     const std::vector<std::uint64_t>& keys) {
+  inst.run_client("mkfile", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create(name).is_ok());
+    auto open = client.open(name);
+    ASSERT_TRUE(open.is_ok());
+    for (auto key : keys) {
+      ASSERT_TRUE(
+          client.seq_write(open.value().session, keyed_record(key)).is_ok());
+    }
+  });
+  inst.run();
+}
+
+/// Read the whole file back and return its keys in order; also verifies
+/// each record's payload matches its key.
+std::vector<std::uint64_t> read_keys(BridgeInstance& inst,
+                                     const std::string& name) {
+  auto keys = std::make_shared<std::vector<std::uint64_t>>();
+  inst.run_client("readback", [&, keys](sim::Context&, BridgeClient& client) {
+    auto open = client.open(name);
+    ASSERT_TRUE(open.is_ok());
+    for (std::uint64_t i = 0; i < open.value().meta.size_blocks; ++i) {
+      auto r = client.seq_read(open.value().session);
+      ASSERT_TRUE(r.is_ok());
+      std::uint64_t key = record_key(r.value().data);
+      EXPECT_EQ(r.value().data, keyed_record(key)) << "payload mangled";
+      keys->push_back(key);
+    }
+  });
+  inst.run();
+  return *keys;
+}
+
+void check_sorted_permutation(std::vector<std::uint64_t> input,
+                              const std::vector<std::uint64_t>& output) {
+  ASSERT_EQ(input.size(), output.size());
+  EXPECT_TRUE(std::is_sorted(output.begin(), output.end()));
+  std::sort(input.begin(), input.end());
+  EXPECT_EQ(input, output);
+}
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next_u64() % 100000;
+  return keys;
+}
+
+struct SortCase {
+  std::uint32_t p;
+  std::uint32_t records;
+  std::uint32_t in_core;
+  bool hints;
+  std::uint32_t fanin = 2;
+};
+
+class SortProperty : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(SortProperty, SortsToPermutation) {
+  auto param = GetParam();
+  BridgeInstance inst(cfg(param.p));
+  auto keys = random_keys(param.records, 1234 + param.p);
+  make_keyed_file(inst, "input", keys);
+
+  SortReport report;
+  inst.run_client("sorter", [&](sim::Context& ctx, BridgeClient& client) {
+    SortOptions options;
+    options.tuning.in_core_records = param.in_core;
+    options.tuning.hints_in_local_merge = param.hints;
+    options.tuning.local_merge_fanin = param.fanin;
+    auto result = run_sort_tool(ctx, client, "input", "sorted", options);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    report = result.value();
+  });
+  inst.run();
+  ASSERT_FALSE(inst.runtime().scheduler().deadlocked());
+
+  EXPECT_EQ(report.records, param.records);
+  check_sorted_permutation(keys, read_keys(inst, "sorted"));
+  EXPECT_TRUE(inst.verify_all_lfs().is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SortProperty,
+    ::testing::Values(
+        SortCase{2, 64, 8, false},    // several local merge passes
+        SortCase{2, 64, 8, true},     // hinted local merges (ablation)
+        SortCase{4, 100, 16, false},  // non-multiple of p
+        SortCase{4, 16, 64, false},   // in-core only (no local merges)
+        SortCase{8, 128, 8, false},   // deep global merge tree
+        SortCase{3, 50, 8, false},    // non-power-of-two p
+        SortCase{1, 20, 4, false},    // degenerate single LFS
+        SortCase{8, 8, 16, false},      // one record per node
+        SortCase{4, 3, 16, false},      // fewer records than nodes
+        SortCase{2, 120, 8, false, 8},  // 8-way local merges (§5.2 fix)
+        SortCase{4, 90, 8, true, 4},    // 4-way + hints
+        SortCase{2, 64, 8, false, 16}));  // fan-in exceeds run count
+
+TEST(SortTool, DuplicateKeysSurvive) {
+  BridgeInstance inst(cfg(4));
+  std::vector<std::uint64_t> keys(40, 7);  // all equal
+  for (std::size_t i = 0; i < 10; ++i) keys[i * 4] = i;
+  make_keyed_file(inst, "input", keys);
+  inst.run_client("sorter", [&](sim::Context& ctx, BridgeClient& client) {
+    SortOptions options;
+    options.tuning.in_core_records = 8;
+    ASSERT_TRUE(run_sort_tool(ctx, client, "input", "sorted", options).is_ok());
+  });
+  inst.run();
+  check_sorted_permutation(keys, read_keys(inst, "sorted"));
+}
+
+TEST(SortTool, AlreadySortedInput) {
+  BridgeInstance inst(cfg(4));
+  std::vector<std::uint64_t> keys(60);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  make_keyed_file(inst, "input", keys);
+  inst.run_client("sorter", [&](sim::Context& ctx, BridgeClient& client) {
+    SortOptions options;
+    options.tuning.in_core_records = 16;
+    ASSERT_TRUE(run_sort_tool(ctx, client, "input", "sorted", options).is_ok());
+  });
+  inst.run();
+  check_sorted_permutation(keys, read_keys(inst, "sorted"));
+}
+
+TEST(SortTool, ReverseSortedInput) {
+  BridgeInstance inst(cfg(4));
+  std::vector<std::uint64_t> keys(60);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = keys.size() - i;
+  make_keyed_file(inst, "input", keys);
+  inst.run_client("sorter", [&](sim::Context& ctx, BridgeClient& client) {
+    SortOptions options;
+    options.tuning.in_core_records = 16;
+    ASSERT_TRUE(run_sort_tool(ctx, client, "input", "sorted", options).is_ok());
+  });
+  inst.run();
+  check_sorted_permutation(keys, read_keys(inst, "sorted"));
+}
+
+TEST(SortTool, EmptyFileSorts) {
+  BridgeInstance inst(cfg(4));
+  make_keyed_file(inst, "input", {});
+  SortReport report;
+  inst.run_client("sorter", [&](sim::Context& ctx, BridgeClient& client) {
+    auto result = run_sort_tool(ctx, client, "input", "sorted");
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    report = result.value();
+  });
+  inst.run();
+  ASSERT_FALSE(inst.runtime().scheduler().deadlocked());
+  EXPECT_EQ(report.records, 0u);
+  EXPECT_TRUE(read_keys(inst, "sorted").empty());
+}
+
+TEST(SortTool, PhasesAreReportedAndIntermediatesCleaned) {
+  BridgeInstance inst(cfg(4));
+  make_keyed_file(inst, "input", random_keys(80, 9));
+  SortReport report;
+  inst.run_client("sorter", [&](sim::Context& ctx, BridgeClient& client) {
+    SortOptions options;
+    options.tuning.in_core_records = 8;
+    auto result = run_sort_tool(ctx, client, "input", "sorted", options);
+    ASSERT_TRUE(result.is_ok());
+    report = result.value();
+  });
+  inst.run();
+  EXPECT_GT(report.local_phase.us(), 0);
+  EXPECT_GT(report.merge_phase.us(), 0);
+  EXPECT_GE(report.total.us(), report.local_phase.us() + report.merge_phase.us());
+  EXPECT_EQ(report.merge_passes, 2u);  // p=4 -> log2(4) passes
+  // Only "input" and "sorted" remain in the Bridge directory.
+  EXPECT_EQ(inst.server().directory_size(), 2u);
+  // Temp LFS files are gone; only the two files' constituents remain.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(inst.lfs(i).core().file_count(), 2u) << "lfs " << i;
+  }
+}
+
+TEST(SortTool, MissingInputFails) {
+  BridgeInstance inst(cfg(2));
+  inst.run_client("sorter", [&](sim::Context& ctx, BridgeClient& client) {
+    EXPECT_EQ(run_sort_tool(ctx, client, "ghost", "out").status().code(),
+              util::ErrorCode::kNotFound);
+  });
+  inst.run();
+}
+
+}  // namespace
+}  // namespace bridge::tools
