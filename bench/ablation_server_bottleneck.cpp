@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "src/core/buffered_stream.hpp"
 #include "src/tools/copy.hpp"
 
 namespace bridge::bench {
@@ -42,6 +43,44 @@ double naive_aggregate_rec_per_sec(std::uint32_t p, std::uint32_t clients,
                         if (!client.seq_read(open.value().session).is_ok()) {
                           return;
                         }
+                      }
+                      done[c] = ctx.now();
+                    });
+  }
+  inst.run();
+  sim::SimTime start_min = started[0], end_max{0};
+  for (auto t : started) start_min = std::min(start_min, t);
+  for (auto t : done) end_max = std::max(end_max, t);
+  double seconds = (end_max - start_min).sec();
+  return seconds <= 0 ? 0
+                      : static_cast<double>(clients) *
+                            static_cast<double>(records_each) / seconds;
+}
+
+/// The same naive workload through the pipelined path: each reader pulls its
+/// file through a BufferedFileStream, so one round trip moves a window of
+/// blocks and the server fans the window out to every LFS concurrently.
+double pipelined_aggregate_rec_per_sec(std::uint32_t p, std::uint32_t clients,
+                                       std::uint64_t records_each) {
+  auto cfg = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(2 * clients * records_each / p + 64));
+  cfg.efs.cache.capacity_blocks = 512;
+  core::BridgeInstance inst(cfg);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    fill_random_file(inst, "f" + std::to_string(c), records_each, c);
+  }
+  std::vector<sim::SimTime> started(clients), done(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    inst.run_client("piped" + std::to_string(c),
+                    [&, c](sim::Context& ctx, core::BridgeClient& client) {
+                      started[c] = ctx.now();
+                      auto open = client.open("f" + std::to_string(c));
+                      if (!open.is_ok()) return;
+                      core::BufferedFileStream stream(client,
+                                                      open.value().session);
+                      for (std::uint64_t i = 0; i < records_each; ++i) {
+                        auto r = stream.read();
+                        if (!r.is_ok() || r.value().eof) return;
                       }
                       done[c] = ctx.now();
                     });
@@ -151,18 +190,29 @@ int main(int argc, char** argv) {
   using namespace bridge::bench;
   std::uint64_t records = flag_value(argc, argv, "records", 128);
   std::uint32_t p = static_cast<std::uint32_t>(flag_value(argc, argv, "p", 8));
+  JsonReporter json(argc, argv);
 
   print_header("Ablation A8: central Bridge Server saturation (section 4.1)");
   std::printf("p = %u LFS nodes, %llu records per client\n\n", p,
               static_cast<unsigned long long>(records));
-  std::printf("%8s | %18s | %18s | %s\n", "clients", "naive (via server)",
-              "tool (direct LFS)", "tool/naive");
-  std::printf("---------+--------------------+--------------------+----------\n");
+  std::printf("%8s | %18s | %18s | %18s | %s\n", "clients",
+              "naive (via server)", "pipelined (many)", "tool (direct LFS)",
+              "pipe/naive");
+  std::printf("---------+--------------------+--------------------+"
+              "--------------------+----------\n");
   for (std::uint32_t clients : {1u, 2u, 4u, 8u}) {
     double naive = naive_aggregate_rec_per_sec(p, clients, records);
+    double piped = pipelined_aggregate_rec_per_sec(p, clients, records);
     double tool = tool_aggregate_rec_per_sec(p, clients, records);
-    std::printf("%8u | %12.0f rec/s | %12.0f rec/s | %7.1fx\n", clients, naive,
-                tool, tool / naive);
+    std::printf("%8u | %12.0f rec/s | %12.0f rec/s | %12.0f rec/s | %7.1fx\n",
+                clients, naive, piped, tool, piped / naive);
+    json.emit("ablation_server_bottleneck",
+              {{"p", p},
+               {"clients", clients},
+               {"records", static_cast<double>(records)},
+               {"naive_rec_per_sec", naive},
+               {"pipelined_rec_per_sec", piped},
+               {"tool_rec_per_sec", tool}});
   }
   std::printf("\ndistributing the directory (8 naive clients, k servers,\n"
               "RoutedBridgeClient):\n");
@@ -171,12 +221,20 @@ int main(int argc, char** argv) {
   for (std::uint32_t servers : {1u, 2u, 4u}) {
     double rate = routed_aggregate_rec_per_sec(p, servers, 8, records);
     std::printf("%8u | %12.0f rec/s\n", servers, rate);
+    json.emit("ablation_server_bottleneck_routed",
+              {{"p", p},
+               {"servers", servers},
+               {"clients", 8},
+               {"records", static_cast<double>(records)},
+               {"naive_rec_per_sec", rate}});
   }
   std::printf(
       "\nshape checks: naive aggregate throughput flattens as clients are\n"
       "added - every block squeezes through one server process - while the\n"
       "tool path keeps scaling because the server is touched only at open\n"
-      "time.  Partitioning the directory across k servers lifts the ceiling\n"
-      "nearly k-fold: both section 4.1 answers, demonstrated.\n");
+      "time.  The pipelined rows show the vectored ops lifting the\n"
+      "single-client ceiling (a window of blocks per round trip keeps all p\n"
+      "disks busy).  Partitioning the directory across k servers lifts the\n"
+      "ceiling nearly k-fold: both section 4.1 answers, demonstrated.\n");
   return 0;
 }

@@ -3,9 +3,12 @@
 // the simulated measurements so the shape comparison is immediate.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/instance.hpp"
@@ -63,10 +66,56 @@ inline std::uint64_t flag_value(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+/// Parse "--json=path" style string flags (empty string if absent).
+inline std::string flag_string(int argc, char** argv, const std::string& name) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
 inline void print_header(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n");
 }
+
+/// Machine-readable bench results: one JSON object per line, appended to the
+/// file named by --json=<path>.  Inactive (no-op) when the flag is absent, so
+/// benches print their human tables unchanged.  Append mode lets the runner
+/// script collect every bench of a sweep into one BENCH_results.json.
+class JsonReporter {
+ public:
+  JsonReporter(int argc, char** argv) : path_(flag_string(argc, argv, "json")) {}
+
+  [[nodiscard]] bool active() const noexcept { return !path_.empty(); }
+
+  /// Emit {"bench":<name>, k1:v1, ...}.  Values are numeric; non-finite
+  /// values (a bench shape with no valid measurement) are written as null.
+  void emit(const std::string& bench,
+            std::initializer_list<std::pair<const char*, double>> fields) {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\"", bench.c_str());
+    for (const auto& [key, value] : fields) {
+      if (std::isfinite(value)) {
+        std::fprintf(f, ",\"%s\":%.6g", key, value);
+      } else {
+        std::fprintf(f, ",\"%s\":null", key);
+      }
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace bridge::bench

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/core/buffered_stream.hpp"
 #include "src/core/instance.hpp"
 
 using namespace bridge;
@@ -34,25 +35,33 @@ int main() {
                 open.value().meta.width, open.value().meta.start_lfs,
                 static_cast<unsigned long long>(open.value().meta.size_blocks));
 
-    // 3. Write 20 records (each at most 960 bytes of user data per block).
+    // 3. Write 20 records (each at most 960 bytes of user data per block)
+    // through a buffered stream: appends gather client-side and ship as
+    // vectored runs, so the server drives all 8 disks at once.
+    core::BufferedFileStream writer(bridge, open.value().session);
     for (int i = 0; i < 20; ++i) {
       std::string text = "record #" + std::to_string(i) +
                          ": consecutive blocks land on different disks";
       std::vector<std::byte> data(text.size());
       for (std::size_t b = 0; b < text.size(); ++b) data[b] = std::byte(text[b]);
-      auto written = bridge.seq_write(open.value().session, data);
-      if (!written.is_ok()) {
-        std::printf("write failed: %s\n", written.status().to_string().c_str());
+      if (auto st = writer.write(data); !st.is_ok()) {
+        std::printf("write failed: %s\n", st.to_string().c_str());
         return;
       }
+    }
+    if (auto st = writer.flush(); !st.is_ok()) {
+      std::printf("flush failed: %s\n", st.to_string().c_str());
+      return;
     }
     std::printf("wrote 20 records in %s of simulated time\n",
                 ctx.now().to_string().c_str());
 
-    // 4. Read them back sequentially (re-open to reset the cursor).
+    // 4. Read them back sequentially (re-open to reset the cursor).  The
+    // stream prefetches a window of blocks per round trip.
     auto reopen = bridge.open("hello.dat");
+    core::BufferedFileStream reader(bridge, reopen.value().session);
     for (int i = 0; i < 3; ++i) {
-      auto r = bridge.seq_read(reopen.value().session);
+      auto r = reader.read();
       std::string text(reinterpret_cast<const char*>(r.value().data.data()),
                        r.value().data.size());
       std::printf("  block %llu: \"%s\"\n",

@@ -1,14 +1,21 @@
 #!/bin/sh
-# Regenerate every paper table/figure and ablation; writes bench_output.txt.
+# Regenerate every paper table/figure and ablation; writes bench_output.txt
+# (human tables) and BENCH_results.json (one JSON object per measured row,
+# appended by each bench via --json=).
 # NOTE: table4_sort and ablation_sort_anomaly take a few minutes each (they
 # simulate hundreds of virtual minutes of 1988 disk time).
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
+cmake -B build
+cmake --build build -j "$(nproc)"
+rm -f BENCH_results.json
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "=== $b ==="
-  "$b"
+  case "$b" in
+    # micro is a google-benchmark binary and rejects flags it doesn't know.
+    */micro) "$b" ;;
+    *) "$b" --json=BENCH_results.json ;;
+  esac
   echo
 done | tee bench_output.txt

@@ -42,6 +42,17 @@ class BridgeApi {
   virtual util::Status random_write(BridgeFileId id, std::uint64_t block_no,
                                     std::span<const std::byte> data) = 0;
 
+  // Vectored naive-view ops: one round trip moves a run of blocks and the
+  // server keeps every involved LFS in flight concurrently.  Semantically
+  // equivalent to a loop over the single-block ops, but a failed run leaves
+  // the session cursor and file size exactly where they stood.
+  virtual util::Result<SeqReadManyResponse> seq_read_many(
+      std::uint64_t session, std::uint32_t max_blocks) = 0;
+  virtual util::Result<SeqWriteManyResponse> seq_write_many(
+      std::uint64_t session, std::vector<std::vector<std::byte>> blocks) = 0;
+  virtual util::Result<RandomReadManyResponse> random_read_many(
+      BridgeFileId id, std::uint64_t first_block, std::uint32_t count) = 0;
+
   virtual util::Result<std::uint64_t> parallel_open(
       std::uint64_t session, const std::vector<sim::Address>& workers) = 0;
   virtual util::Result<ParallelReadResponse> parallel_read(

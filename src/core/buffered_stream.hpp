@@ -1,0 +1,108 @@
+// BufferedFileStream: client-side prefetch window + write-behind batching
+// over the vectored naive-view ops.
+//
+// The naive interface of §4.1 moves one block per client<->server round trip,
+// so a sequential scan runs at one-disk speed no matter how many LFSs hold
+// the file.  This adapter keeps the naive programming model (read the next
+// block / append a block) but pipelines underneath: reads arrive a window at
+// a time via kSeqReadMany and writes are gathered into kSeqWriteMany runs,
+// letting the server keep all p disks in flight for one client.
+//
+// Ordering: the stream flushes pending writes before any read, so a program
+// that interleaves reads and writes observes exactly what the synchronous
+// single-block calls would have produced.  A failed flush keeps the pending
+// blocks buffered (the server commits runs whole or not at all), so the
+// caller can free space and retry, or drop the stream.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/core/api.hpp"
+#include "src/efs/layout.hpp"
+
+namespace bridge::core {
+
+struct BufferedStreamOptions {
+  /// Blocks requested per prefetch (clamped to kMaxRunBlocks by the server).
+  std::uint32_t read_window = 16;
+  /// Pending appends that trigger an automatic flush.
+  std::uint32_t write_batch = 16;
+};
+
+class BufferedFileStream {
+ public:
+  BufferedFileStream(BridgeApi& api, std::uint64_t session,
+                     BufferedStreamOptions options = {})
+      : api_(&api), session_(session), options_(options) {
+    if (options_.read_window == 0) options_.read_window = 1;
+    if (options_.write_batch == 0) options_.write_batch = 1;
+  }
+
+  /// Next sequential block, served from the prefetch window (refilled by one
+  /// vectored read when empty).  Mirrors seq_read semantics exactly,
+  /// including the eof-marked response at end of file.
+  util::Result<SeqReadResponse> read() {
+    if (auto st = flush(); !st.is_ok()) return st;
+    if (window_pos_ >= window_.size()) {
+      // Refill.  Always re-ask the server rather than caching an EOF: the
+      // file may have grown (e.g. through this very stream's writes).
+      auto run = api_->seq_read_many(session_, options_.read_window);
+      if (!run.is_ok()) return run.status();
+      if (run.value().blocks.empty()) {
+        SeqReadResponse eof;
+        eof.eof = true;
+        eof.block_no = run.value().first_block_no;
+        return eof;
+      }
+      window_ = std::move(run.value().blocks);
+      window_first_ = run.value().first_block_no;
+      window_pos_ = 0;
+    }
+    SeqReadResponse resp;
+    resp.block_no = window_first_ + window_pos_;
+    resp.data = std::move(window_[window_pos_]);
+    ++window_pos_;
+    return resp;
+  }
+
+  /// Append one block (write-behind: batched until write_batch blocks are
+  /// pending, then pushed as one vectored run).
+  util::Status write(std::span<const std::byte> data) {
+    if (data.size() > efs::kUserDataBytes) {
+      return util::invalid_argument("payload exceeds 960 bytes");
+    }
+    pending_.emplace_back(data.begin(), data.end());
+    if (pending_.size() >= options_.write_batch) return flush();
+    return util::ok_status();
+  }
+
+  /// Push every pending append as one run.  On failure the blocks stay
+  /// pending and the file is untouched (the run fails whole server-side).
+  util::Status flush() {
+    if (pending_.empty()) return util::ok_status();
+    auto resp = api_->seq_write_many(session_, pending_);
+    if (!resp.is_ok()) return resp.status();
+    pending_.clear();
+    return util::ok_status();
+  }
+
+  [[nodiscard]] std::uint64_t session() const noexcept { return session_; }
+  [[nodiscard]] std::size_t pending_writes() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  BridgeApi* api_;
+  std::uint64_t session_;
+  BufferedStreamOptions options_;
+
+  std::vector<std::vector<std::byte>> window_;  ///< prefetched blocks
+  std::uint64_t window_first_ = 0;              ///< global no of window_[0]
+  std::size_t window_pos_ = 0;                  ///< next unconsumed slot
+
+  std::vector<std::vector<std::byte>> pending_;  ///< write-behind buffer
+};
+
+}  // namespace bridge::core

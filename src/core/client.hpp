@@ -86,6 +86,32 @@ class BridgeClient final : public BridgeApi {
     return call(BridgeMsg::kRandomWrite, util::encode_to_bytes(req)).status();
   }
 
+  util::Result<SeqReadManyResponse> seq_read_many(
+      std::uint64_t session, std::uint32_t max_blocks) override {
+    SeqReadManyRequest req{session, max_blocks};
+    auto reply = call(BridgeMsg::kSeqReadMany, util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<SeqReadManyResponse>(reply.value());
+  }
+
+  util::Result<SeqWriteManyResponse> seq_write_many(
+      std::uint64_t session,
+      std::vector<std::vector<std::byte>> blocks) override {
+    SeqWriteManyRequest req{session, std::move(blocks)};
+    auto reply = call(BridgeMsg::kSeqWriteMany, util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<SeqWriteManyResponse>(reply.value());
+  }
+
+  util::Result<RandomReadManyResponse> random_read_many(
+      BridgeFileId id, std::uint64_t first_block,
+      std::uint32_t count) override {
+    RandomReadManyRequest req{id, first_block, count};
+    auto reply = call(BridgeMsg::kRandomReadMany, util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<RandomReadManyResponse>(reply.value());
+  }
+
   /// Group `workers` into a job on an open session; the caller becomes the
   /// job controller (§4.1).
   util::Result<std::uint64_t> parallel_open(

@@ -19,6 +19,11 @@ namespace bridge::core {
 
 using BridgeFileId = std::uint32_t;
 
+/// Upper bound on the blocks one vectored request may move.  Bounds server
+/// memory per request and keeps a single client from parking the server on
+/// one giant run while other clients starve.
+inline constexpr std::uint32_t kMaxRunBlocks = 256;
+
 enum class BridgeMsg : std::uint32_t {
   kCreate = 0x200,
   kDelete = 0x201,
@@ -40,6 +45,13 @@ enum class BridgeMsg : std::uint32_t {
   /// tools that operate on them — notably the off-line reorganizer §3
   /// mentions — must ask the server.
   kResolve = 0x20C,
+  /// Vectored naive-view ops: one envelope moves a run of blocks, letting
+  /// the server keep every involved LFS in flight at once instead of one
+  /// blocking LFS hop per client round trip (the §4.1 central-server
+  /// bottleneck).  The single-block ops above remain wire-compatible.
+  kSeqReadMany = 0x20D,
+  kSeqWriteMany = 0x20E,
+  kRandomReadMany = 0x20F,
   // Server -> worker messages for parallel jobs:
   kWorkerData = 0x280,  ///< one-way block delivery (parallel read)
   kWorkerGive = 0x281,  ///< request/reply block solicitation (parallel write)
@@ -237,6 +249,113 @@ struct RandomWriteRequest {
     req.block_no = r.u64();
     req.data = r.bytes();
     return req;
+  }
+};
+
+/// Sequential read of up to `max_blocks` blocks from the session cursor.
+struct SeqReadManyRequest {
+  std::uint64_t session = 0;
+  std::uint32_t max_blocks = 0;
+  void encode(util::Writer& w) const {
+    w.u64(session);
+    w.u32(max_blocks);
+  }
+  static SeqReadManyRequest decode(util::Reader& r) {
+    SeqReadManyRequest req;
+    req.session = r.u64();
+    req.max_blocks = r.u32();
+    return req;
+  }
+};
+
+struct SeqReadManyResponse {
+  bool eof = false;  ///< cursor reached end of file after this run
+  std::uint64_t first_block_no = 0;
+  std::vector<std::vector<std::byte>> blocks;  ///< global-block order
+  void encode(util::Writer& w) const {
+    w.boolean(eof);
+    w.u64(first_block_no);
+    w.u32(static_cast<std::uint32_t>(blocks.size()));
+    for (const auto& b : blocks) w.bytes(b);
+  }
+  static SeqReadManyResponse decode(util::Reader& r) {
+    SeqReadManyResponse resp;
+    resp.eof = r.boolean();
+    resp.first_block_no = r.u64();
+    std::uint32_t n = r.u32();
+    resp.blocks.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) resp.blocks.push_back(r.bytes());
+    return resp;
+  }
+};
+
+/// Sequential append of a run of blocks at the session write cursor.  The
+/// run either commits whole (cursor advances by blocks.size()) or fails
+/// whole (cursor and file size unchanged).
+struct SeqWriteManyRequest {
+  std::uint64_t session = 0;
+  std::vector<std::vector<std::byte>> blocks;
+  void encode(util::Writer& w) const {
+    w.u64(session);
+    w.u32(static_cast<std::uint32_t>(blocks.size()));
+    for (const auto& b : blocks) w.bytes(b);
+  }
+  static SeqWriteManyRequest decode(util::Reader& r) {
+    SeqWriteManyRequest req;
+    req.session = r.u64();
+    std::uint32_t n = r.u32();
+    req.blocks.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) req.blocks.push_back(r.bytes());
+    return req;
+  }
+};
+
+struct SeqWriteManyResponse {
+  std::uint64_t first_block_no = 0;
+  std::uint32_t count = 0;
+  void encode(util::Writer& w) const {
+    w.u64(first_block_no);
+    w.u32(count);
+  }
+  static SeqWriteManyResponse decode(util::Reader& r) {
+    SeqWriteManyResponse resp;
+    resp.first_block_no = r.u64();
+    resp.count = r.u32();
+    return resp;
+  }
+};
+
+/// Random read of `count` consecutive blocks starting at `first_block`.
+struct RandomReadManyRequest {
+  BridgeFileId id = 0;
+  std::uint64_t first_block = 0;
+  std::uint32_t count = 0;
+  void encode(util::Writer& w) const {
+    w.u32(id);
+    w.u64(first_block);
+    w.u32(count);
+  }
+  static RandomReadManyRequest decode(util::Reader& r) {
+    RandomReadManyRequest req;
+    req.id = r.u32();
+    req.first_block = r.u64();
+    req.count = r.u32();
+    return req;
+  }
+};
+
+struct RandomReadManyResponse {
+  std::vector<std::vector<std::byte>> blocks;  ///< blocks[i] = first+i
+  void encode(util::Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(blocks.size()));
+    for (const auto& b : blocks) w.bytes(b);
+  }
+  static RandomReadManyResponse decode(util::Reader& r) {
+    RandomReadManyResponse resp;
+    std::uint32_t n = r.u32();
+    resp.blocks.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) resp.blocks.push_back(r.bytes());
+    return resp;
   }
 };
 

@@ -87,6 +87,26 @@ class RoutedBridgeClient final : public BridgeApi {
     return clients_[it->second]->random_write(id, block_no, data);
   }
 
+  util::Result<SeqReadManyResponse> seq_read_many(
+      std::uint64_t session, std::uint32_t max_blocks) override {
+    return clients_[owner(session)]->seq_read_many(untag(session), max_blocks);
+  }
+
+  util::Result<SeqWriteManyResponse> seq_write_many(
+      std::uint64_t session,
+      std::vector<std::vector<std::byte>> blocks) override {
+    return clients_[owner(session)]->seq_write_many(untag(session),
+                                                    std::move(blocks));
+  }
+
+  util::Result<RandomReadManyResponse> random_read_many(
+      BridgeFileId id, std::uint64_t first_block,
+      std::uint32_t count) override {
+    auto it = id_home_.find(id);
+    if (it == id_home_.end()) return util::not_found("unknown file id");
+    return clients_[it->second]->random_read_many(id, first_block, count);
+  }
+
   util::Result<std::uint64_t> parallel_open(
       std::uint64_t session, const std::vector<sim::Address>& workers) override {
     std::size_t s = owner(session);

@@ -69,6 +69,10 @@ void BridgeServer::handle(Wire& wire, const sim::Envelope& env) {
       case BridgeMsg::kGetInfo: return handle_get_info(wire, env);
       case BridgeMsg::kDeleteMany: return handle_delete_many(wire, env);
       case BridgeMsg::kResolve: return handle_resolve(wire, env);
+      case BridgeMsg::kSeqReadMany: return handle_seq_read_many(wire, env);
+      case BridgeMsg::kSeqWriteMany: return handle_seq_write_many(wire, env);
+      case BridgeMsg::kRandomReadMany:
+        return handle_random_read_many(wire, env);
       default: break;
     }
     sim::send_reply(wire.ctx, env,
@@ -274,68 +278,270 @@ void BridgeServer::handle_open(Wire& wire, const sim::Envelope& env) {
   sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
 }
 
+util::Result<std::vector<std::vector<std::byte>>> BridgeServer::read_run(
+    Wire& wire, FileRecord& record, std::uint64_t first, std::uint32_t count) {
+  // Place the whole run before any I/O so a bad range costs nothing.
+  struct LfsGroup {
+    std::vector<std::uint32_t> run_pos;       ///< index within the run
+    std::vector<std::uint32_t> local_blocks;  ///< same order as run_pos
+  };
+  std::vector<LfsGroup> groups(num_lfs());
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto placed = record.placement.place(first + i);
+    if (!placed.is_ok()) return placed.status();
+    auto& group = groups[placed.value().lfs_index];
+    group.run_pos.push_back(i);
+    group.local_blocks.push_back(placed.value().local_block);
+  }
+
+  // Fan one request out per involved LFS, all in flight at once.  A
+  // single-block group uses the plain read op (same envelope as the old
+  // synchronous path); larger groups use the vectored op.
+  sim::AsyncBatch batch(wire.rpc);
+  std::vector<std::uint32_t> batch_lfs;
+  for (std::uint32_t lfs = 0; lfs < groups.size(); ++lfs) {
+    auto& group = groups[lfs];
+    if (group.local_blocks.empty()) continue;
+    efs::BlockAddr hint = lfs_clients_[lfs]->hint_for(record.lfs_file_id);
+    if (group.local_blocks.size() == 1) {
+      efs::ReadRequest req{record.lfs_file_id, group.local_blocks[0], hint};
+      batch.call(lfs_services_[lfs], msg(efs::MsgType::kRead),
+                 util::encode_to_bytes(req));
+    } else {
+      efs::ReadManyRequest req{record.lfs_file_id, hint, group.local_blocks};
+      batch.call(lfs_services_[lfs], msg(efs::MsgType::kReadMany),
+                 util::encode_to_bytes(req));
+    }
+    batch_lfs.push_back(lfs);
+  }
+  if (count > 1) {
+    ++stats_.vectored_batches;
+    stats_.vectored_blocks += count;
+  }
+
+  // Gather: replies arrive in any order; AsyncBatch surfaces them in issue
+  // order and drains everything even when one LFS fails mid-batch.
+  auto replies = batch.wait_all();
+  std::vector<std::vector<std::byte>> out(count);
+  util::Status first_error = util::ok_status();
+  for (std::size_t b = 0; b < replies.size(); ++b) {
+    if (!replies[b].is_ok()) {
+      if (first_error.is_ok()) first_error = replies[b].status();
+      continue;
+    }
+    std::uint32_t lfs = batch_lfs[b];
+    const auto& group = groups[lfs];
+    std::vector<std::vector<std::byte>> payloads;
+    efs::BlockAddr addr = efs::kNilAddr;
+    if (group.local_blocks.size() == 1) {
+      auto resp = util::decode_from_bytes<efs::ReadResponse>(replies[b].value());
+      addr = resp.addr;
+      payloads.push_back(std::move(resp.data));
+    } else {
+      auto resp =
+          util::decode_from_bytes<efs::ReadManyResponse>(replies[b].value());
+      addr = resp.addr;
+      payloads = std::move(resp.blocks);
+    }
+    lfs_clients_[lfs]->note_hint(record.lfs_file_id, addr);
+    if (payloads.size() != group.run_pos.size()) {
+      if (first_error.is_ok()) {
+        first_error = util::corrupt("LFS returned a short vectored read");
+      }
+      continue;
+    }
+    for (std::size_t j = 0; j < payloads.size(); ++j) {
+      std::uint64_t n = first + group.run_pos[j];
+      auto unwrapped = unwrap_block(payloads[j]);
+      if (!unwrapped.is_ok()) {
+        if (first_error.is_ok()) first_error = unwrapped.status();
+        continue;
+      }
+      if (unwrapped.value().header.global_block_no != n ||
+          unwrapped.value().header.file_id != record.id) {
+        if (first_error.is_ok()) {
+          first_error =
+              util::corrupt("Bridge header does not match requested block");
+        }
+        continue;
+      }
+      wire.ctx.charge(config_.forward_cpu);
+      ++stats_.blocks_forwarded;
+      out[group.run_pos[j]] = std::move(unwrapped.value().user_data);
+    }
+  }
+  if (!first_error.is_ok()) return first_error;
+  return out;
+}
+
+util::Status BridgeServer::write_run(
+    Wire& wire, FileRecord& record, std::uint64_t first,
+    std::span<const std::vector<std::byte>> user_blocks) {
+  std::uint64_t original_size = record.placement.size_blocks();
+  auto rollback = [&] {
+    if (record.placement.size_blocks() > original_size) {
+      record.placement.truncate(original_size);
+    }
+  };
+
+  // Stage 1: assign a placement to every block of the run (overwrites via
+  // place, appends via append / linked scatter), wrapping payloads as we go.
+  // Any failure here rolls the size bookkeeping straight back.
+  struct LfsGroup {
+    std::vector<std::uint32_t> local_blocks;
+    std::vector<std::vector<std::byte>> wrapped;
+    std::uint32_t appends = 0;  ///< blocks of this group that grow the file
+  };
+  std::vector<LfsGroup> groups(num_lfs());
+  for (std::size_t i = 0; i < user_blocks.size(); ++i) {
+    std::uint64_t n = first + i;
+    std::uint64_t size = record.placement.size_blocks();
+    bool is_append = n >= size;
+    util::Result<Placement> placed(util::internal_error("unset"));
+    if (n < size) {
+      placed = record.placement.place(n);
+    } else if (record.placement.distribution() == Distribution::kLinked) {
+      // Linked "disordered" files (§3): blocks scatter arbitrarily; the
+      // directory records each placement explicitly.
+      std::uint32_t p = num_lfs();
+      std::uint32_t lfs = static_cast<std::uint32_t>(
+          util::mix64(record.placement.hash_seed() ^ (n * 0x9E3779B9ull)) % p);
+      Placement scatter{lfs, record.placement.next_local(lfs)};
+      if (auto st = record.placement.append_linked(scatter); !st.is_ok()) {
+        rollback();
+        return st;
+      }
+      placed = scatter;
+    } else {
+      placed = record.placement.append();
+    }
+    if (!placed.is_ok()) {
+      rollback();
+      return placed.status();
+    }
+
+    BridgeBlockHeader header;
+    header.file_id = record.id;
+    header.global_block_no = n;
+    header.width = record.placement.width();
+    header.start_lfs = record.placement.start_lfs();
+    auto wrapped = wrap_block(header, user_blocks[i]);
+    if (!wrapped.is_ok()) {
+      rollback();
+      return wrapped.status();
+    }
+    auto& group = groups[placed.value().lfs_index];
+    group.local_blocks.push_back(placed.value().local_block);
+    group.wrapped.push_back(std::move(wrapped).value());
+    if (is_append) ++group.appends;
+  }
+
+  // Preflight: when an appending run spans several LFSs, one LFS could run
+  // out of space after its peers already committed, stranding physical
+  // blocks the directory no longer accounts for.  One concurrent Info round
+  // checks every appending group's free count before anything is written
+  // (the Bridge Server is the only writer of constituent files during the
+  // run — it is a monitor — so the counts cannot go stale mid-run).
+  // Single-LFS runs skip this: the LFS itself preflights kWriteMany, and a
+  // single-block write either happens whole or not at all.
+  std::uint32_t involved = 0;
+  bool grows = false;
+  for (const auto& group : groups) {
+    if (!group.local_blocks.empty()) ++involved;
+    if (group.appends > 0) grows = true;
+  }
+  if (grows && involved >= 2) {
+    sim::AsyncBatch preflight(wire.rpc);
+    std::vector<std::uint32_t> preflight_lfs;
+    efs::InfoRequest info_req{record.lfs_file_id};
+    auto info_payload = util::encode_to_bytes(info_req);
+    for (std::uint32_t lfs = 0; lfs < groups.size(); ++lfs) {
+      if (groups[lfs].appends == 0) continue;
+      preflight.call(lfs_services_[lfs], msg(efs::MsgType::kInfo),
+                     info_payload);
+      preflight_lfs.push_back(lfs);
+    }
+    auto infos = preflight.wait_all();
+    for (std::size_t b = 0; b < infos.size(); ++b) {
+      if (!infos[b].is_ok()) {
+        rollback();
+        return infos[b].status();
+      }
+      auto info = util::decode_from_bytes<efs::InfoResponse>(infos[b].value());
+      if (info.free_blocks < groups[preflight_lfs[b]].appends) {
+        rollback();
+        return util::out_of_space(
+            "LFS " + std::to_string(preflight_lfs[b]) +
+            " cannot hold this run's appends");
+      }
+    }
+  }
+
+  // Stage 2: scatter — one concurrent request per involved LFS.  Singleton
+  // groups keep the plain write envelope; larger groups go vectored (the
+  // LFS preflights appends so an out-of-space run fails without leaving a
+  // partial tail behind).
+  sim::AsyncBatch batch(wire.rpc);
+  std::vector<std::uint32_t> batch_lfs;
+  for (std::uint32_t lfs = 0; lfs < groups.size(); ++lfs) {
+    auto& group = groups[lfs];
+    if (group.local_blocks.empty()) continue;
+    efs::BlockAddr hint = lfs_clients_[lfs]->hint_for(record.lfs_file_id);
+    if (group.local_blocks.size() == 1) {
+      efs::WriteRequest req{record.lfs_file_id, group.local_blocks[0], hint,
+                            std::move(group.wrapped[0])};
+      batch.call(lfs_services_[lfs], msg(efs::MsgType::kWrite),
+                 util::encode_to_bytes(req));
+    } else {
+      efs::WriteManyRequest req{record.lfs_file_id, hint,
+                                std::move(group.local_blocks),
+                                std::move(group.wrapped)};
+      batch.call(lfs_services_[lfs], msg(efs::MsgType::kWriteMany),
+                 util::encode_to_bytes(req));
+    }
+    batch_lfs.push_back(lfs);
+  }
+  if (user_blocks.size() > 1) {
+    ++stats_.vectored_batches;
+    stats_.vectored_blocks += user_blocks.size();
+  }
+
+  // Gather completions; one failed LFS fails the run whole.
+  auto replies = batch.wait_all();
+  util::Status first_error = util::ok_status();
+  for (std::size_t b = 0; b < replies.size(); ++b) {
+    if (!replies[b].is_ok()) {
+      if (first_error.is_ok()) first_error = replies[b].status();
+      continue;
+    }
+    std::uint32_t lfs = batch_lfs[b];
+    efs::BlockAddr addr =
+        util::decode_from_bytes<efs::WriteResponse>(replies[b].value()).addr;
+    lfs_clients_[lfs]->note_hint(record.lfs_file_id, addr);
+  }
+  if (!first_error.is_ok()) {
+    rollback();
+    return first_error;
+  }
+  wire.ctx.charge(config_.forward_cpu *
+                  static_cast<std::int64_t>(user_blocks.size()));
+  stats_.blocks_forwarded += user_blocks.size();
+  return util::ok_status();
+}
+
 util::Result<std::vector<std::byte>> BridgeServer::read_block(
     Wire& wire, FileRecord& record, std::uint64_t n) {
-  auto placed = record.placement.place(n);
-  if (!placed.is_ok()) return placed.status();
-  Placement placement = placed.value();
-  auto resp = lfs_clients_[placement.lfs_index]->read(record.lfs_file_id,
-                                                      placement.local_block);
-  if (!resp.is_ok()) return resp.status();
-  auto unwrapped = unwrap_block(resp.value().data);
-  if (!unwrapped.is_ok()) return unwrapped.status();
-  if (unwrapped.value().header.global_block_no != n ||
-      unwrapped.value().header.file_id != record.id) {
-    return util::corrupt("Bridge header does not match requested block");
-  }
-  wire.ctx.charge(config_.forward_cpu);
-  ++stats_.blocks_forwarded;
-  return std::move(unwrapped.value().user_data);
+  auto run = read_run(wire, record, n, 1);
+  if (!run.is_ok()) return run.status();
+  return std::move(run.value()[0]);
 }
 
 util::Status BridgeServer::write_block(Wire& wire, FileRecord& record,
                                        std::uint64_t n,
                                        std::span<const std::byte> user_data) {
-  std::uint64_t size = record.placement.size_blocks();
-  util::Result<Placement> placed(util::internal_error("unset"));
-  if (n < size) {
-    placed = record.placement.place(n);
-  } else if (record.placement.distribution() == Distribution::kLinked) {
-    // Linked "disordered" files (§3): blocks scatter arbitrarily; the
-    // directory records each placement explicitly.
-    std::uint32_t p = num_lfs();
-    std::uint32_t lfs = static_cast<std::uint32_t>(
-        util::mix64(record.placement.hash_seed() ^ (n * 0x9E3779B9ull)) % p);
-    Placement scatter{lfs, record.placement.next_local(lfs)};
-    if (auto st = record.placement.append_linked(scatter); !st.is_ok()) {
-      return st;
-    }
-    placed = scatter;
-  } else {
-    placed = record.placement.append();
-  }
-  if (!placed.is_ok()) return placed.status();
-  Placement placement = placed.value();
-
-  BridgeBlockHeader header;
-  header.file_id = record.id;
-  header.global_block_no = n;
-  header.width = record.placement.width();
-  header.start_lfs = record.placement.start_lfs();
-  auto wrapped = wrap_block(header, user_data);
-  if (!wrapped.is_ok()) {
-    if (n >= size) record.placement.truncate(size);
-    return wrapped.status();
-  }
-  auto resp = lfs_clients_[placement.lfs_index]->write(
-      record.lfs_file_id, placement.local_block, wrapped.value());
-  if (!resp.is_ok()) {
-    if (n >= size) record.placement.truncate(size);
-    return resp.status();
-  }
-  wire.ctx.charge(config_.forward_cpu);
-  ++stats_.blocks_forwarded;
-  return util::ok_status();
+  std::vector<std::vector<std::byte>> one;
+  one.emplace_back(user_data.begin(), user_data.end());
+  return write_run(wire, record, n, one);
 }
 
 void BridgeServer::handle_seq_read(Wire& wire, const sim::Envelope& env) {
@@ -416,6 +622,90 @@ void BridgeServer::handle_random_write(Wire& wire, const sim::Envelope& env) {
     return sim::send_reply(wire.ctx, env, st);
   }
   sim::send_reply(wire.ctx, env, util::ok_status());
+}
+
+void BridgeServer::handle_seq_read_many(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = SeqReadManyRequest::decode(r);
+  auto it = sessions_.find(req.session);
+  if (it == sessions_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such session"));
+  }
+  if (req.max_blocks == 0) {
+    return sim::send_reply(wire.ctx, env,
+                           util::invalid_argument("empty read run"));
+  }
+  Session& session = it->second;
+  FileRecord* record = find_by_name(session.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env,
+                           util::not_found("file deleted: " + session.name));
+  }
+  SeqReadManyResponse resp;
+  std::uint64_t size = record->placement.size_blocks();
+  if (session.read_cursor >= size) {
+    resp.eof = true;
+    resp.first_block_no = session.read_cursor;
+    return sim::send_reply(wire.ctx, env, util::ok_status(),
+                           util::encode_to_bytes(resp));
+  }
+  std::uint32_t count = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::min<std::uint64_t>(req.max_blocks, kMaxRunBlocks),
+      size - session.read_cursor));
+  auto run = read_run(wire, *record, session.read_cursor, count);
+  // On any failure the cursor is untouched: the client can fall back to
+  // single-block reads from exactly where it stood.
+  if (!run.is_ok()) return sim::send_reply(wire.ctx, env, run.status());
+  resp.first_block_no = session.read_cursor;
+  resp.blocks = std::move(run).value();
+  session.read_cursor += count;
+  resp.eof = session.read_cursor >= size;
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_seq_write_many(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = SeqWriteManyRequest::decode(r);
+  auto it = sessions_.find(req.session);
+  if (it == sessions_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such session"));
+  }
+  if (req.blocks.empty() || req.blocks.size() > kMaxRunBlocks) {
+    return sim::send_reply(
+        wire.ctx, env, util::invalid_argument("write run must move 1..256 blocks"));
+  }
+  Session& session = it->second;
+  FileRecord* record = find_by_name(session.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env,
+                           util::not_found("file deleted: " + session.name));
+  }
+  std::uint64_t first = session.write_cursor;
+  if (auto st = write_run(wire, *record, first, req.blocks); !st.is_ok()) {
+    // write_run rolled the file size back; the cursor stays put too.
+    return sim::send_reply(wire.ctx, env, st);
+  }
+  session.write_cursor += req.blocks.size();
+  SeqWriteManyResponse resp{first, static_cast<std::uint32_t>(req.blocks.size())};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_random_read_many(Wire& wire,
+                                           const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = RandomReadManyRequest::decode(r);
+  FileRecord* record = find_by_id(req.id);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such file id"));
+  }
+  if (req.count == 0 || req.count > kMaxRunBlocks) {
+    return sim::send_reply(
+        wire.ctx, env, util::invalid_argument("read run must move 1..256 blocks"));
+  }
+  auto run = read_run(wire, *record, req.first_block, req.count);
+  if (!run.is_ok()) return sim::send_reply(wire.ctx, env, run.status());
+  RandomReadManyResponse resp{std::move(run).value()};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
 }
 
 void BridgeServer::handle_parallel_open(Wire& wire, const sim::Envelope& env) {

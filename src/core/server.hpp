@@ -31,6 +31,8 @@ struct BridgeServerStats {
   std::uint64_t requests = 0;
   std::uint64_t blocks_forwarded = 0;
   std::uint64_t parallel_rounds = 0;
+  std::uint64_t vectored_batches = 0;  ///< multi-block runs served
+  std::uint64_t vectored_blocks = 0;   ///< blocks moved by those runs
 };
 
 class BridgeServer {
@@ -104,17 +106,34 @@ class BridgeServer {
   void handle_random_read(Wire& wire, const sim::Envelope& env);
   void handle_seq_write(Wire& wire, const sim::Envelope& env);
   void handle_random_write(Wire& wire, const sim::Envelope& env);
+  void handle_seq_read_many(Wire& wire, const sim::Envelope& env);
+  void handle_seq_write_many(Wire& wire, const sim::Envelope& env);
+  void handle_random_read_many(Wire& wire, const sim::Envelope& env);
   void handle_parallel_open(Wire& wire, const sim::Envelope& env);
   void handle_parallel_read(Wire& wire, const sim::Envelope& env);
   void handle_parallel_write(Wire& wire, const sim::Envelope& env);
   void handle_get_info(Wire& wire, const sim::Envelope& env);
   void handle_resolve(Wire& wire, const sim::Envelope& env);
 
-  /// Read global block `n` of `record` (returns the unwrapped user payload).
+  /// Scatter-gather read engine: place global blocks `first..first+count-1`,
+  /// fan one vectored request out to every involved LFS concurrently, and
+  /// reassemble the unwrapped user payloads in global-block order.  All
+  /// outstanding replies are drained even on error.
+  util::Result<std::vector<std::vector<std::byte>>> read_run(
+      Wire& wire, FileRecord& record, std::uint64_t first,
+      std::uint32_t count);
+  /// Scatter-gather write engine: place/append the whole run up front, fan
+  /// the writes out concurrently, and on any failure roll the file's size
+  /// bookkeeping back to its pre-run value (the run commits or fails whole).
+  util::Status write_run(Wire& wire, FileRecord& record, std::uint64_t first,
+                         std::span<const std::vector<std::byte>> user_blocks);
+
+  /// Read global block `n` of `record` (single-block wrapper over read_run).
   util::Result<std::vector<std::byte>> read_block(Wire& wire,
                                                   FileRecord& record,
                                                   std::uint64_t n);
-  /// Write user payload as global block `n` (append or overwrite).
+  /// Write user payload as global block `n` (append or overwrite;
+  /// single-block wrapper over write_run).
   util::Status write_block(Wire& wire, FileRecord& record, std::uint64_t n,
                            std::span<const std::byte> user_data);
   /// Refresh a record's size from the LFS instances (used by Open).

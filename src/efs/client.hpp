@@ -79,6 +79,35 @@ class EfsClient {
     return resp;
   }
 
+  /// Vectored read: fetch `block_nos` (request order preserved) in one
+  /// round trip.
+  util::Result<ReadManyResponse> read_many(FileId id,
+                                           std::vector<std::uint32_t> block_nos) {
+    ReadManyRequest req{id, hint_for(id), std::move(block_nos)};
+    auto reply = rpc_->call(service_,
+                            static_cast<std::uint32_t>(MsgType::kReadMany),
+                            util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    auto resp = util::decode_from_bytes<ReadManyResponse>(reply.value());
+    hints_[id] = resp.addr;
+    return resp;
+  }
+
+  /// Vectored write: apply (block_nos[i], blocks[i]) in one round trip.
+  util::Result<WriteManyResponse> write_many(
+      FileId id, std::vector<std::uint32_t> block_nos,
+      std::vector<std::vector<std::byte>> blocks) {
+    WriteManyRequest req{id, hint_for(id), std::move(block_nos),
+                         std::move(blocks)};
+    auto reply = rpc_->call(service_,
+                            static_cast<std::uint32_t>(MsgType::kWriteMany),
+                            util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    auto resp = util::decode_from_bytes<WriteManyResponse>(reply.value());
+    hints_[id] = resp.addr;
+    return resp;
+  }
+
   util::Status sync() {
     auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kSync), {});
     return reply.status();
@@ -88,6 +117,9 @@ class EfsClient {
     auto it = hints_.find(id);
     return it == hints_.end() ? kNilAddr : it->second;
   }
+  /// Record a hint observed out of band (callers that issue raw async RPCs
+  /// — the Bridge Server's scatter-gather engine — feed replies back here).
+  void note_hint(FileId id, BlockAddr addr) { hints_[id] = addr; }
   void forget_hints() { hints_.clear(); }
 
  private:

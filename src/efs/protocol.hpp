@@ -20,6 +20,12 @@ enum class MsgType : std::uint32_t {
   kRead = 0x103,
   kWrite = 0x104,
   kSync = 0x105,
+  /// Vectored ops: one envelope carries a whole run of block numbers, so the
+  /// per-message latency is paid once per run instead of once per block and
+  /// the server can feed back-to-back blocks straight out of the track
+  /// cache.  The single-block ops above remain and are wire-compatible.
+  kReadMany = 0x106,
+  kWriteMany = 0x107,
 };
 
 struct CreateRequest {
@@ -43,14 +49,17 @@ struct InfoRequest {
 struct InfoResponse {
   std::uint32_t size_blocks = 0;
   BlockAddr head = kNilAddr;
+  std::uint32_t free_blocks = 0;  ///< whole-LFS free count (append preflight)
   void encode(util::Writer& w) const {
     w.u32(size_blocks);
     w.u32(head);
+    w.u32(free_blocks);
   }
   static InfoResponse decode(util::Reader& r) {
     InfoResponse resp;
     resp.size_blocks = r.u32();
     resp.head = r.u32();
+    resp.free_blocks = r.u32();
     return resp;
   }
 };
@@ -113,6 +122,87 @@ struct WriteResponse {
   BlockAddr addr = kNilAddr;
   void encode(util::Writer& w) const { w.u32(addr); }
   static WriteResponse decode(util::Reader& r) { return {r.u32()}; }
+};
+
+/// Vectored read: fetch `block_nos` (any order, any gaps — true scatter) in
+/// one request.  The response returns the blocks in request order.
+struct ReadManyRequest {
+  FileId file_id = kInvalidFileId;
+  BlockAddr hint = kNilAddr;  ///< starting hint, as for a single read
+  std::vector<std::uint32_t> block_nos;
+  void encode(util::Writer& w) const {
+    w.u32(file_id);
+    w.u32(hint);
+    w.u32(static_cast<std::uint32_t>(block_nos.size()));
+    for (auto n : block_nos) w.u32(n);
+  }
+  static ReadManyRequest decode(util::Reader& r) {
+    ReadManyRequest req;
+    req.file_id = r.u32();
+    req.hint = r.u32();
+    std::uint32_t n = r.u32();
+    req.block_nos.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) req.block_nos.push_back(r.u32());
+    return req;
+  }
+};
+
+struct ReadManyResponse {
+  BlockAddr addr = kNilAddr;  ///< address of the last block (next hint)
+  std::vector<std::vector<std::byte>> blocks;  ///< blocks[i] = block_nos[i]
+  void encode(util::Writer& w) const {
+    w.u32(addr);
+    w.u32(static_cast<std::uint32_t>(blocks.size()));
+    for (const auto& b : blocks) w.bytes(b);
+  }
+  static ReadManyResponse decode(util::Reader& r) {
+    ReadManyResponse resp;
+    resp.addr = r.u32();
+    std::uint32_t n = r.u32();
+    resp.blocks.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) resp.blocks.push_back(r.bytes());
+    return resp;
+  }
+};
+
+/// Vectored write: apply (block_nos[i], blocks[i]) pairs in order.  Appends
+/// are preflighted against the free list so an out-of-space run fails whole,
+/// leaving the constituent file untouched (no partial tail for the Bridge
+/// Server to roll back).
+struct WriteManyRequest {
+  FileId file_id = kInvalidFileId;
+  BlockAddr hint = kNilAddr;
+  std::vector<std::uint32_t> block_nos;
+  std::vector<std::vector<std::byte>> blocks;  ///< kEfsDataBytes payloads
+  void encode(util::Writer& w) const {
+    w.u32(file_id);
+    w.u32(hint);
+    w.u32(static_cast<std::uint32_t>(block_nos.size()));
+    for (auto n : block_nos) w.u32(n);
+    // Payload count is carried separately so a malformed (mismatched)
+    // request survives the wire and is rejected by the server, not by the
+    // decoder.
+    w.u32(static_cast<std::uint32_t>(blocks.size()));
+    for (const auto& b : blocks) w.bytes(b);
+  }
+  static WriteManyRequest decode(util::Reader& r) {
+    WriteManyRequest req;
+    req.file_id = r.u32();
+    req.hint = r.u32();
+    std::uint32_t n = r.u32();
+    req.block_nos.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) req.block_nos.push_back(r.u32());
+    std::uint32_t m = r.u32();
+    req.blocks.reserve(m);
+    for (std::uint32_t i = 0; i < m; ++i) req.blocks.push_back(r.bytes());
+    return req;
+  }
+};
+
+struct WriteManyResponse {
+  BlockAddr addr = kNilAddr;  ///< address of the last block written
+  void encode(util::Writer& w) const { w.u32(addr); }
+  static WriteManyResponse decode(util::Reader& r) { return {r.u32()}; }
 };
 
 }  // namespace bridge::efs

@@ -56,7 +56,8 @@ void EfsServer::handle(sim::Context& ctx, const sim::Envelope& env) {
           sim::send_reply(ctx, env, result.status());
           return;
         }
-        InfoResponse resp{result.value().size_blocks, result.value().head};
+        InfoResponse resp{result.value().size_blocks, result.value().head,
+                          static_cast<std::uint32_t>(core_->free_block_count())};
         sim::send_reply(ctx, env, util::ok_status(),
                         util::encode_to_bytes(resp));
         return;
@@ -84,6 +85,66 @@ void EfsServer::handle(sim::Context& ctx, const sim::Envelope& env) {
           return;
         }
         WriteResponse resp{result.value()};
+        sim::send_reply(ctx, env, util::ok_status(),
+                        util::encode_to_bytes(resp));
+        return;
+      }
+      case MsgType::kReadMany: {
+        Reader r(env.payload);
+        auto req = ReadManyRequest::decode(r);
+        ReadManyResponse resp;
+        resp.blocks.reserve(req.block_nos.size());
+        BlockAddr hint = req.hint;
+        for (auto block_no : req.block_nos) {
+          auto result = core_->read(ctx, req.file_id, block_no, hint);
+          if (!result.is_ok()) {
+            sim::send_reply(ctx, env, result.status());
+            return;
+          }
+          hint = result.value().addr;
+          resp.blocks.push_back(std::move(result.value().data));
+        }
+        resp.addr = hint;
+        sim::send_reply(ctx, env, util::ok_status(),
+                        util::encode_to_bytes(resp));
+        return;
+      }
+      case MsgType::kWriteMany: {
+        Reader r(env.payload);
+        auto req = WriteManyRequest::decode(r);
+        if (req.blocks.size() != req.block_nos.size()) {
+          sim::send_reply(ctx, env,
+                          util::invalid_argument("WriteMany length mismatch"));
+          return;
+        }
+        // Preflight appends against the free list so an out-of-space run
+        // fails whole: the caller's bookkeeping rollback then matches the
+        // on-disk state exactly (no orphaned tail blocks).
+        auto info = core_->info(ctx, req.file_id);
+        if (!info.is_ok()) {
+          sim::send_reply(ctx, env, info.status());
+          return;
+        }
+        std::size_t appends = 0;
+        for (auto block_no : req.block_nos) {
+          if (block_no >= info.value().size_blocks) ++appends;
+        }
+        if (appends > core_->free_block_count()) {
+          sim::send_reply(ctx, env,
+                          util::out_of_space("WriteMany run would overflow"));
+          return;
+        }
+        BlockAddr hint = req.hint;
+        for (std::size_t i = 0; i < req.block_nos.size(); ++i) {
+          auto result = core_->write(ctx, req.file_id, req.block_nos[i],
+                                     req.blocks[i], hint);
+          if (!result.is_ok()) {
+            sim::send_reply(ctx, env, result.status());
+            return;
+          }
+          hint = result.value();
+        }
+        WriteManyResponse resp{hint};
         sim::send_reply(ctx, env, util::ok_status(),
                         util::encode_to_bytes(resp));
         return;

@@ -177,4 +177,53 @@ class RpcClient {
   std::uint64_t next_correlation_ = 1;
 };
 
+/// Completion helper for a fan-out of async calls: issue N `call_async`,
+/// then collect the replies — which may arrive in any order — without
+/// hand-rolling correlation bookkeeping at every call site.
+///
+/// Replies are surfaced in ISSUE order regardless of arrival order (the
+/// underlying wait_reply stashes early arrivals).  wait_all() always drains
+/// every outstanding reply, so an error in one call never leaves stray
+/// replies queued against the client for a later operation to trip over.
+class AsyncBatch {
+ public:
+  explicit AsyncBatch(RpcClient& rpc) : rpc_(&rpc) {}
+
+  /// Issue one call; returns its index within the batch.
+  std::size_t call(const Address& service, std::uint32_t type,
+                   std::span<const std::byte> request) {
+    correlations_.push_back(rpc_->call_async(service, type, request));
+    return correlations_.size() - 1;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return correlations_.size();
+  }
+
+  /// Block until every reply has arrived; element i is call i's result.
+  std::vector<util::Result<std::vector<std::byte>>> wait_all() {
+    std::vector<util::Result<std::vector<std::byte>>> results;
+    results.reserve(correlations_.size());
+    for (auto corr : correlations_) {
+      results.push_back(rpc_->wait_reply(corr));
+    }
+    correlations_.clear();
+    return results;
+  }
+
+  /// Drain every reply and report the first error (ok if all succeeded).
+  /// For callers that only need success/failure, not the payloads.
+  util::Status wait_all_ok() {
+    util::Status first = util::ok_status();
+    for (auto& result : wait_all()) {
+      if (!result.is_ok() && first.is_ok()) first = result.status();
+    }
+    return first;
+  }
+
+ private:
+  RpcClient* rpc_;
+  std::vector<std::uint64_t> correlations_;
+};
+
 }  // namespace bridge::sim

@@ -125,6 +125,78 @@ TEST(Rpc, AsyncRepliesMatchedOutOfOrder) {
   EXPECT_EQ(second, 2u);
 }
 
+TEST(Rpc, ManyOutstandingCallsInterleavedAndReversed) {
+  // Eight concurrent calls whose service times are arranged so replies
+  // arrive in exactly reversed order; the caller then waits in scrambled
+  // order.  Every reply must route to its own correlation — no drops, no
+  // cross-matched payloads.
+  Runtime rt(2);
+  Mailbox box(rt.scheduler(), 1);
+  Address svc = spawn_test_server(rt, 1, box);
+  std::vector<std::uint64_t> results(8, 0);
+  rt.spawn(0, "client", [&](Context& ctx) {
+    RpcClient cli(ctx);
+    std::vector<std::uint64_t> corr(8);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      // Call i takes (80 - 10i) ms: the first issued replies last.
+      Writer w;
+      w.u64(80 - 10 * i);
+      corr[i] = cli.call_async(svc, kSlowDouble, w.buffer());
+    }
+    // Wait in a scrambled order (neither issue nor arrival order).
+    for (std::uint64_t i : {3u, 7u, 0u, 5u, 1u, 6u, 2u, 4u}) {
+      auto r = cli.wait_reply(corr[i]);
+      ASSERT_TRUE(r.is_ok());
+      results[i] = Reader(r.value()).u64();
+    }
+  });
+  rt.run();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(results[i], 2 * (80 - 10 * i)) << "call " << i;
+  }
+}
+
+TEST(Rpc, AsyncBatchCollectsInIssueOrder) {
+  // AsyncBatch over calls that complete in reverse: wait_all returns the
+  // results in issue order and drains every reply even when some fail.
+  Runtime rt(2);
+  Mailbox box(rt.scheduler(), 1);
+  Address svc = spawn_test_server(rt, 1, box);
+  bool checked = false;
+  rt.spawn(0, "client", [&](Context& ctx) {
+    RpcClient cli(ctx);
+    AsyncBatch batch(cli);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      Writer w;
+      w.u64(40 - 10 * i);
+      batch.call(svc, kSlowDouble, w.buffer());
+    }
+    batch.call(svc, kFail, {});
+    EXPECT_EQ(batch.size(), 5u);
+    auto replies = batch.wait_all();
+    ASSERT_EQ(replies.size(), 5u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(replies[i].is_ok());
+      EXPECT_EQ(Reader(replies[i].value()).u64(), 2 * (40 - 10 * i));
+    }
+    EXPECT_EQ(replies[4].status().code(), ErrorCode::kNotFound);
+    // The batch is reusable after wait_all, and wait_all_ok surfaces the
+    // first error while still draining the rest.
+    batch.call(svc, kFail, {});
+    Writer w;
+    w.u64(1);
+    batch.call(svc, kSlowDouble, w.buffer());
+    auto status = batch.wait_all_ok();
+    EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+    // No stray replies left behind: a fresh call still matches cleanly.
+    auto echo = cli.call(svc, kEcho, {});
+    EXPECT_TRUE(echo.is_ok());
+    checked = true;
+  });
+  rt.run();
+  EXPECT_TRUE(checked);
+}
+
 TEST(Rpc, ManyClientsOneServer) {
   Runtime rt(4);
   Mailbox box(rt.scheduler(), 0);
