@@ -15,6 +15,8 @@ for b in build/bench/*; do
   case "$b" in
     # micro is a google-benchmark binary and rejects flags it doesn't know.
     */micro) "$b" ;;
+    # recovery sweeps p up to 16 twice per point; keep the file bounded.
+    */ablation_recovery) "$b" --records=240 --json=BENCH_results.json ;;
     *) "$b" --json=BENCH_results.json ;;
   esac
   echo

@@ -1,11 +1,17 @@
 #include "src/core/replication.hpp"
 
+#include <algorithm>
+
 #include "src/core/bridge_block.hpp"
 #include "src/core/interleave.hpp"
 
 namespace bridge::core {
 
 namespace {
+
+constexpr std::uint32_t msg(efs::MsgType type) {
+  return static_cast<std::uint32_t>(type);
+}
 
 /// Open `name`, creating it (width = all LFSs) if absent.
 util::Result<FileMeta> open_or_create(BridgeApi& client,
@@ -21,37 +27,172 @@ util::Result<FileMeta> open_or_create(BridgeApi& client,
   return reopened.value().meta;
 }
 
-std::vector<std::unique_ptr<efs::EfsClient>> make_lfs_clients(
-    sim::RpcClient& rpc, const tools::ToolEnv& env) {
-  std::vector<std::unique_ptr<efs::EfsClient>> clients;
-  for (std::uint32_t i = 0; i < env.num_lfs(); ++i) {
-    clients.push_back(
-        std::make_unique<efs::EfsClient>(rpc, env.lfs_service(i)));
-  }
-  return clients;
+/// Local blocks held at round-robin offset `o` of a `width`-wide file with
+/// `size` global blocks.
+constexpr std::uint32_t offset_count(std::uint64_t size, std::uint32_t width,
+                                     std::uint32_t o) {
+  return static_cast<std::uint32_t>(size / width) +
+         (o < size % width ? 1u : 0u);
 }
 
-util::Status write_wrapped(efs::EfsClient& lfs, const FileMeta& meta,
-                           std::uint32_t local_block, std::uint64_t global_no,
-                           std::span<const std::byte> data) {
+/// Wrap `data` for `meta`'s constituent files.  reserved0/reserved1 pass
+/// through to the Bridge block header (the parity length/fill words).
+util::Result<std::vector<std::byte>> wrap_for(const FileMeta& meta,
+                                              std::uint64_t global_no,
+                                              std::span<const std::byte> data,
+                                              std::uint32_t reserved0 = 0,
+                                              std::uint32_t reserved1 = 0) {
   BridgeBlockHeader header;
   header.file_id = meta.id;
   header.global_block_no = global_no;
   header.width = meta.width;
   header.start_lfs = meta.start_lfs;
-  auto wrapped = wrap_block(header, data);
-  if (!wrapped.is_ok()) return wrapped.status();
-  return lfs.write(meta.lfs_file_id, local_block, wrapped.value()).status();
+  header.reserved0 = reserved0;
+  header.reserved1 = reserved1;
+  return wrap_block(header, data);
+}
+
+util::Result<UnwrappedBlock> read_block(efs::EfsClient& lfs,
+                                        const FileMeta& meta,
+                                        std::uint32_t local_block) {
+  auto read = lfs.read(meta.lfs_file_id, local_block);
+  if (!read.is_ok()) return read.status();
+  return unwrap_block(read.value().data);
 }
 
 util::Result<std::vector<std::byte>> read_unwrapped(efs::EfsClient& lfs,
                                                     const FileMeta& meta,
                                                     std::uint32_t local_block) {
-  auto read = lfs.read(meta.lfs_file_id, local_block);
-  if (!read.is_ok()) return read.status();
-  auto unwrapped = unwrap_block(read.value().data);
-  if (!unwrapped.is_ok()) return unwrapped.status();
-  return std::move(unwrapped.value().user_data);
+  auto block = read_block(lfs, meta, local_block);
+  if (!block.is_ok()) return block.status();
+  return std::move(block.value().user_data);
+}
+
+// --- AsyncBatch plumbing ----------------------------------------------------
+//
+// The replication layer speaks the raw EFS wire ops through sim::AsyncBatch
+// (the PR-1 scatter-gather engine), so every multi-LFS operation has all its
+// requests in flight together.  Replies feed the per-file hint table back
+// through note_hint, exactly like the Bridge Server's pipeline.
+
+void issue_info(sim::AsyncBatch& batch, efs::EfsClient& lfs, efs::FileId id) {
+  efs::InfoRequest req{id};
+  batch.call(lfs.service(), msg(efs::MsgType::kInfo),
+             util::encode_to_bytes(req));
+}
+
+void issue_read(sim::AsyncBatch& batch, efs::EfsClient& lfs, efs::FileId id,
+                std::uint32_t local_block) {
+  efs::ReadRequest req{id, local_block, lfs.hint_for(id)};
+  batch.call(lfs.service(), msg(efs::MsgType::kRead),
+             util::encode_to_bytes(req));
+}
+
+void issue_read_many(sim::AsyncBatch& batch, efs::EfsClient& lfs,
+                     efs::FileId id, std::vector<std::uint32_t> locals) {
+  efs::ReadManyRequest req{id, lfs.hint_for(id), std::move(locals)};
+  batch.call(lfs.service(), msg(efs::MsgType::kReadMany),
+             util::encode_to_bytes(req));
+}
+
+void issue_write(sim::AsyncBatch& batch, efs::EfsClient& lfs, efs::FileId id,
+                 std::uint32_t local_block, std::vector<std::byte> payload) {
+  efs::WriteRequest req{id, local_block, lfs.hint_for(id), std::move(payload)};
+  batch.call(lfs.service(), msg(efs::MsgType::kWrite),
+             util::encode_to_bytes(req));
+}
+
+void issue_write_run(sim::AsyncBatch& batch, efs::EfsClient& lfs,
+                     efs::FileId id, std::vector<std::uint32_t> locals,
+                     std::vector<std::vector<std::byte>> payloads) {
+  // Singleton runs use the plain op — byte-identical to the old per-block
+  // path on the wire, same convention as the Bridge Server's pipeline.
+  if (locals.size() == 1) {
+    issue_write(batch, lfs, id, locals[0], std::move(payloads[0]));
+    return;
+  }
+  efs::WriteManyRequest req{id, lfs.hint_for(id), std::move(locals),
+                            std::move(payloads)};
+  batch.call(lfs.service(), msg(efs::MsgType::kWriteMany),
+             util::encode_to_bytes(req));
+}
+
+util::Result<efs::InfoResponse> take_info(
+    util::Result<std::vector<std::byte>> reply) {
+  if (!reply.is_ok()) return reply.status();
+  return util::decode_from_bytes<efs::InfoResponse>(reply.value());
+}
+
+util::Result<std::vector<std::byte>> take_read(
+    util::Result<std::vector<std::byte>> reply, efs::EfsClient& lfs,
+    efs::FileId id) {
+  if (!reply.is_ok()) return reply.status();
+  auto resp = util::decode_from_bytes<efs::ReadResponse>(reply.value());
+  lfs.note_hint(id, resp.addr);
+  return std::move(resp.data);
+}
+
+util::Result<std::vector<std::vector<std::byte>>> take_read_many(
+    util::Result<std::vector<std::byte>> reply, efs::EfsClient& lfs,
+    efs::FileId id) {
+  if (!reply.is_ok()) return reply.status();
+  auto resp = util::decode_from_bytes<efs::ReadManyResponse>(reply.value());
+  lfs.note_hint(id, resp.addr);
+  return std::move(resp.blocks);
+}
+
+util::Status take_write(util::Result<std::vector<std::byte>> reply,
+                        efs::EfsClient& lfs, efs::FileId id, bool vectored) {
+  if (!reply.is_ok()) return reply.status();
+  if (vectored) {
+    auto resp = util::decode_from_bytes<efs::WriteManyResponse>(reply.value());
+    lfs.note_hint(id, resp.addr);
+  } else {
+    auto resp = util::decode_from_bytes<efs::WriteResponse>(reply.value());
+    lfs.note_hint(id, resp.addr);
+  }
+  return util::ok_status();
+}
+
+/// A spare/repaired LFS starts from scratch: whatever survives of the old
+/// constituent is truncated away (every lost block gets a fresh free marker,
+/// so stale content cannot mask a broken rebuild) and the rebuild re-appends
+/// from zero.  Truncate's track-coalesced frees make this far cheaper than a
+/// per-block delete; a constituent missing entirely is created instead.
+util::Status reset_constituent(efs::EfsClient& lfs, efs::FileId id) {
+  auto truncated = lfs.truncate(id, 0);
+  if (truncated.is_ok()) return util::ok_status();
+  if (truncated.status().code() != util::ErrorCode::kNotFound) {
+    return truncated.status();
+  }
+  return lfs.create(id);
+}
+
+/// Async variant of reset_constituent: the truncate rides in the same batch
+/// as the first window's surviving-copy reads (the reset busies only the
+/// repaired LFS, the reads only the survivors — no reason to serialize).
+void issue_reset(sim::AsyncBatch& batch, efs::EfsClient& lfs,
+                 efs::FileId id) {
+  efs::TruncateRequest req{id, 0};
+  batch.call(lfs.service(), msg(efs::MsgType::kTruncate),
+             util::encode_to_bytes(req));
+}
+
+util::Status take_reset(util::Result<std::vector<std::byte>> reply,
+                        efs::EfsClient& lfs, efs::FileId id) {
+  lfs.forget_hint(id);
+  if (reply.is_ok()) return util::ok_status();
+  if (reply.status().code() != util::ErrorCode::kNotFound) {
+    return reply.status();
+  }
+  return lfs.create(id);
+}
+
+std::vector<std::uint32_t> local_range(std::uint32_t lo, std::uint32_t hi) {
+  std::vector<std::uint32_t> locals;
+  locals.reserve(hi - lo);
+  for (std::uint32_t l = lo; l < hi; ++l) locals.push_back(l);
+  return locals;
 }
 
 }  // namespace
@@ -65,7 +206,7 @@ MirroredFile::MirroredFile(sim::Context& ctx, tools::ToolEnv env,
       primary_(std::move(primary)),
       mirror_(std::move(mirror)) {
   rpc_ = std::make_unique<sim::RpcClient>(ctx);
-  lfs_ = make_lfs_clients(*rpc_, env_);
+  lfs_ = env_.make_lfs_clients(*rpc_);
   size_ = primary_.size_blocks;
 }
 
@@ -81,28 +222,121 @@ util::Result<MirroredFile> MirroredFile::open(sim::Context& ctx,
   if (!primary.is_ok()) return primary.status();
   auto mirror = open_or_create(client, name + "!mirror");
   if (!mirror.is_ok()) return mirror.status();
-  return MirroredFile(ctx, std::move(env).value(), std::move(primary).value(),
-                      std::move(mirror).value());
+  MirroredFile file(ctx, std::move(env).value(), std::move(primary).value(),
+                    std::move(mirror).value());
+  if (auto st = file.derive_size(); !st.is_ok()) return st;
+  return file;
+}
+
+util::Status MirroredFile::derive_size() {
+  std::uint32_t p = env_.num_lfs();
+  sim::AsyncBatch batch(*rpc_);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    issue_info(batch, *lfs_[i], primary_.lfs_file_id);
+  }
+  for (std::uint32_t i = 0; i < p; ++i) {
+    issue_info(batch, *lfs_[i], mirror_.lfs_file_id);
+  }
+  auto replies = batch.wait_all();
+  std::uint64_t size = 0;
+  for (std::uint32_t o = 0; o < p; ++o) {
+    std::uint32_t home = (primary_.start_lfs + o) % p;
+    std::uint32_t partner = (home + p / 2) % p;
+    auto primary_info = take_info(std::move(replies[home]));
+    if (primary_info.is_ok()) {
+      size += primary_info.value().size_blocks;
+      continue;
+    }
+    auto mirror_info = take_info(std::move(replies[p + partner]));
+    if (!mirror_info.is_ok()) {
+      return util::unavailable("double failure: cannot derive mirrored size");
+    }
+    size += mirror_info.value().size_blocks;
+  }
+  size_ = size;
+  return util::ok_status();
 }
 
 util::Status MirroredFile::append(std::span<const std::byte> data) {
+  return append_many({std::vector<std::byte>(data.begin(), data.end())});
+}
+
+util::Status MirroredFile::append_many(
+    const std::vector<std::vector<std::byte>>& blocks) {
+  if (blocks.empty()) return util::ok_status();
   std::uint32_t p = env_.num_lfs();
-  std::uint64_t n = size_;
-  auto home = striped_placement(n, p, primary_.start_lfs, p);
-  std::uint32_t mirror_lfs = (home.lfs_index + p / 2) % p;
-  if (auto st = write_wrapped(*lfs_[home.lfs_index], primary_,
-                              home.local_block, n, data);
-      !st.is_ok()) {
-    return st;
+
+  // Group the run per constituent: blocks homed on LFS j join j's primary
+  // group, their mirror copies join ((j + p/2) mod p)'s mirror group.
+  struct Group {
+    std::vector<std::uint32_t> locals;
+    std::vector<std::vector<std::byte>> payloads;
+  };
+  std::vector<Group> primary_groups(p), mirror_groups(p);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    std::uint64_t n = size_ + i;
+    auto home = striped_placement(n, p, primary_.start_lfs, p);
+    std::uint32_t mirror_lfs = (home.lfs_index + p / 2) % p;
+    auto wrapped_primary = wrap_for(primary_, n, blocks[i]);
+    if (!wrapped_primary.is_ok()) return wrapped_primary.status();
+    auto wrapped_mirror = wrap_for(mirror_, n, blocks[i]);
+    if (!wrapped_mirror.is_ok()) return wrapped_mirror.status();
+    // The mirror file lays its blocks out with the same local numbering but
+    // shifted start, so block n's mirror local number equals the home's.
+    primary_groups[home.lfs_index].locals.push_back(home.local_block);
+    primary_groups[home.lfs_index].payloads.push_back(
+        std::move(wrapped_primary).value());
+    mirror_groups[mirror_lfs].locals.push_back(home.local_block);
+    mirror_groups[mirror_lfs].payloads.push_back(
+        std::move(wrapped_mirror).value());
   }
-  // The mirror file lays its blocks out with the same local numbering but
-  // shifted start, so block n's mirror local number equals the home's.
-  if (auto st =
-          write_wrapped(*lfs_[mirror_lfs], mirror_, home.local_block, n, data);
-      !st.is_ok()) {
-    return st;
+
+  // One request per constituent touched, all in flight together.
+  struct Issued {
+    std::uint32_t lfs = 0;
+    efs::FileId id = 0;
+    bool vectored = false;
+  };
+  sim::AsyncBatch batch(*rpc_);
+  std::vector<Issued> issued;
+  for (std::uint32_t j = 0; j < p; ++j) {
+    if (!primary_groups[j].locals.empty()) {
+      issued.push_back({j, primary_.lfs_file_id,
+                        primary_groups[j].locals.size() > 1});
+      issue_write_run(batch, *lfs_[j], primary_.lfs_file_id,
+                      std::move(primary_groups[j].locals),
+                      std::move(primary_groups[j].payloads));
+    }
+    if (!mirror_groups[j].locals.empty()) {
+      issued.push_back({j, mirror_.lfs_file_id,
+                        mirror_groups[j].locals.size() > 1});
+      issue_write_run(batch, *lfs_[j], mirror_.lfs_file_id,
+                      std::move(mirror_groups[j].locals),
+                      std::move(mirror_groups[j].payloads));
+    }
   }
-  ++size_;
+  auto replies = batch.wait_all();
+  util::Status first_error = util::ok_status();
+  for (std::size_t b = 0; b < replies.size(); ++b) {
+    auto st = take_write(std::move(replies[b]), *lfs_[issued[b].lfs],
+                         issued[b].id, issued[b].vectored);
+    if (!st.is_ok() && first_error.is_ok()) first_error = st;
+  }
+  if (!first_error.is_ok()) {
+    // Compensate: roll every touched constituent back to its pre-run length
+    // (kTruncate is a no-op for any whose write never landed).  A truncate
+    // aimed at the failed LFS itself fails too — nothing was written there.
+    for (const auto& entry : issued) {
+      std::uint32_t o = entry.id == primary_.lfs_file_id
+                            ? (entry.lfs + p - primary_.start_lfs % p) % p
+                            : ((entry.lfs + p - p / 2) % p + p -
+                               primary_.start_lfs % p) %
+                                  p;
+      lfs_[entry.lfs]->truncate(entry.id, offset_count(size_, p, o));
+    }
+    return first_error;
+  }
+  size_ += blocks.size();
   return util::ok_status();
 }
 
@@ -121,6 +355,232 @@ util::Result<std::vector<std::byte>> MirroredFile::read(std::uint64_t n,
   return read_unwrapped(*lfs_[mirror_lfs], mirror_, home.local_block);
 }
 
+util::Result<RebuildReport> MirroredFile::rebuild_lfs(
+    std::uint32_t failed_idx, RebuildOptions options) {
+  std::uint32_t p = env_.num_lfs();
+  if (failed_idx >= p) return util::invalid_argument("no such LFS");
+  std::uint32_t window = std::max<std::uint32_t>(options.window_blocks, 1);
+
+  // LFS f held two constituents: the primary blocks homed on f (mirrored on
+  // partner = f + p/2) and the mirror copies of blocks homed on g = f - p/2.
+  std::uint32_t o_f = (failed_idx + p - primary_.start_lfs % p) % p;
+  std::uint32_t partner = (failed_idx + p / 2) % p;
+  std::uint32_t g = (failed_idx + p - p / 2) % p;
+  std::uint32_t o_g = (g + p - primary_.start_lfs % p) % p;
+  std::uint32_t primary_count = offset_count(size_, p, o_f);
+  std::uint32_t mirror_count = offset_count(size_, p, o_g);
+
+  // Rewrap a surviving copy for the constituent being rebuilt, verifying the
+  // checksum and global position en route.
+  auto rewrap = [](const UnwrappedBlock& block, const FileMeta& target,
+                   std::uint64_t expected_global)
+      -> util::Result<std::vector<std::byte>> {
+    if (block.header.global_block_no != expected_global) {
+      return util::corrupt("surviving copy holds the wrong global block");
+    }
+    return wrap_for(target, expected_global, block.user_data);
+  };
+
+  RebuildReport report;
+  std::uint32_t todo = std::max(primary_count, mirror_count);
+  if (todo == 0 || !options.vectored) {
+    if (auto st = reset_constituent(*lfs_[failed_idx], primary_.lfs_file_id);
+        !st.is_ok()) {
+      return st;
+    }
+    if (auto st = reset_constituent(*lfs_[failed_idx], mirror_.lfs_file_id);
+        !st.is_ok()) {
+      return st;
+    }
+    if (todo == 0) return report;
+  }
+
+  if (options.vectored) {
+    // Double-buffered streaming: each batch carries the previous window's
+    // reconstructed writes together with the NEXT window's surviving-copy
+    // reads, so the repaired LFS lands data while both partners stream the
+    // window after it — the disks never wait on each other.
+    struct PendingWrite {
+      efs::FileId id = 0;
+      bool vectored = false;
+      std::uint32_t blocks = 0;
+    };
+    auto issue_window_reads = [&](sim::AsyncBatch& batch, std::uint32_t lo) {
+      std::uint32_t primary_hi = std::min(primary_count, lo + window);
+      std::uint32_t mirror_hi = std::min(mirror_count, lo + window);
+      if (lo < primary_hi) {
+        issue_read_many(batch, *lfs_[partner], mirror_.lfs_file_id,
+                        local_range(lo, primary_hi));
+      }
+      if (lo < mirror_hi) {
+        issue_read_many(batch, *lfs_[g], primary_.lfs_file_id,
+                        local_range(lo, mirror_hi));
+      }
+    };
+
+    auto batch = std::make_unique<sim::AsyncBatch>(*rpc_);
+    issue_reset(*batch, *lfs_[failed_idx], primary_.lfs_file_id);
+    issue_reset(*batch, *lfs_[failed_idx], mirror_.lfs_file_id);
+    issue_window_reads(*batch, 0);
+    bool reset_pending = true;
+    std::vector<PendingWrite> pending;
+    std::uint32_t pending_lo = 0;
+
+    // Reap the writes riding at the front of a drained batch; a failure
+    // truncates both constituents back to their window start so a retry
+    // resumes from a clean boundary.
+    auto reap_pending =
+        [&](std::vector<util::Result<std::vector<std::byte>>>& replies,
+            std::size_t& b) -> util::Status {
+      util::Status write_status = util::ok_status();
+      for (auto& w : pending) {
+        auto st = take_write(std::move(replies[b++]), *lfs_[failed_idx], w.id,
+                             w.vectored);
+        if (!st.is_ok() && write_status.is_ok()) write_status = st;
+      }
+      if (!write_status.is_ok()) {
+        lfs_[failed_idx]->truncate(primary_.lfs_file_id, pending_lo);
+        lfs_[failed_idx]->truncate(mirror_.lfs_file_id, pending_lo);
+        return write_status;
+      }
+      for (const auto& w : pending) report.blocks_rebuilt += w.blocks;
+      if (!pending.empty()) ++report.windows;
+      pending.clear();
+      return util::ok_status();
+    };
+
+    for (std::uint32_t lo = 0; lo < todo; lo += window) {
+      std::uint32_t primary_hi = std::min(primary_count, lo + window);
+      std::uint32_t mirror_hi = std::min(mirror_count, lo + window);
+      auto replies = batch->wait_all();
+      std::size_t b = 0;
+      if (reset_pending) {
+        if (auto st = take_reset(std::move(replies[b++]), *lfs_[failed_idx],
+                                 primary_.lfs_file_id);
+            !st.is_ok()) {
+          return st;
+        }
+        if (auto st = take_reset(std::move(replies[b++]), *lfs_[failed_idx],
+                                 mirror_.lfs_file_id);
+            !st.is_ok()) {
+          return st;
+        }
+        reset_pending = false;
+      }
+      if (auto st = reap_pending(replies, b); !st.is_ok()) return st;
+
+      util::Result<std::vector<std::vector<std::byte>>> from_partner =
+          lo < primary_hi ? take_read_many(std::move(replies[b++]),
+                                           *lfs_[partner], mirror_.lfs_file_id)
+                          : std::vector<std::vector<std::byte>>{};
+      if (!from_partner.is_ok()) return from_partner.status();
+      auto from_g = lo < mirror_hi
+                        ? take_read_many(std::move(replies[b++]), *lfs_[g],
+                                         primary_.lfs_file_id)
+                        : std::vector<std::vector<std::byte>>{};
+      if (!from_g.is_ok()) return from_g.status();
+
+      std::vector<std::vector<std::byte>> primary_payloads, mirror_payloads;
+      for (std::uint32_t l = lo; l < primary_hi; ++l) {
+        auto unwrapped = unwrap_block(from_partner.value()[l - lo]);
+        if (!unwrapped.is_ok()) return unwrapped.status();
+        auto wrapped = rewrap(unwrapped.value(), primary_,
+                              static_cast<std::uint64_t>(l) * p + o_f);
+        if (!wrapped.is_ok()) return wrapped.status();
+        primary_payloads.push_back(std::move(wrapped).value());
+        ++report.blocks_read;
+      }
+      for (std::uint32_t l = lo; l < mirror_hi; ++l) {
+        auto unwrapped = unwrap_block(from_g.value()[l - lo]);
+        if (!unwrapped.is_ok()) return unwrapped.status();
+        auto wrapped = rewrap(unwrapped.value(), mirror_,
+                              static_cast<std::uint64_t>(l) * p + o_g);
+        if (!wrapped.is_ok()) return wrapped.status();
+        mirror_payloads.push_back(std::move(wrapped).value());
+        ++report.blocks_read;
+      }
+
+      batch = std::make_unique<sim::AsyncBatch>(*rpc_);
+      if (!primary_payloads.empty()) {
+        pending.push_back({primary_.lfs_file_id, primary_payloads.size() > 1,
+                           primary_hi - lo});
+        issue_write_run(*batch, *lfs_[failed_idx], primary_.lfs_file_id,
+                        local_range(lo, primary_hi),
+                        std::move(primary_payloads));
+      }
+      if (!mirror_payloads.empty()) {
+        pending.push_back({mirror_.lfs_file_id, mirror_payloads.size() > 1,
+                           mirror_hi - lo});
+        issue_write_run(*batch, *lfs_[failed_idx], mirror_.lfs_file_id,
+                        local_range(lo, mirror_hi), std::move(mirror_payloads));
+      }
+      pending_lo = lo;
+      if (lo + window < todo) issue_window_reads(*batch, lo + window);
+    }
+
+    // Drain the final window's writes.
+    auto replies = batch->wait_all();
+    std::size_t b = 0;
+    if (auto st = reap_pending(replies, b); !st.is_ok()) return st;
+    return report;
+  }
+
+  // Reference path: one RPC per block, strictly sequential.
+  for (std::uint32_t lo = 0; lo < todo; lo += window) {
+    std::uint32_t primary_hi = std::min(primary_count, lo + window);
+    std::uint32_t mirror_hi = std::min(mirror_count, lo + window);
+    std::vector<std::vector<std::byte>> primary_payloads, mirror_payloads;
+    for (std::uint32_t l = lo; l < primary_hi; ++l) {
+      auto block = read_block(*lfs_[partner], mirror_, l);
+      if (!block.is_ok()) return block.status();
+      auto wrapped = rewrap(block.value(), primary_,
+                            static_cast<std::uint64_t>(l) * p + o_f);
+      if (!wrapped.is_ok()) return wrapped.status();
+      primary_payloads.push_back(std::move(wrapped).value());
+      ++report.blocks_read;
+    }
+    for (std::uint32_t l = lo; l < mirror_hi; ++l) {
+      auto block = read_block(*lfs_[g], primary_, l);
+      if (!block.is_ok()) return block.status();
+      auto wrapped = rewrap(block.value(), mirror_,
+                            static_cast<std::uint64_t>(l) * p + o_g);
+      if (!wrapped.is_ok()) return wrapped.status();
+      mirror_payloads.push_back(std::move(wrapped).value());
+      ++report.blocks_read;
+    }
+
+    // Land the reconstructed runs; a failure mid-window truncates back to
+    // the window start so a retry resumes from a clean boundary.
+    util::Status write_status = util::ok_status();
+    for (std::size_t i = 0; i < primary_payloads.size() &&
+                            write_status.is_ok();
+         ++i) {
+      write_status = lfs_[failed_idx]
+                         ->write(primary_.lfs_file_id,
+                                 lo + static_cast<std::uint32_t>(i),
+                                 primary_payloads[i])
+                         .status();
+    }
+    for (std::size_t i = 0; i < mirror_payloads.size() &&
+                            write_status.is_ok();
+         ++i) {
+      write_status = lfs_[failed_idx]
+                         ->write(mirror_.lfs_file_id,
+                                 lo + static_cast<std::uint32_t>(i),
+                                 mirror_payloads[i])
+                         .status();
+    }
+    if (!write_status.is_ok()) {
+      lfs_[failed_idx]->truncate(primary_.lfs_file_id, lo);
+      lfs_[failed_idx]->truncate(mirror_.lfs_file_id, lo);
+      return write_status;
+    }
+    report.blocks_rebuilt += (primary_hi - lo) + (mirror_hi - lo);
+    ++report.windows;
+  }
+  return report;
+}
+
 // --- ParityFile -------------------------------------------------------------
 
 ParityFile::ParityFile(sim::Context& ctx, tools::ToolEnv env, FileMeta data,
@@ -130,7 +590,7 @@ ParityFile::ParityFile(sim::Context& ctx, tools::ToolEnv env, FileMeta data,
       data_(std::move(data)),
       parity_(std::move(parity)) {
   rpc_ = std::make_unique<sim::RpcClient>(ctx);
-  lfs_ = make_lfs_clients(*rpc_, env_);
+  lfs_ = env_.make_lfs_clients(*rpc_);
   size_ = data_.size_blocks;
 }
 
@@ -179,39 +639,127 @@ util::Result<ParityFile> ParityFile::open(sim::Context& ctx,
   } else {
     return parity_open.status();
   }
-  return ParityFile(ctx, std::move(env).value(), std::move(data),
-                    std::move(parity));
+  ParityFile file(ctx, std::move(env).value(), std::move(data),
+                  std::move(parity));
+  if (auto st = file.derive_size(); !st.is_ok()) return st;
+  return file;
+}
+
+util::Status ParityFile::derive_size() {
+  std::uint32_t width = data_width();
+  std::uint32_t total = env_.num_lfs();
+  sim::AsyncBatch batch(*rpc_);
+  for (std::uint32_t o = 0; o < width; ++o) {
+    issue_info(batch, *lfs_[(data_.start_lfs + o) % total],
+               data_.lfs_file_id);
+  }
+  issue_info(batch, *lfs_[parity_lfs_index()], parity_.lfs_file_id);
+  auto replies = batch.wait_all();
+
+  std::uint64_t known_sum = 0;
+  std::uint32_t unknown = 0;
+  for (std::uint32_t o = 0; o < width; ++o) {
+    auto info = take_info(std::move(replies[o]));
+    if (info.is_ok()) {
+      known_sum += info.value().size_blocks;
+    } else {
+      ++unknown;
+    }
+  }
+  if (unknown == 0) {
+    size_ = known_sum;
+    return util::ok_status();
+  }
+  if (unknown > 1) {
+    return util::unavailable("double failure: cannot derive parity size");
+  }
+  // One data constituent is unreachable: the parity file knows the stripe
+  // count, and the last parity block's fill word pins the exact size.
+  auto parity_info = take_info(std::move(replies[width]));
+  if (!parity_info.is_ok()) {
+    return util::unavailable("double failure: cannot derive parity size");
+  }
+  std::uint32_t stripes = parity_info.value().size_blocks;
+  if (stripes == 0) {
+    size_ = 0;
+    return util::ok_status();
+  }
+  auto last = read_block(*lfs_[parity_lfs_index()], parity_, stripes - 1);
+  if (!last.is_ok()) return last.status();
+  std::uint32_t fill = last.value().header.reserved1;
+  if (fill == 0 || fill > width) {
+    return util::corrupt("parity fill word out of range");
+  }
+  size_ = static_cast<std::uint64_t>(stripes - 1) * width + fill;
+  return util::ok_status();
 }
 
 util::Status ParityFile::append_stripe(
     const std::vector<std::vector<std::byte>>& blocks) {
   std::uint32_t width = data_width();
+  std::uint32_t total = env_.num_lfs();
   if (blocks.empty() || blocks.size() > width) {
     return util::invalid_argument("stripe must hold 1..p-1 blocks");
   }
-  std::uint32_t stripe = static_cast<std::uint32_t>(size_ / width);
   if (size_ % width != 0) {
     return util::invalid_argument("previous stripe incomplete");
   }
+  std::uint32_t stripe = static_cast<std::uint32_t>(size_ / width);
+
+  // Build the whole stripe first: wrapped data blocks plus the parity block,
+  // whose reserved words carry the XOR of the payload lengths and the fill
+  // count (what reconstruction needs to return short blocks byte-identical).
   std::vector<std::byte> parity(efs::kUserDataBytes, std::byte{0});
+  std::uint32_t length_xor = 0;
+  std::vector<std::vector<std::byte>> wrapped(blocks.size());
+  std::vector<std::uint32_t> data_lfs(blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     if (blocks[i].size() > efs::kUserDataBytes) {
       return util::invalid_argument("block too large");
     }
     std::uint64_t n = size_ + i;
-    auto placement = striped_placement(n, width, data_.start_lfs,
-                                       env_.num_lfs());
-    if (auto st = write_wrapped(*lfs_[placement.lfs_index], data_,
-                                placement.local_block, n, blocks[i]);
-        !st.is_ok()) {
-      return st;
+    auto placement = striped_placement(n, width, data_.start_lfs, total);
+    auto w = wrap_for(data_, n, blocks[i]);
+    if (!w.is_ok()) return w.status();
+    wrapped[i] = std::move(w).value();
+    data_lfs[i] = placement.lfs_index;
+    for (std::size_t b = 0; b < blocks[i].size(); ++b) {
+      parity[b] ^= blocks[i][b];
     }
-    for (std::size_t b = 0; b < blocks[i].size(); ++b) parity[b] ^= blocks[i][b];
+    length_xor ^= static_cast<std::uint32_t>(blocks[i].size());
   }
-  if (auto st = write_wrapped(*lfs_[width], parity_, stripe,
-                              stripe, parity);
-      !st.is_ok()) {
-    return st;
+  auto parity_wrapped =
+      wrap_for(parity_, stripe, parity, length_xor,
+               static_cast<std::uint32_t>(blocks.size()));
+  if (!parity_wrapped.is_ok()) return parity_wrapped.status();
+
+  // Every data block of a stripe lives on a distinct LFS: one write per
+  // LFS, data and parity all in flight together.
+  sim::AsyncBatch batch(*rpc_);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    issue_write(batch, *lfs_[data_lfs[i]], data_.lfs_file_id, stripe,
+                std::move(wrapped[i]));
+  }
+  issue_write(batch, *lfs_[parity_lfs_index()], parity_.lfs_file_id, stripe,
+              std::move(parity_wrapped).value());
+  auto replies = batch.wait_all();
+  util::Status first_error = util::ok_status();
+  for (std::size_t b = 0; b < replies.size(); ++b) {
+    bool is_parity = b == blocks.size();
+    auto& lfs = is_parity ? *lfs_[parity_lfs_index()] : *lfs_[data_lfs[b]];
+    auto st = take_write(std::move(replies[b]), lfs,
+                         is_parity ? parity_.lfs_file_id : data_.lfs_file_id,
+                         /*vectored=*/false);
+    if (!st.is_ok() && first_error.is_ok()) first_error = st;
+  }
+  if (!first_error.is_ok()) {
+    // Compensate: every constituent of this stripe rolls back to `stripe`
+    // local blocks — no torn stripe whose parity silently XORs garbage.
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      lfs_[data_lfs[i]]->truncate(data_.lfs_file_id, stripe);
+    }
+    lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, stripe);
+    return first_error;
   }
   size_ += blocks.size();
   return util::ok_status();
@@ -222,40 +770,468 @@ util::Result<std::vector<std::byte>> ParityFile::read(std::uint64_t n,
   if (reconstructed != nullptr) *reconstructed = false;
   if (n >= size_) return util::invalid_argument("read past EOF");
   std::uint32_t width = data_width();
-  auto placement = striped_placement(n, width, data_.start_lfs, env_.num_lfs());
+  std::uint32_t total = env_.num_lfs();
+  auto placement = striped_placement(n, width, data_.start_lfs, total);
   auto direct = read_unwrapped(*lfs_[placement.lfs_index], data_,
                                placement.local_block);
   if (direct.is_ok()) return direct;
   if (direct.status().code() != util::ErrorCode::kUnavailable) return direct;
 
-  // Reconstruct: XOR the stripe's surviving data blocks with the parity.
+  // Reconstruct: gather the stripe's surviving data blocks and the parity
+  // block in one concurrent round, then XOR.
   if (reconstructed != nullptr) *reconstructed = true;
   std::uint64_t stripe = n / width;
   std::uint64_t stripe_first = stripe * width;
-  std::vector<std::byte> acc(efs::kUserDataBytes, std::byte{0});
-  std::size_t failed_len = efs::kUserDataBytes;
-  for (std::uint64_t m = stripe_first;
-       m < std::min<std::uint64_t>(stripe_first + width, size_); ++m) {
+  std::uint64_t stripe_end = std::min<std::uint64_t>(stripe_first + width,
+                                                     size_);
+  sim::AsyncBatch batch(*rpc_);
+  std::vector<std::uint32_t> sibling_lfs;
+  for (std::uint64_t m = stripe_first; m < stripe_end; ++m) {
     if (m == n) continue;
-    auto sibling_place = striped_placement(m, width, data_.start_lfs,
-                                           env_.num_lfs());
-    auto sibling = read_unwrapped(*lfs_[sibling_place.lfs_index], data_,
-                                  sibling_place.local_block);
-    if (!sibling.is_ok()) {
+    auto sibling_place = striped_placement(m, width, data_.start_lfs, total);
+    issue_read(batch, *lfs_[sibling_place.lfs_index], data_.lfs_file_id,
+               sibling_place.local_block);
+    sibling_lfs.push_back(sibling_place.lfs_index);
+  }
+  issue_read(batch, *lfs_[parity_lfs_index()], parity_.lfs_file_id,
+             static_cast<std::uint32_t>(stripe));
+  auto replies = batch.wait_all();
+
+  std::vector<std::byte> acc(efs::kUserDataBytes, std::byte{0});
+  std::uint32_t length_xor = 0;
+  for (std::size_t b = 0; b < sibling_lfs.size(); ++b) {
+    auto raw = take_read(std::move(replies[b]), *lfs_[sibling_lfs[b]],
+                         data_.lfs_file_id);
+    if (!raw.is_ok()) {
       return util::unavailable("double failure: cannot reconstruct");
     }
-    for (std::size_t b = 0; b < sibling.value().size(); ++b) {
-      acc[b] ^= sibling.value()[b];
-    }
+    auto sibling = unwrap_block(raw.value());
+    if (!sibling.is_ok()) return sibling.status();
+    const auto& payload = sibling.value().user_data;
+    for (std::size_t b2 = 0; b2 < payload.size(); ++b2) acc[b2] ^= payload[b2];
+    length_xor ^= static_cast<std::uint32_t>(payload.size());
   }
-  auto parity = read_unwrapped(*lfs_[width], parity_,
-                               static_cast<std::uint32_t>(stripe));
+  auto parity_raw = take_read(std::move(replies[sibling_lfs.size()]),
+                              *lfs_[parity_lfs_index()], parity_.lfs_file_id);
+  if (!parity_raw.is_ok()) return parity_raw.status();
+  auto parity = unwrap_block(parity_raw.value());
   if (!parity.is_ok()) return parity.status();
-  for (std::size_t b = 0; b < parity.value().size(); ++b) {
-    acc[b] ^= parity.value()[b];
+  const auto& parity_payload = parity.value().user_data;
+  for (std::size_t b = 0; b < parity_payload.size(); ++b) {
+    acc[b] ^= parity_payload[b];
+  }
+  std::uint32_t fill = parity.value().header.reserved1;
+  if (fill != stripe_end - stripe_first) {
+    return util::corrupt("parity fill word disagrees with file size");
+  }
+  // The failed block's true length: XOR of the stripe's lengths (parity
+  // header) against the surviving lengths.
+  std::uint32_t failed_len = parity.value().header.reserved0 ^ length_xor;
+  if (failed_len > efs::kUserDataBytes) {
+    return util::corrupt("reconstructed length out of range");
   }
   acc.resize(failed_len);
   return acc;
+}
+
+util::Result<RebuildReport> ParityFile::rebuild_lfs(std::uint32_t failed_idx,
+                                                    RebuildOptions options) {
+  std::uint32_t total = env_.num_lfs();
+  if (failed_idx >= total) return util::invalid_argument("no such LFS");
+  if (options.window_blocks == 0) options.window_blocks = 1;
+  if (failed_idx == parity_lfs_index()) return rebuild_parity_lfs(options);
+  return rebuild_data_lfs(failed_idx, options);
+}
+
+util::Result<RebuildReport> ParityFile::rebuild_data_lfs(
+    std::uint32_t failed_idx, const RebuildOptions& options) {
+  std::uint32_t width = data_width();
+  std::uint32_t total = env_.num_lfs();
+  std::uint32_t o_f = (failed_idx + total - data_.start_lfs % total) % total;
+  if (o_f >= width) {
+    return util::invalid_argument("LFS holds no data constituent");
+  }
+  std::uint32_t lost = offset_count(size_, width, o_f);
+
+  RebuildReport report;
+  if (lost == 0 || !options.vectored) {
+    if (auto st = reset_constituent(*lfs_[failed_idx], data_.lfs_file_id);
+        !st.is_ok()) {
+      return st;
+    }
+    if (lost == 0) return report;
+  }
+
+  // Per stripe s: XOR of the surviving data blocks and the parity block
+  // re-derives the lost block; the parity header's length word re-derives
+  // its exact byte length.  Window-sized accumulators shared by both modes.
+  std::uint32_t win_lo = 0;
+  std::vector<std::vector<std::byte>> acc;
+  std::vector<std::uint32_t> length_xor;
+  std::vector<std::uint32_t> parity_folded;
+  auto reset_window = [&](std::uint32_t lo, std::uint32_t hi) {
+    win_lo = lo;
+    acc.assign(hi - lo,
+               std::vector<std::byte>(efs::kUserDataBytes, std::byte{0}));
+    length_xor.assign(hi - lo, 0);
+    parity_folded.assign(hi - lo, 0);
+  };
+  auto fold_sibling = [&](std::uint32_t s,
+                          std::span<const std::byte> raw) -> util::Status {
+    auto sibling = unwrap_block(raw);
+    if (!sibling.is_ok()) return sibling.status();
+    const auto& payload = sibling.value().user_data;
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      acc[s - win_lo][b] ^= payload[b];
+    }
+    length_xor[s - win_lo] ^= static_cast<std::uint32_t>(payload.size());
+    ++report.blocks_read;
+    return util::ok_status();
+  };
+  auto fold_parity = [&](std::uint32_t s,
+                         std::span<const std::byte> raw) -> util::Status {
+    auto parity = unwrap_block(raw);
+    if (!parity.is_ok()) return parity.status();
+    const auto& payload = parity.value().user_data;
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      acc[s - win_lo][b] ^= payload[b];
+    }
+    length_xor[s - win_lo] ^= parity.value().header.reserved0;
+    parity_folded[s - win_lo] = 1;
+    ++report.blocks_read;
+    return util::ok_status();
+  };
+  auto wrap_window = [&](std::uint32_t lo, std::uint32_t hi)
+      -> util::Result<std::vector<std::vector<std::byte>>> {
+    std::vector<std::vector<std::byte>> payloads;
+    payloads.reserve(hi - lo);
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      std::uint32_t len = length_xor[s - lo];
+      if (parity_folded[s - lo] == 0 || len > efs::kUserDataBytes) {
+        return util::corrupt("reconstructed length out of range");
+      }
+      std::vector<std::byte> block(acc[s - lo].begin(),
+                                   acc[s - lo].begin() + len);
+      auto wrapped = wrap_for(
+          data_, static_cast<std::uint64_t>(s) * width + o_f, block);
+      if (!wrapped.is_ok()) return wrapped.status();
+      payloads.push_back(std::move(wrapped).value());
+    }
+    return payloads;
+  };
+
+  if (options.vectored) {
+    // Double-buffered streaming: each batch carries the previous window's
+    // reconstructed write together with the NEXT window's surviving reads,
+    // so the repaired LFS lands data while the survivors stream ahead.
+    struct Source {
+      std::uint32_t lfs;
+      efs::FileId id;
+      std::uint32_t o;       ///< data offset, or width for parity
+      std::uint32_t sub_hi;  ///< exclusive local bound for this source
+    };
+    auto issue_window_reads = [&](sim::AsyncBatch& batch, std::uint32_t lo) {
+      std::uint32_t hi = std::min(lost, lo + options.window_blocks);
+      std::vector<Source> sources;
+      for (std::uint32_t o = 0; o < width; ++o) {
+        if (o == o_f) continue;
+        std::uint32_t sub_hi = std::min(offset_count(size_, width, o), hi);
+        if (lo >= sub_hi) continue;
+        std::uint32_t lfs = (data_.start_lfs + o) % total;
+        sources.push_back({lfs, data_.lfs_file_id, o, sub_hi});
+        issue_read_many(batch, *lfs_[lfs], data_.lfs_file_id,
+                        local_range(lo, sub_hi));
+      }
+      sources.push_back({parity_lfs_index(), parity_.lfs_file_id, width, hi});
+      issue_read_many(batch, *lfs_[parity_lfs_index()], parity_.lfs_file_id,
+                      local_range(lo, hi));
+      return sources;
+    };
+
+    auto batch = std::make_unique<sim::AsyncBatch>(*rpc_);
+    issue_reset(*batch, *lfs_[failed_idx], data_.lfs_file_id);
+    std::vector<Source> sources = issue_window_reads(*batch, 0);
+    bool reset_pending = true;
+    bool write_pending = false, write_vectored = false;
+    std::uint32_t pending_lo = 0, pending_hi = 0;
+
+    for (std::uint32_t lo = 0; lo < lost; lo += options.window_blocks) {
+      std::uint32_t hi = std::min(lost, lo + options.window_blocks);
+      auto replies = batch->wait_all();
+      std::size_t b = 0;
+      if (reset_pending) {
+        if (auto st = take_reset(std::move(replies[b++]), *lfs_[failed_idx],
+                                 data_.lfs_file_id);
+            !st.is_ok()) {
+          return st;
+        }
+        reset_pending = false;
+      }
+      if (write_pending) {
+        auto st = take_write(std::move(replies[b++]), *lfs_[failed_idx],
+                             data_.lfs_file_id, write_vectored);
+        if (!st.is_ok()) {
+          lfs_[failed_idx]->truncate(data_.lfs_file_id, pending_lo);
+          return st;
+        }
+        report.blocks_rebuilt += pending_hi - pending_lo;
+        ++report.windows;
+        write_pending = false;
+      }
+
+      reset_window(lo, hi);
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        auto run = take_read_many(std::move(replies[b + i]),
+                                  *lfs_[sources[i].lfs], sources[i].id);
+        if (!run.is_ok()) return run.status();
+        for (std::uint32_t s = lo; s < sources[i].sub_hi; ++s) {
+          auto st = sources[i].o == width
+                        ? fold_parity(s, run.value()[s - lo])
+                        : fold_sibling(s, run.value()[s - lo]);
+          if (!st.is_ok()) return st;
+        }
+      }
+      auto payloads = wrap_window(lo, hi);
+      if (!payloads.is_ok()) return payloads.status();
+
+      batch = std::make_unique<sim::AsyncBatch>(*rpc_);
+      write_vectored = payloads.value().size() > 1;
+      issue_write_run(*batch, *lfs_[failed_idx], data_.lfs_file_id,
+                      local_range(lo, hi), std::move(payloads).value());
+      write_pending = true;
+      pending_lo = lo;
+      pending_hi = hi;
+      if (hi < lost) sources = issue_window_reads(*batch, hi);
+    }
+
+    // Drain the final window's write.
+    auto replies = batch->wait_all();
+    auto st = take_write(std::move(replies[0]), *lfs_[failed_idx],
+                         data_.lfs_file_id, write_vectored);
+    if (!st.is_ok()) {
+      lfs_[failed_idx]->truncate(data_.lfs_file_id, pending_lo);
+      return st;
+    }
+    report.blocks_rebuilt += pending_hi - pending_lo;
+    ++report.windows;
+    return report;
+  }
+
+  // Reference path: one RPC per surviving block, strictly sequential.
+  for (std::uint32_t lo = 0; lo < lost; lo += options.window_blocks) {
+    std::uint32_t hi = std::min(lost, lo + options.window_blocks);
+    reset_window(lo, hi);
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      for (std::uint32_t o = 0; o < width; ++o) {
+        if (o == o_f || s >= offset_count(size_, width, o)) continue;
+        auto raw = lfs_[(data_.start_lfs + o) % total]->read(
+            data_.lfs_file_id, s);
+        if (!raw.is_ok()) return raw.status();
+        if (auto st = fold_sibling(s, raw.value().data); !st.is_ok()) {
+          return st;
+        }
+      }
+      auto raw = lfs_[parity_lfs_index()]->read(parity_.lfs_file_id, s);
+      if (!raw.is_ok()) return raw.status();
+      if (auto st = fold_parity(s, raw.value().data); !st.is_ok()) return st;
+    }
+
+    auto payloads = wrap_window(lo, hi);
+    if (!payloads.is_ok()) return payloads.status();
+    util::Status write_status = util::ok_status();
+    for (std::uint32_t s = lo; s < hi && write_status.is_ok(); ++s) {
+      write_status = lfs_[failed_idx]
+                         ->write(data_.lfs_file_id, s,
+                                 payloads.value()[s - lo])
+                         .status();
+    }
+    if (!write_status.is_ok()) {
+      lfs_[failed_idx]->truncate(data_.lfs_file_id, lo);
+      return write_status;
+    }
+    report.blocks_rebuilt += hi - lo;
+    ++report.windows;
+  }
+  return report;
+}
+
+util::Result<RebuildReport> ParityFile::rebuild_parity_lfs(
+    const RebuildOptions& options) {
+  std::uint32_t width = data_width();
+  std::uint32_t total = env_.num_lfs();
+  std::uint32_t stripes =
+      static_cast<std::uint32_t>((size_ + width - 1) / width);
+
+  RebuildReport report;
+  if (stripes == 0 || !options.vectored) {
+    if (auto st = reset_constituent(*lfs_[parity_lfs_index()],
+                                    parity_.lfs_file_id);
+        !st.is_ok()) {
+      return st;
+    }
+    if (stripes == 0) return report;
+  }
+
+  // Window-sized accumulators shared by both modes: parity block s is the
+  // XOR of stripe s's data payloads; its header carries the length XOR and
+  // the fill count.
+  std::uint32_t win_lo = 0;
+  std::vector<std::vector<std::byte>> acc;
+  std::vector<std::uint32_t> length_xor;
+  std::vector<std::uint32_t> fill;
+  auto reset_window = [&](std::uint32_t lo, std::uint32_t hi) {
+    win_lo = lo;
+    acc.assign(hi - lo,
+               std::vector<std::byte>(efs::kUserDataBytes, std::byte{0}));
+    length_xor.assign(hi - lo, 0);
+    fill.assign(hi - lo, 0);
+  };
+  auto fold = [&](std::uint32_t s,
+                  std::span<const std::byte> raw) -> util::Status {
+    auto block = unwrap_block(raw);
+    if (!block.is_ok()) return block.status();
+    const auto& payload = block.value().user_data;
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      acc[s - win_lo][b] ^= payload[b];
+    }
+    length_xor[s - win_lo] ^= static_cast<std::uint32_t>(payload.size());
+    ++fill[s - win_lo];
+    ++report.blocks_read;
+    return util::ok_status();
+  };
+  auto wrap_window = [&](std::uint32_t lo, std::uint32_t hi)
+      -> util::Result<std::vector<std::vector<std::byte>>> {
+    std::vector<std::vector<std::byte>> payloads;
+    payloads.reserve(hi - lo);
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      auto wrapped = wrap_for(parity_, s, acc[s - lo], length_xor[s - lo],
+                              fill[s - lo]);
+      if (!wrapped.is_ok()) return wrapped.status();
+      payloads.push_back(std::move(wrapped).value());
+    }
+    return payloads;
+  };
+
+  if (options.vectored) {
+    // Double-buffered streaming, same shape as rebuild_data_lfs: the batch
+    // that lands window k's parity also reads window k+1's data blocks.
+    struct Source {
+      std::uint32_t lfs;
+      std::uint32_t sub_hi;
+    };
+    auto issue_window_reads = [&](sim::AsyncBatch& batch, std::uint32_t lo) {
+      std::uint32_t hi = std::min(stripes, lo + options.window_blocks);
+      std::vector<Source> sources;
+      for (std::uint32_t o = 0; o < width; ++o) {
+        std::uint32_t sub_hi = std::min(offset_count(size_, width, o), hi);
+        if (lo >= sub_hi) continue;
+        std::uint32_t lfs = (data_.start_lfs + o) % total;
+        sources.push_back({lfs, sub_hi});
+        issue_read_many(batch, *lfs_[lfs], data_.lfs_file_id,
+                        local_range(lo, sub_hi));
+      }
+      return sources;
+    };
+
+    auto batch = std::make_unique<sim::AsyncBatch>(*rpc_);
+    issue_reset(*batch, *lfs_[parity_lfs_index()], parity_.lfs_file_id);
+    std::vector<Source> sources = issue_window_reads(*batch, 0);
+    bool reset_pending = true;
+    bool write_pending = false, write_vectored = false;
+    std::uint32_t pending_lo = 0, pending_hi = 0;
+
+    for (std::uint32_t lo = 0; lo < stripes; lo += options.window_blocks) {
+      std::uint32_t hi = std::min(stripes, lo + options.window_blocks);
+      auto replies = batch->wait_all();
+      std::size_t b = 0;
+      if (reset_pending) {
+        if (auto st = take_reset(std::move(replies[b++]),
+                                 *lfs_[parity_lfs_index()],
+                                 parity_.lfs_file_id);
+            !st.is_ok()) {
+          return st;
+        }
+        reset_pending = false;
+      }
+      if (write_pending) {
+        auto st = take_write(std::move(replies[b++]),
+                             *lfs_[parity_lfs_index()], parity_.lfs_file_id,
+                             write_vectored);
+        if (!st.is_ok()) {
+          lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, pending_lo);
+          return st;
+        }
+        report.blocks_rebuilt += pending_hi - pending_lo;
+        ++report.windows;
+        write_pending = false;
+      }
+
+      reset_window(lo, hi);
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        auto run = take_read_many(std::move(replies[b + i]),
+                                  *lfs_[sources[i].lfs], data_.lfs_file_id);
+        if (!run.is_ok()) return run.status();
+        for (std::uint32_t s = lo; s < sources[i].sub_hi; ++s) {
+          if (auto st = fold(s, run.value()[s - lo]); !st.is_ok()) return st;
+        }
+      }
+      auto payloads = wrap_window(lo, hi);
+      if (!payloads.is_ok()) return payloads.status();
+
+      batch = std::make_unique<sim::AsyncBatch>(*rpc_);
+      write_vectored = payloads.value().size() > 1;
+      issue_write_run(*batch, *lfs_[parity_lfs_index()], parity_.lfs_file_id,
+                      local_range(lo, hi), std::move(payloads).value());
+      write_pending = true;
+      pending_lo = lo;
+      pending_hi = hi;
+      if (hi < stripes) sources = issue_window_reads(*batch, hi);
+    }
+
+    // Drain the final window's write.
+    auto replies = batch->wait_all();
+    auto st = take_write(std::move(replies[0]), *lfs_[parity_lfs_index()],
+                         parity_.lfs_file_id, write_vectored);
+    if (!st.is_ok()) {
+      lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, pending_lo);
+      return st;
+    }
+    report.blocks_rebuilt += pending_hi - pending_lo;
+    ++report.windows;
+    return report;
+  }
+
+  // Reference path: one RPC per surviving block, strictly sequential.
+  for (std::uint32_t lo = 0; lo < stripes; lo += options.window_blocks) {
+    std::uint32_t hi = std::min(stripes, lo + options.window_blocks);
+    reset_window(lo, hi);
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      for (std::uint32_t o = 0; o < width; ++o) {
+        if (s >= offset_count(size_, width, o)) continue;
+        auto raw = lfs_[(data_.start_lfs + o) % total]->read(
+            data_.lfs_file_id, s);
+        if (!raw.is_ok()) return raw.status();
+        if (auto st = fold(s, raw.value().data); !st.is_ok()) return st;
+      }
+    }
+
+    auto payloads = wrap_window(lo, hi);
+    if (!payloads.is_ok()) return payloads.status();
+    util::Status write_status = util::ok_status();
+    for (std::uint32_t s = lo; s < hi && write_status.is_ok(); ++s) {
+      write_status = lfs_[parity_lfs_index()]
+                         ->write(parity_.lfs_file_id, s,
+                                 payloads.value()[s - lo])
+                         .status();
+    }
+    if (!write_status.is_ok()) {
+      lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, lo);
+      return write_status;
+    }
+    report.blocks_rebuilt += hi - lo;
+    ++report.windows;
+  }
+  return report;
 }
 
 }  // namespace bridge::core

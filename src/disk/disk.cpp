@@ -85,6 +85,38 @@ util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_track(
   return blocks;
 }
 
+util::Status SimDisk::write_run(sim::Context& ctx,
+                                std::span<const WriteOp> ops) {
+  if (ops.empty()) return util::ok_status();
+  std::uint32_t track = geometry_.track_of(ops.front().addr);
+  for (const auto& op : ops) {
+    if (auto st = check_addr(op.addr); !st.is_ok()) return st;
+    if (op.data.size() != geometry_.block_size) {
+      return util::invalid_argument("write size != block size");
+    }
+    if (geometry_.track_of(op.addr) != track) {
+      return util::invalid_argument("write_run spans tracks");
+    }
+  }
+
+  // One positioning op, then every block lands as the track streams past.
+  ++stats_.positioning_ops;
+  ++stats_.track_writes;
+  sim::SimTime cost = latency_.access_latency +
+                      latency_.transfer_per_block *
+                          static_cast<std::int64_t>(ops.size());
+  stats_.busy_time += cost;
+  ctx.charge(cost);
+  for (const auto& op : ops) {
+    ++stats_.block_writes;
+    std::copy(op.data.begin(), op.data.end(),
+              store_.begin() +
+                  static_cast<std::ptrdiff_t>(op.addr) * geometry_.block_size);
+    last_addr_ = op.addr;
+  }
+  return util::ok_status();
+}
+
 std::optional<std::span<const std::byte>> SimDisk::peek(BlockAddr addr) const {
   if (addr >= geometry_.capacity_blocks()) return std::nullopt;
   return std::span<const std::byte>(

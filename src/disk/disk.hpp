@@ -53,8 +53,15 @@ struct DiskStats {
   std::uint64_t block_reads = 0;
   std::uint64_t block_writes = 0;
   std::uint64_t track_reads = 0;
+  std::uint64_t track_writes = 0;
   std::uint64_t positioning_ops = 0;
   sim::SimTime busy_time{0};
+};
+
+/// One block of a same-track write run (see SimDisk::write_run).
+struct WriteOp {
+  BlockAddr addr = kNilAddr;
+  std::span<const std::byte> data;
 };
 
 /// An in-memory simulated disk.  All timed operations must be invoked from a
@@ -81,6 +88,13 @@ class SimDisk {
   /// blocks in track order together with the address of the first one.
   util::Result<std::vector<std::vector<std::byte>>> read_track(
       sim::Context& ctx, BlockAddr addr, BlockAddr* track_start);
+
+  /// Write several blocks of ONE track in a single revolution: one
+  /// positioning latency + one transfer time per block — the write-side
+  /// mirror of read_track.  All ops must address the same track and carry
+  /// exactly block_size bytes; violations fail before any time is charged
+  /// or any byte lands.
+  util::Status write_run(sim::Context& ctx, std::span<const WriteOp> ops);
 
   /// Fault injection: after fail(), every operation returns kUnavailable
   /// until repair() is called.  Used by the fault-tolerance benches.

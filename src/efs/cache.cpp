@@ -83,6 +83,24 @@ util::Status BlockCache::flush_all(sim::Context& ctx) {
   return util::ok_status();
 }
 
+util::Status BlockCache::flush_track(sim::Context& ctx, disk::BlockAddr addr) {
+  const auto& geom = dev_.geometry();
+  disk::BlockAddr first = geom.track_of(addr) * geom.blocks_per_track;
+  std::vector<disk::WriteOp> ops;
+  std::vector<Entry*> flushed;
+  for (std::uint32_t i = 0; i < geom.blocks_per_track; ++i) {
+    auto it = entries_.find(static_cast<disk::BlockAddr>(first + i));
+    if (it == entries_.end() || !it->second.dirty) continue;
+    ops.push_back({it->first, std::span<const std::byte>(it->second.data)});
+    flushed.push_back(&it->second);
+  }
+  if (ops.empty()) return util::ok_status();
+  if (auto st = dev_.write_run(ctx, ops); !st.is_ok()) return st;
+  for (Entry* e : flushed) e->dirty = false;
+  stats_.coalesced_flush_blocks += ops.size();
+  return util::ok_status();
+}
+
 util::Status BlockCache::install(sim::Context& ctx, disk::BlockAddr addr,
                                  std::vector<std::byte> data, bool dirty) {
   if (auto it = entries_.find(addr); it != entries_.end()) {

@@ -37,6 +37,8 @@ struct CacheStats {
   std::uint64_t readahead_blocks = 0;
   std::uint64_t dirty_evictions = 0;
   std::uint64_t clean_evictions = 0;
+  /// Dirty blocks flushed through flush_track's one-positioning runs.
+  std::uint64_t coalesced_flush_blocks = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     auto total = hits + misses;
@@ -67,6 +69,11 @@ class BlockCache {
 
   /// Flush every dirty block (charges one disk write each).
   util::Status flush_all(sim::Context& ctx);
+
+  /// Flush every dirty block on the track containing `addr` in ONE
+  /// positioning operation (SimDisk::write_run) — the write-side mirror of
+  /// full-track read-ahead.  No-op if the track holds no dirty blocks.
+  util::Status flush_track(sim::Context& ctx, disk::BlockAddr addr);
 
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t resident_blocks() const noexcept {

@@ -108,6 +108,20 @@ class EfsClient {
     return resp;
   }
 
+  /// Truncate to `new_size_blocks` constituent blocks (the compensation op
+  /// for torn multi-LFS appends).  The remembered hint is dropped — it may
+  /// point at a freed tail block.
+  util::Result<TruncateResponse> truncate(FileId id,
+                                          std::uint32_t new_size_blocks) {
+    TruncateRequest req{id, new_size_blocks};
+    auto reply = rpc_->call(service_,
+                            static_cast<std::uint32_t>(MsgType::kTruncate),
+                            util::encode_to_bytes(req));
+    hints_.erase(id);
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<TruncateResponse>(reply.value());
+  }
+
   util::Status sync() {
     auto reply = rpc_->call(service_, static_cast<std::uint32_t>(MsgType::kSync), {});
     return reply.status();
@@ -120,6 +134,9 @@ class EfsClient {
   /// Record a hint observed out of band (callers that issue raw async RPCs
   /// — the Bridge Server's scatter-gather engine — feed replies back here).
   void note_hint(FileId id, BlockAddr addr) { hints_[id] = addr; }
+  /// Drop one file's hint (after an out-of-band truncate: the remembered
+  /// address may point at a freed tail block).
+  void forget_hint(FileId id) { hints_.erase(id); }
   void forget_hints() { hints_.clear(); }
 
  private:

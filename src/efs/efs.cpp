@@ -295,10 +295,16 @@ util::Result<ReadResult> EfsCore::read(sim::Context& ctx, FileId id,
 }
 
 util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry,
-                                              std::span<const std::byte> data) {
+                                              std::span<const std::byte> data,
+                                              bool defer_data) {
   auto alloc = allocate_block(ctx);
   if (!alloc.is_ok()) return alloc.status();
   BlockAddr addr = alloc.value();
+
+  auto place = [&](BlockAddr a, std::vector<std::byte> image) {
+    return defer_data ? cache_.write_back(ctx, a, image)
+                      : cache_.write_through(ctx, a, image);
+  };
 
   BlockHeader header;
   header.magic = kMagicDataBlock;
@@ -308,8 +314,7 @@ util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry
   if (entry.size_blocks == 0) {
     header.next = addr;
     header.prev = addr;
-    if (auto st = cache_.write_through(ctx, addr, make_block_image(header, data));
-        !st.is_ok()) {
+    if (auto st = place(addr, make_block_image(header, data)); !st.is_ok()) {
       return st;
     }
     entry.head = addr;
@@ -323,8 +328,7 @@ util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry
 
     header.next = entry.head;
     header.prev = tail_addr;
-    if (auto st = cache_.write_through(ctx, addr, make_block_image(header, data));
-        !st.is_ok()) {
+    if (auto st = place(addr, make_block_image(header, data)); !st.is_ok()) {
       return st;
     }
 
@@ -359,10 +363,10 @@ util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry
   return addr;
 }
 
-util::Result<BlockAddr> EfsCore::write(sim::Context& ctx, FileId id,
-                                       std::uint32_t block_no,
-                                       std::span<const std::byte> data,
-                                       BlockAddr hint) {
+util::Result<BlockAddr> EfsCore::write_one(sim::Context& ctx, FileId id,
+                                           std::uint32_t block_no,
+                                           std::span<const std::byte> data,
+                                           BlockAddr hint, bool defer_data) {
   if (dev_.is_failed()) return util::unavailable("disk failed");
   ctx.charge(config_.request_cpu);
   if (data.size() != kEfsDataBytes) {
@@ -374,7 +378,7 @@ util::Result<BlockAddr> EfsCore::write(sim::Context& ctx, FileId id,
 
   ctx.charge(config_.record_cpu);
   if (block_no == entry.size_blocks) {
-    auto result = append_block(ctx, entry, data);
+    auto result = append_block(ctx, entry, data, defer_data);
     if (!result.is_ok()) return result;
     ++stats_.writes;
     if (auto st = dir_persist(ctx, static_cast<std::uint32_t>(slot),
@@ -393,13 +397,153 @@ util::Result<BlockAddr> EfsCore::write(sim::Context& ctx, FileId id,
   auto image = cache_.fetch(ctx, located.value());
   if (!image.is_ok()) return image.status();
   BlockHeader header = parse_header(image.value());
-  if (auto st = cache_.write_through(ctx, located.value(),
-                                     make_block_image(header, data));
-      !st.is_ok()) {
-    return st;
-  }
+  auto new_image = make_block_image(header, data);
+  auto st = defer_data ? cache_.write_back(ctx, located.value(), new_image)
+                       : cache_.write_through(ctx, located.value(), new_image);
+  if (!st.is_ok()) return st;
   ++stats_.writes;
   return located.value();
+}
+
+util::Result<BlockAddr> EfsCore::write(sim::Context& ctx, FileId id,
+                                       std::uint32_t block_no,
+                                       std::span<const std::byte> data,
+                                       BlockAddr hint) {
+  return write_one(ctx, id, block_no, data, hint, /*defer_data=*/false);
+}
+
+util::Result<BlockAddr> EfsCore::write_run(
+    sim::Context& ctx, FileId id, std::span<const std::uint32_t> block_nos,
+    std::span<const std::vector<std::byte>> blocks, BlockAddr hint) {
+  if (block_nos.size() != blocks.size()) {
+    return util::invalid_argument("write_run length mismatch");
+  }
+  // Flush a track's worth of staged blocks as soon as the run moves past it
+  // (not all at the end): staging more than the cache capacity would
+  // otherwise evict dirty blocks one 15 ms write at a time, defeating the
+  // coalescing.  Chain-pointer updates dirty blocks of the same tracks the
+  // data lands on, so the per-track flush covers both.
+  constexpr std::uint32_t kNoTrack = 0xFFFFFFFFu;
+  std::uint32_t staged_track = kNoTrack;
+  auto flush_staged = [&]() -> util::Status {
+    if (staged_track == kNoTrack) return util::ok_status();
+    auto addr = static_cast<BlockAddr>(staged_track *
+                                       dev_.geometry().blocks_per_track);
+    staged_track = kNoTrack;
+    return cache_.flush_track(ctx, addr);
+  };
+
+  for (std::size_t i = 0; i < block_nos.size(); ++i) {
+    auto result =
+        write_one(ctx, id, block_nos[i], blocks[i], hint, /*defer_data=*/true);
+    if (!result.is_ok()) {
+      // Land the completed prefix so the disk matches the bookkeeping the
+      // caller will roll back against (truncate frees exactly these blocks).
+      (void)flush_staged();
+      return result;
+    }
+    hint = result.value();
+    std::uint32_t t = dev_.geometry().track_of(hint);
+    if (staged_track != kNoTrack && t != staged_track) {
+      if (auto st = flush_staged(); !st.is_ok()) return st;
+    }
+    staged_track = t;
+  }
+  if (auto st = flush_staged(); !st.is_ok()) return st;
+  return hint;
+}
+
+util::Status EfsCore::truncate(sim::Context& ctx, FileId id,
+                               std::uint32_t new_size_blocks) {
+  if (dev_.is_failed()) return util::unavailable("disk failed");
+  ctx.charge(config_.request_cpu);
+  std::int64_t slot = dir_find(id);
+  if (slot < 0) return util::not_found("file " + std::to_string(id));
+  DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  if (new_size_blocks > entry.size_blocks) {
+    return util::invalid_argument("truncate would grow the file");
+  }
+  if (new_size_blocks == entry.size_blocks) return util::ok_status();
+
+  // Reach the tail through head.prev, then walk backward validating the
+  // chain and collecting the doomed tail blocks.
+  auto head_image = cache_.fetch(ctx, entry.head);
+  if (!head_image.is_ok()) return head_image.status();
+  BlockAddr cur = parse_header(head_image.value()).prev;
+  std::vector<BlockAddr> doomed;
+  doomed.reserve(entry.size_blocks - new_size_blocks);
+  for (std::uint32_t i = entry.size_blocks; i > new_size_blocks; --i) {
+    auto image = cache_.fetch(ctx, cur);
+    if (!image.is_ok()) return image.status();
+    BlockHeader header = parse_header(image.value());
+    if (header.file_id != id || header.magic != kMagicDataBlock ||
+        header.block_no != i - 1) {
+      return util::corrupt("chain corruption in file " + std::to_string(id));
+    }
+    doomed.push_back(cur);
+    cur = header.prev;
+  }
+
+  // Every freed block still gets its explicit free marker (§4.5 resiliency),
+  // but truncate is a bulk compensation/recovery op, so the markers land
+  // track-coalesced: one positioning per touched track instead of one per
+  // block.  remove() keeps the paper's per-block Delete cost.
+  BlockHeader free_header;
+  free_header.magic = kMagicFreeBlock;
+  std::vector<std::byte> marker(kBlockSize);
+  store_header(marker, free_header);
+  std::vector<BlockAddr> by_addr = doomed;
+  std::sort(by_addr.begin(), by_addr.end());
+  for (std::size_t i = 0; i < by_addr.size();) {
+    std::uint32_t track = dev_.geometry().track_of(by_addr[i]);
+    std::vector<disk::WriteOp> ops;
+    while (i < by_addr.size() &&
+           dev_.geometry().track_of(by_addr[i]) == track) {
+      ops.push_back({by_addr[i], marker});
+      ++i;
+    }
+    if (auto st = dev_.write_run(ctx, ops); !st.is_ok()) return st;
+  }
+  for (BlockAddr a : doomed) {
+    cache_.invalidate(a);
+    free_list_.push_back(a);
+  }
+  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
+
+  if (new_size_blocks == 0) {
+    entry.head = kNilAddr;
+  } else {
+    // `cur` is now the new tail (block new_size_blocks - 1).  Re-close the
+    // circle: tail.next = head, head.prev = tail (one image if they're the
+    // same block).
+    auto tail_image = cache_.fetch(ctx, cur);
+    if (!tail_image.is_ok()) return tail_image.status();
+    std::vector<std::byte> tail_copy(tail_image.value().begin(),
+                                     tail_image.value().end());
+    BlockHeader tail_header = parse_header(tail_copy);
+    tail_header.next = entry.head;
+    if (cur == entry.head) tail_header.prev = cur;
+    store_header(tail_copy, tail_header);
+    if (auto st = cache_.write_back(ctx, cur, tail_copy); !st.is_ok()) {
+      return st;
+    }
+    if (cur != entry.head) {
+      auto new_head = cache_.fetch(ctx, entry.head);
+      if (!new_head.is_ok()) return new_head.status();
+      std::vector<std::byte> head_copy(new_head.value().begin(),
+                                       new_head.value().end());
+      BlockHeader head_header = parse_header(head_copy);
+      head_header.prev = cur;
+      store_header(head_copy, head_header);
+      if (auto st = cache_.write_back(ctx, entry.head, head_copy);
+          !st.is_ok()) {
+        return st;
+      }
+    }
+  }
+  entry.size_blocks = new_size_blocks;
+  ++stats_.truncates;
+  return dir_persist(ctx, static_cast<std::uint32_t>(slot), /*force=*/true);
 }
 
 util::Status EfsCore::sync(sim::Context& ctx) {

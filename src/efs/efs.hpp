@@ -59,6 +59,7 @@ struct EfsOpStats {
   std::uint64_t appends = 0;
   std::uint64_t creates = 0;
   std::uint64_t deletes = 0;
+  std::uint64_t truncates = 0;
   std::uint64_t walk_steps = 0;        ///< chain links traversed by locate()
   std::uint64_t hint_uses = 0;         ///< locates that started from a hint
   std::uint64_t hint_rejects = 0;      ///< hints that pointed at a wrong block
@@ -91,6 +92,30 @@ class EfsCore {
   util::Result<BlockAddr> write(sim::Context& ctx, FileId id,
                                 std::uint32_t block_no,
                                 std::span<const std::byte> data, BlockAddr hint);
+
+  /// Write a whole run of local blocks (the kWriteMany backend).  Each data
+  /// block is staged in the cache instead of written through, and every
+  /// touched track is then flushed in one positioning operation — the
+  /// write-side counterpart of full-track read buffering, so a contiguous
+  /// run costs ~one disk time per track instead of one per block.  Blocks
+  /// land with the same on-disk contents as the per-block path.  Returns
+  /// the last block's address (the hint for the next run); on error the
+  /// staged prefix is still flushed so the disk reflects every completed
+  /// block and the caller can compensate with truncate().
+  util::Result<BlockAddr> write_run(sim::Context& ctx, FileId id,
+                                    std::span<const std::uint32_t> block_nos,
+                                    std::span<const std::vector<std::byte>> blocks,
+                                    BlockAddr hint);
+
+  /// Truncate file `id` to `new_size_blocks` (<= current size; equal is a
+  /// no-op).  Tail blocks get the same explicit free markers remove() writes,
+  /// but track-coalesced (one positioning per touched track — truncate is a
+  /// bulk compensation/recovery primitive, not the paper's per-block Delete);
+  /// the chain is re-closed around the new tail and the directory entry is
+  /// durably persisted.  Used to roll back partial multi-LFS appends and to
+  /// reset constituents before a rebuild (ROADMAP "EFS truncate op").
+  util::Status truncate(sim::Context& ctx, FileId id,
+                        std::uint32_t new_size_blocks);
 
   /// Flush dirty cache blocks and the directory (timed).
   util::Status sync(sim::Context& ctx);
@@ -139,7 +164,16 @@ class EfsCore {
                                  std::uint32_t block_no, BlockAddr hint);
 
   util::Result<BlockAddr> append_block(sim::Context& ctx, DirEntry& entry,
-                                       std::span<const std::byte> data);
+                                       std::span<const std::byte> data,
+                                       bool defer_data);
+
+  /// Shared body of write()/write_run().  With defer_data the new block
+  /// image is write-back instead of write-through; the caller must flush
+  /// the touched tracks afterwards.
+  util::Result<BlockAddr> write_one(sim::Context& ctx, FileId id,
+                                    std::uint32_t block_no,
+                                    std::span<const std::byte> data,
+                                    BlockAddr hint, bool defer_data);
 
   /// Untimed block view preferring unflushed cache contents over the device.
   [[nodiscard]] std::span<const std::byte> cache_view(BlockAddr addr) const;

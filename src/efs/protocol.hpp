@@ -26,6 +26,10 @@ enum class MsgType : std::uint32_t {
   /// cache.  The single-block ops above remain and are wire-compatible.
   kReadMany = 0x106,
   kWriteMany = 0x107,
+  /// Truncate a constituent file to a given block count, freeing the tail.
+  /// The compensation primitive: the Bridge Server and the replication layer
+  /// use it to roll a constituent back after a partial multi-LFS failure.
+  kTruncate = 0x108,
 };
 
 struct CreateRequest {
@@ -203,6 +207,30 @@ struct WriteManyResponse {
   BlockAddr addr = kNilAddr;  ///< address of the last block written
   void encode(util::Writer& w) const { w.u32(addr); }
   static WriteManyResponse decode(util::Reader& r) { return {r.u32()}; }
+};
+
+/// Truncate `file_id` to `new_size_blocks` (must not exceed the current
+/// size; equal is a no-op).  Tail blocks are explicitly freed, the chain is
+/// re-closed, and the directory entry is persisted before the reply.
+struct TruncateRequest {
+  FileId file_id = kInvalidFileId;
+  std::uint32_t new_size_blocks = 0;
+  void encode(util::Writer& w) const {
+    w.u32(file_id);
+    w.u32(new_size_blocks);
+  }
+  static TruncateRequest decode(util::Reader& r) {
+    TruncateRequest req;
+    req.file_id = r.u32();
+    req.new_size_blocks = r.u32();
+    return req;
+  }
+};
+
+struct TruncateResponse {
+  std::uint32_t size_blocks = 0;  ///< size after the truncate
+  void encode(util::Writer& w) const { w.u32(size_blocks); }
+  static TruncateResponse decode(util::Reader& r) { return {r.u32()}; }
 };
 
 }  // namespace bridge::efs

@@ -134,17 +134,31 @@ void EfsServer::handle(sim::Context& ctx, const sim::Envelope& env) {
                           util::out_of_space("WriteMany run would overflow"));
           return;
         }
-        BlockAddr hint = req.hint;
-        for (std::size_t i = 0; i < req.block_nos.size(); ++i) {
-          auto result = core_->write(ctx, req.file_id, req.block_nos[i],
-                                     req.blocks[i], hint);
-          if (!result.is_ok()) {
-            sim::send_reply(ctx, env, result.status());
-            return;
-          }
-          hint = result.value();
+        auto result = core_->write_run(ctx, req.file_id, req.block_nos,
+                                       req.blocks, req.hint);
+        if (!result.is_ok()) {
+          sim::send_reply(ctx, env, result.status());
+          return;
         }
-        WriteManyResponse resp{hint};
+        WriteManyResponse resp{result.value()};
+        sim::send_reply(ctx, env, util::ok_status(),
+                        util::encode_to_bytes(resp));
+        return;
+      }
+      case MsgType::kTruncate: {
+        Reader r(env.payload);
+        auto req = TruncateRequest::decode(r);
+        auto st = core_->truncate(ctx, req.file_id, req.new_size_blocks);
+        if (!st.is_ok()) {
+          sim::send_reply(ctx, env, st);
+          return;
+        }
+        auto info = core_->info(ctx, req.file_id);
+        if (!info.is_ok()) {
+          sim::send_reply(ctx, env, info.status());
+          return;
+        }
+        TruncateResponse resp{info.value().size_blocks};
         sim::send_reply(ctx, env, util::ok_status(),
                         util::encode_to_bytes(resp));
         return;

@@ -21,6 +21,7 @@
 
 #include "src/core/client.hpp"
 #include "src/core/protocol.hpp"
+#include "src/efs/client.hpp"
 #include "src/efs/layout.hpp"
 #include "src/sim/runtime.hpp"
 
@@ -107,6 +108,18 @@ struct ToolEnv {
   }
   [[nodiscard]] sim::NodeId lfs_node(std::uint32_t i) const {
     return info.lfs_nodes[i];
+  }
+
+  /// One typed EFS client per LFS, all sharing the caller's RpcClient — the
+  /// step-(3) endpoints every tool builds after discovery.
+  [[nodiscard]] std::vector<std::unique_ptr<efs::EfsClient>> make_lfs_clients(
+      sim::RpcClient& rpc) const {
+    std::vector<std::unique_ptr<efs::EfsClient>> clients;
+    clients.reserve(num_lfs());
+    for (std::uint32_t i = 0; i < num_lfs(); ++i) {
+      clients.push_back(std::make_unique<efs::EfsClient>(rpc, lfs_service(i)));
+    }
+    return clients;
   }
 };
 

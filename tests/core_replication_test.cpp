@@ -136,6 +136,392 @@ TEST(ParityFile, DoubleFailureIsDetected) {
   inst.run();
 }
 
+std::vector<std::byte> short_record(std::uint32_t tag, std::size_t len) {
+  auto data = record(tag);
+  data.resize(len);
+  return data;
+}
+
+TEST(MirroredFile, AppendManyMatchesPerBlockAppends) {
+  BridgeInstance inst(cfg(4));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    // A 13-block run through the vectored pipeline: spans every LFS with
+    // uneven group sizes (13 mod 4 != 0).
+    std::vector<std::vector<std::byte>> run;
+    for (std::uint32_t i = 0; i < 13; ++i) run.push_back(record(i));
+    ASSERT_TRUE(file.value().append_many(run).is_ok());
+    EXPECT_EQ(file.value().size_blocks(), 13u);
+  });
+  inst.run();
+  inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_EQ(file.value().size_blocks(), 13u);
+    for (std::uint32_t i = 0; i < 13; ++i) {
+      bool used_mirror = true;
+      auto r = file.value().read(i, &used_mirror);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value(), record(i)) << "block " << i;
+      EXPECT_FALSE(used_mirror);
+    }
+  });
+  inst.run();
+  EXPECT_TRUE(inst.verify_all_lfs().is_ok());
+}
+
+TEST(MirroredFile, TornAppendRollsBackBothConstituents) {
+  BridgeInstance inst(cfg(4));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(file.value().append(record(i)).is_ok());
+    }
+  });
+  inst.run();
+
+  // LFS 1 dies; an 8-block run touches every LFS, so the append must fail
+  // and every surviving constituent must roll back to its pre-run length.
+  inst.lfs(1).disk().fail();
+  inst.run_client("torn-writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    std::vector<std::vector<std::byte>> run;
+    for (std::uint32_t i = 0; i < 8; ++i) run.push_back(record(100 + i));
+    EXPECT_EQ(file.value().append_many(run).code(),
+              util::ErrorCode::kUnavailable);
+    EXPECT_EQ(file.value().size_blocks(), 10u);
+  });
+  inst.run();
+
+  // A reopen (degraded) must agree on the rolled-back size and still serve
+  // every block through the mirrors.
+  inst.run_client("degraded-reader", [&](sim::Context& ctx,
+                                         BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_EQ(file.value().size_blocks(), 10u);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      auto r = file.value().read(i);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value(), record(i)) << "block " << i;
+    }
+  });
+  inst.run();
+}
+
+TEST(MirroredFile, RebuildRestoresFailedLfs) {
+  BridgeInstance inst(cfg(4));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    std::vector<std::vector<std::byte>> run;
+    for (std::uint32_t i = 0; i < 25; ++i) run.push_back(record(i));
+    ASSERT_TRUE(file.value().append_many(run).is_ok());
+  });
+  inst.run();
+
+  // LFS 2 fails and is replaced by a blank-for-our-purposes disk (the
+  // rebuild discards the old constituents, so surviving stale content
+  // cannot mask a broken reconstruction).
+  inst.lfs(2).disk().fail();
+  inst.lfs(2).disk().repair();
+  inst.run_client("rebuilder", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    RebuildOptions options;
+    options.window_blocks = 4;
+    auto report = file.value().rebuild_lfs(2, options);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    // Of 25 blocks, LFS 2 (offset 2) homed 6 primaries, and its mirror
+    // constituent held copies of LFS 0's 7 primaries: 6 + 7 = 13.
+    EXPECT_EQ(report.value().blocks_rebuilt, 13u);
+    EXPECT_GE(report.value().windows, 2u);
+  });
+  inst.run();
+
+  // After the rebuild every read must be served by the primary again.
+  int mirror_reads = 0;
+  inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = MirroredFile::open(ctx, client, "m");
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_EQ(file.value().size_blocks(), 25u);
+    for (std::uint32_t i = 0; i < 25; ++i) {
+      bool used_mirror = false;
+      auto r = file.value().read(i, &used_mirror);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value(), record(i)) << "block " << i;
+      if (used_mirror) ++mirror_reads;
+    }
+  });
+  inst.run();
+  EXPECT_EQ(mirror_reads, 0);
+  EXPECT_TRUE(inst.verify_all_lfs().is_ok());
+}
+
+TEST(ParityFile, ShortBlockReconstructionIsByteIdentical) {
+  BridgeInstance inst(cfg(5));
+  // Final stripe holds short blocks of distinct lengths; reconstruction
+  // must recover the exact bytes AND the exact lengths (not zero-padding).
+  const std::vector<std::size_t> lens = {1, 137, 500, 960};
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    std::vector<std::vector<std::byte>> full, stub;
+    for (std::uint32_t i = 0; i < 4; ++i) full.push_back(record(i));
+    ASSERT_TRUE(file.value().append_stripe(full).is_ok());
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      stub.push_back(short_record(4 + i, lens[i]));
+    }
+    ASSERT_TRUE(file.value().append_stripe(stub).is_ok());
+  });
+  inst.run();
+
+  for (std::uint32_t victim = 0; victim < 4; ++victim) {
+    inst.lfs(victim).disk().fail();
+    inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+      auto file = ParityFile::open(ctx, client, "pfile");
+      ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+      ASSERT_EQ(file.value().size_blocks(), 8u);
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        bool reconstructed = false;
+        auto r = file.value().read(i, &reconstructed);
+        ASSERT_TRUE(r.is_ok()) << "block " << i;
+        auto want = i < 4 ? record(i) : short_record(i, lens[i - 4]);
+        EXPECT_EQ(r.value(), want) << "block " << i << " victim " << victim;
+      }
+    });
+    inst.run();
+    inst.lfs(victim).disk().repair();
+  }
+}
+
+TEST(ParityFile, ReopenDerivesSizeWithShortFinalStripe) {
+  BridgeInstance inst(cfg(5));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    for (std::uint32_t stripe = 0; stripe < 3; ++stripe) {
+      std::vector<std::vector<std::byte>> blocks;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        blocks.push_back(record(stripe * 4 + i));
+      }
+      ASSERT_TRUE(file.value().append_stripe(blocks).is_ok());
+    }
+    // Short final stripe: only 2 of 4 slots.
+    std::vector<std::vector<std::byte>> tail = {record(12), record(13)};
+    ASSERT_TRUE(file.value().append_stripe(tail).is_ok());
+  });
+  inst.run();
+
+  // Healthy reopen: size from the data constituents.
+  inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_EQ(file.value().size_blocks(), 14u);
+    for (std::uint32_t i = 0; i < 14; ++i) {
+      auto r = file.value().read(i);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value(), record(i)) << "block " << i;
+    }
+  });
+  inst.run();
+
+  // Degraded reopen: LFS 0 held 4 blocks of the 14; its count is gone, so
+  // the size must come from the parity constituent's fill word.
+  inst.lfs(0).disk().fail();
+  inst.run_client("degraded-reader", [&](sim::Context& ctx,
+                                         BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+    ASSERT_EQ(file.value().size_blocks(), 14u);
+    for (std::uint32_t i = 0; i < 14; ++i) {
+      auto r = file.value().read(i);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value(), record(i)) << "block " << i;
+    }
+  });
+  inst.run();
+  inst.lfs(0).disk().repair();
+}
+
+TEST(ParityFile, TornStripeRollsBackAndRecovers) {
+  BridgeInstance inst(cfg(5));
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    for (std::uint32_t stripe = 0; stripe < 2; ++stripe) {
+      std::vector<std::vector<std::byte>> blocks;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        blocks.push_back(record(stripe * 4 + i));
+      }
+      ASSERT_TRUE(file.value().append_stripe(blocks).is_ok());
+    }
+  });
+  inst.run();
+
+  // Mid-stripe failure: LFS 3 dies, the stripe write fails, and the
+  // surviving constituents (which DID take their blocks) roll back.
+  inst.lfs(3).disk().fail();
+  inst.run_client("torn-writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    std::vector<std::vector<std::byte>> blocks;
+    for (std::uint32_t i = 0; i < 4; ++i) blocks.push_back(record(100 + i));
+    EXPECT_EQ(file.value().append_stripe(blocks).code(),
+              util::ErrorCode::kUnavailable);
+    EXPECT_EQ(file.value().size_blocks(), 8u);
+    // Degraded reads of the intact stripes still work.
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      auto r = file.value().read(i);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value(), record(i)) << "block " << i;
+    }
+  });
+  inst.run();
+
+  // Repair + rebuild, then appends proceed as if nothing happened.
+  inst.lfs(3).disk().repair();
+  inst.run_client("rebuilder", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_EQ(file.value().size_blocks(), 8u);
+    auto report = file.value().rebuild_lfs(3);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    EXPECT_EQ(report.value().blocks_rebuilt, 2u);  // offset 3 of 8 blocks
+    std::vector<std::vector<std::byte>> blocks;
+    for (std::uint32_t i = 8; i < 12; ++i) blocks.push_back(record(i));
+    ASSERT_TRUE(file.value().append_stripe(blocks).is_ok());
+  });
+  inst.run();
+
+  int reconstructed_reads = 0;
+  inst.run_client("reader", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_EQ(file.value().size_blocks(), 12u);
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      bool reconstructed = false;
+      auto r = file.value().read(i, &reconstructed);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value(), record(i)) << "block " << i;
+      if (reconstructed) ++reconstructed_reads;
+    }
+  });
+  inst.run();
+  EXPECT_EQ(reconstructed_reads, 0);
+  EXPECT_TRUE(inst.verify_all_lfs().is_ok());
+}
+
+TEST(ParityFile, RebuildParityLfsRestoresProtection) {
+  BridgeInstance inst(cfg(5));
+  const std::vector<std::size_t> lens = {960, 100, 7};
+  inst.run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    std::vector<std::vector<std::byte>> full, stub;
+    for (std::uint32_t i = 0; i < 4; ++i) full.push_back(record(i));
+    ASSERT_TRUE(file.value().append_stripe(full).is_ok());
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      stub.push_back(short_record(4 + i, lens[i]));
+    }
+    ASSERT_TRUE(file.value().append_stripe(stub).is_ok());
+  });
+  inst.run();
+
+  // The parity LFS (index 4) dies and is replaced; recompute its blocks —
+  // including the length/fill header words — from the data constituents.
+  inst.lfs(4).disk().fail();
+  inst.lfs(4).disk().repair();
+  inst.run_client("rebuilder", [&](sim::Context& ctx, BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok());
+    auto report = file.value().rebuild_lfs(4);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    EXPECT_EQ(report.value().blocks_rebuilt, 2u);  // one parity per stripe
+  });
+  inst.run();
+
+  // Proof the rebuilt parity works: fail a data LFS and read everything
+  // (short blocks byte-identical) through reconstruction.
+  inst.lfs(1).disk().fail();
+  inst.run_client("degraded-reader", [&](sim::Context& ctx,
+                                         BridgeClient& client) {
+    auto file = ParityFile::open(ctx, client, "pfile");
+    ASSERT_TRUE(file.is_ok()) << file.status().to_string();
+    ASSERT_EQ(file.value().size_blocks(), 7u);
+    for (std::uint32_t i = 0; i < 7; ++i) {
+      auto r = file.value().read(i);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      auto want = i < 4 ? record(i) : short_record(i, lens[i - 4]);
+      EXPECT_EQ(r.value(), want) << "block " << i;
+    }
+  });
+  inst.run();
+}
+
+TEST(ParityFile, VectoredAndPerBlockRebuildProduceIdenticalDisks) {
+  // Two bit-deterministic instances take the same writes and the same
+  // failure; one rebuilds through the vectored pipeline, the other through
+  // the per-block reference path.  The resulting machines must be
+  // indistinguishable on disk.
+  auto build = [](bool vectored) {
+    auto inst = std::make_unique<BridgeInstance>(cfg(5));
+    inst->run_client("writer", [&](sim::Context& ctx, BridgeClient& client) {
+      auto file = ParityFile::open(ctx, client, "pfile");
+      ASSERT_TRUE(file.is_ok());
+      for (std::uint32_t stripe = 0; stripe < 5; ++stripe) {
+        std::vector<std::vector<std::byte>> blocks;
+        for (std::uint32_t i = 0; i < 4; ++i) {
+          blocks.push_back(record(stripe * 4 + i));
+        }
+        ASSERT_TRUE(file.value().append_stripe(blocks).is_ok());
+      }
+      std::vector<std::vector<std::byte>> tail = {short_record(20, 300)};
+      ASSERT_TRUE(file.value().append_stripe(tail).is_ok());
+    });
+    inst->run();
+    inst->lfs(2).disk().fail();
+    inst->lfs(2).disk().repair();
+    inst->run_client("rebuilder", [&, vectored](sim::Context& ctx,
+                                                BridgeClient& client) {
+      auto file = ParityFile::open(ctx, client, "pfile");
+      ASSERT_TRUE(file.is_ok());
+      RebuildOptions options;
+      options.vectored = vectored;
+      options.window_blocks = 3;
+      auto report = file.value().rebuild_lfs(2, options);
+      ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+      // Flush every LFS cache so the disk images are comparable.
+      auto env = tools::discover(client);
+      ASSERT_TRUE(env.is_ok());
+      auto lfs = env.value().make_lfs_clients(client.rpc());
+      for (auto& c : lfs) ASSERT_TRUE(c->sync().is_ok());
+    });
+    inst->run();
+    return inst;
+  };
+
+  auto a = build(/*vectored=*/true);
+  auto b = build(/*vectored=*/false);
+  for (std::uint32_t i = 0; i < a->num_lfs(); ++i) {
+    auto capacity = a->lfs(i).disk().geometry().capacity_blocks();
+    std::uint32_t mismatches = 0;
+    for (std::uint32_t addr = 0; addr < capacity; ++addr) {
+      auto pa = a->lfs(i).disk().peek(addr);
+      auto pb = b->lfs(i).disk().peek(addr);
+      ASSERT_TRUE(pa.has_value() && pb.has_value());
+      if (!std::equal(pa->begin(), pa->end(), pb->begin(), pb->end())) {
+        ++mismatches;
+      }
+    }
+    EXPECT_EQ(mismatches, 0u) << "lfs " << i;
+  }
+  EXPECT_TRUE(a->verify_all_lfs().is_ok());
+}
+
 TEST(DeleteMany, RemovesBatchAndOverlapsWork) {
   BridgeInstance inst(cfg(4));
   inst.run_client("setup", [&](sim::Context&, BridgeClient& client) {

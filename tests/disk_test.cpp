@@ -99,6 +99,49 @@ TEST(Disk, TrackReadReturnsCorrectContents) {
   rt.run();
 }
 
+TEST(Disk, WriteRunCostsOnePositioning) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  sim::SimTime elapsed{};
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    auto a = pattern_block(1), b = pattern_block(2), c = pattern_block(3);
+    WriteOp ops[] = {{4, a}, {6, b}, {7, c}};
+    ASSERT_TRUE(disk.write_run(ctx, ops).is_ok());
+    elapsed = ctx.now();
+    for (auto& op : ops) {
+      auto got = disk.read(ctx, op.addr);
+      ASSERT_TRUE(got.is_ok());
+      EXPECT_TRUE(std::equal(got.value().begin(), got.value().end(),
+                             op.data.begin()));
+    }
+  });
+  rt.run();
+  EXPECT_EQ(elapsed.us(), 16'500);  // 15ms + 3 * 0.5ms
+  EXPECT_EQ(disk.stats().track_writes, 1u);
+  EXPECT_EQ(disk.stats().block_writes, 3u);
+}
+
+TEST(Disk, WriteRunRejectsCrossTrackAndBadSizeBeforeCharging) {
+  sim::Runtime rt(1);
+  SimDisk disk(small_geometry(), LatencyModel{});
+  sim::SimTime elapsed{};
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    auto a = pattern_block(1), b = pattern_block(2);
+    auto runt = pattern_block(3, 100);
+    WriteOp spans_tracks[] = {{3, a}, {4, b}};
+    EXPECT_EQ(disk.write_run(ctx, spans_tracks).code(),
+              util::ErrorCode::kInvalidArgument);
+    WriteOp bad_size[] = {{0, a}, {1, runt}};
+    EXPECT_EQ(disk.write_run(ctx, bad_size).code(),
+              util::ErrorCode::kInvalidArgument);
+    EXPECT_TRUE(disk.write_run(ctx, {}).is_ok());  // empty run: free no-op
+    elapsed = ctx.now();
+  });
+  rt.run();
+  EXPECT_EQ(elapsed.us(), 0);  // nothing charged, nothing written
+  EXPECT_EQ(disk.stats().block_writes, 0u);
+}
+
 TEST(Disk, OutOfRangeRejected) {
   sim::Runtime rt(1);
   SimDisk disk(small_geometry(), LatencyModel{});

@@ -330,6 +330,80 @@ TEST(EfsCore, AppendCostMatchesPaperWriteRegime) {
   });
 }
 
+TEST(EfsCore, WriteRunCoalescesTrackFlushes) {
+  // The vectored write path stages the run in the cache and flushes each
+  // touched track in one positioning op, so a contiguous run beats the
+  // per-block write regime by roughly blocks_per_track while producing the
+  // same blocks.
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 8).is_ok());
+    // Warm up past the allocation of the directory-adjacent tracks.
+    std::vector<std::uint32_t> warm_nos;
+    std::vector<std::vector<std::byte>> warm_blocks;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      warm_nos.push_back(i);
+      warm_blocks.push_back(payload(i));
+    }
+    ASSERT_TRUE(efs.write_run(ctx, 8, warm_nos, warm_blocks, kNilAddr).is_ok());
+
+    std::vector<std::uint32_t> nos;
+    std::vector<std::vector<std::byte>> blocks;
+    for (std::uint32_t i = 64; i < 192; ++i) {
+      nos.push_back(i);
+      blocks.push_back(payload(i));
+    }
+    auto before = ctx.now();
+    auto run = efs.write_run(ctx, 8, nos, blocks, kNilAddr);
+    ASSERT_TRUE(run.is_ok());
+    double per_write_ms = (ctx.now() - before).ms() / 128.0;
+    // One 15ms positioning per 4-block track plus transfers: well under the
+    // per-block regime's 15ms floor (AppendCostMatchesPaperWriteRegime).
+    EXPECT_LT(per_write_ms, 10.0);
+    EXPECT_GT(efs.cache_stats().coalesced_flush_blocks, 0u);
+
+    for (std::uint32_t i = 0; i < 192; ++i) {
+      auto r = efs.read(ctx, 8, i, kNilAddr);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value().data, payload(i));
+    }
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, WriteRunAndPerBlockWritesProduceIdenticalBlocks) {
+  // Same file built two ways must read back identically (including after a
+  // sync, so the staged-then-flushed path leaves nothing behind in cache).
+  std::vector<std::vector<std::byte>> via_run, via_single;
+  auto collect = [&](bool vectored, std::vector<std::vector<std::byte>>& out) {
+    with_efs([&](sim::Context& ctx, EfsCore& efs) {
+      ASSERT_TRUE(efs.create(ctx, 4).is_ok());
+      std::vector<std::uint32_t> nos;
+      std::vector<std::vector<std::byte>> blocks;
+      for (std::uint32_t i = 0; i < 23; ++i) {
+        nos.push_back(i);
+        blocks.push_back(payload(200 + i));
+      }
+      if (vectored) {
+        ASSERT_TRUE(efs.write_run(ctx, 4, nos, blocks, kNilAddr).is_ok());
+      } else {
+        for (std::uint32_t i = 0; i < 23; ++i) {
+          ASSERT_TRUE(efs.write(ctx, 4, i, blocks[i], kNilAddr).is_ok());
+        }
+      }
+      ASSERT_TRUE(efs.sync(ctx).is_ok());
+      for (std::uint32_t i = 0; i < 23; ++i) {
+        auto r = efs.read(ctx, 4, i, kNilAddr);
+        ASSERT_TRUE(r.is_ok());
+        out.push_back(r.value().data);
+      }
+      EXPECT_TRUE(efs.verify_integrity().is_ok());
+    });
+  };
+  collect(true, via_run);
+  collect(false, via_single);
+  EXPECT_EQ(via_run, via_single);
+}
+
 TEST(EfsCore, SequentialReadCostBeatsDiskLatency) {
   // Full-track buffering: amortized sequential read "substantially less than
   // disk latency" (§4.5).
@@ -349,6 +423,110 @@ TEST(EfsCore, SequentialReadCostBeatsDiskLatency) {
     EXPECT_LT(per_read_ms, 15.0);
     EXPECT_GT(per_read_ms, 1.0);
   });
+}
+
+TEST(EfsCore, TruncateFreesTailAndKeepsPrefix) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 11).is_ok());
+    std::size_t free_before = efs.free_block_count();
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 11, i, payload(i), kNilAddr).is_ok());
+    }
+    ASSERT_TRUE(efs.truncate(ctx, 11, 5).is_ok());
+    auto info = efs.info(ctx, 11);
+    ASSERT_TRUE(info.is_ok());
+    EXPECT_EQ(info.value().size_blocks, 5u);
+    EXPECT_EQ(efs.free_block_count(), free_before - 5);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      auto r = efs.read(ctx, 11, i, kNilAddr);
+      ASSERT_TRUE(r.is_ok()) << "block " << i;
+      EXPECT_EQ(r.value().data, payload(i));
+    }
+    EXPECT_EQ(efs.read(ctx, 11, 5, kNilAddr).status().code(),
+              util::ErrorCode::kInvalidArgument);
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+    EXPECT_EQ(efs.op_stats().truncates, 1u);
+  });
+}
+
+TEST(EfsCore, TruncateToZeroThenReappend) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 4).is_ok());
+    std::size_t free_before = efs.free_block_count();
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 4, i, payload(i), kNilAddr).is_ok());
+    }
+    ASSERT_TRUE(efs.truncate(ctx, 4, 0).is_ok());
+    EXPECT_EQ(efs.free_block_count(), free_before);
+    EXPECT_EQ(efs.info(ctx, 4).value().size_blocks, 0u);
+    // The chain must be re-growable from empty.
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 4, i, payload(40 + i), kNilAddr).is_ok());
+    }
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(efs.read(ctx, 4, i, kNilAddr).value().data, payload(40 + i));
+    }
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, TruncateAfterTruncateAppendsAtBoundary) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 6).is_ok());
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 6, i, payload(i), kNilAddr).is_ok());
+    }
+    ASSERT_TRUE(efs.truncate(ctx, 6, 3).is_ok());
+    // Appending at the new boundary continues the chain; one past rejects.
+    EXPECT_EQ(efs.write(ctx, 6, 4, payload(0), kNilAddr).status().code(),
+              util::ErrorCode::kInvalidArgument);
+    ASSERT_TRUE(efs.write(ctx, 6, 3, payload(33), kNilAddr).is_ok());
+    EXPECT_EQ(efs.info(ctx, 6).value().size_blocks, 4u);
+    EXPECT_EQ(efs.read(ctx, 6, 3, kNilAddr).value().data, payload(33));
+    EXPECT_TRUE(efs.verify_integrity().is_ok());
+  });
+}
+
+TEST(EfsCore, TruncateErrors) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    EXPECT_EQ(efs.truncate(ctx, 9, 0).code(), util::ErrorCode::kNotFound);
+    ASSERT_TRUE(efs.create(ctx, 9).is_ok());
+    ASSERT_TRUE(efs.write(ctx, 9, 0, payload(0), kNilAddr).is_ok());
+    // Growing is not truncation.
+    EXPECT_EQ(efs.truncate(ctx, 9, 2).code(),
+              util::ErrorCode::kInvalidArgument);
+    // Truncating to the current size is a no-op.
+    EXPECT_TRUE(efs.truncate(ctx, 9, 1).is_ok());
+    EXPECT_EQ(efs.info(ctx, 9).value().size_blocks, 1u);
+  });
+}
+
+TEST(EfsCore, TruncatePersistsAcrossRemount) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  sim::Runtime rt(1);
+  EfsCore efs(dev, {});
+  efs.format();
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(efs.create(ctx, 2).is_ok());
+    for (std::uint32_t i = 0; i < 9; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 2, i, payload(i), kNilAddr).is_ok());
+    }
+    ASSERT_TRUE(efs.truncate(ctx, 2, 4).is_ok());
+    ASSERT_TRUE(efs.sync(ctx).is_ok());
+  });
+  rt.run();
+
+  EfsCore efs2(dev, {});
+  ASSERT_TRUE(efs2.remount_from_disk().is_ok());
+  sim::Runtime rt2(1);
+  rt2.spawn(0, "t2", [&](sim::Context& ctx) {
+    EXPECT_EQ(efs2.info(ctx, 2).value().size_blocks, 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(efs2.read(ctx, 2, i, kNilAddr).value().data, payload(i));
+    }
+  });
+  rt2.run();
+  EXPECT_TRUE(efs2.verify_integrity().is_ok());
 }
 
 }  // namespace

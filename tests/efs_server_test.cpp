@@ -117,6 +117,35 @@ TEST(EfsServer, TwoClientsShareOneServer) {
   EXPECT_TRUE(server.core().verify_integrity().is_ok());
 }
 
+TEST(EfsServer, TruncateOverRpc) {
+  sim::Runtime rt(2);
+  EfsServer server(rt, 0, geo(), disk::LatencyModel{}, EfsConfig{});
+  server.start();
+  rt.spawn(1, "client", [&](sim::Context& ctx) {
+    sim::RpcClient rpc(ctx);
+    EfsClient efs(rpc, server.address());
+    ASSERT_TRUE(efs.create(17).is_ok());
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(efs.write(17, i, payload(i)).is_ok());
+    }
+    auto t = efs.truncate(17, 6);
+    ASSERT_TRUE(t.is_ok());
+    EXPECT_EQ(t.value().size_blocks, 6u);
+    // The dropped hint must not poison the next access.
+    auto r = efs.read(17, 5);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, payload(5));
+    EXPECT_EQ(efs.read(17, 6).status().code(),
+              util::ErrorCode::kInvalidArgument);
+    EXPECT_EQ(efs.truncate(17, 9).status().code(),
+              util::ErrorCode::kInvalidArgument);
+    EXPECT_EQ(efs.truncate(44, 0).status().code(),
+              util::ErrorCode::kNotFound);
+  });
+  rt.run();
+  EXPECT_TRUE(server.core().verify_integrity().is_ok());
+}
+
 TEST(EfsServer, LocalClientCheaperThanRemote) {
   // A client co-located with the server (a Bridge tool worker) should finish
   // the same scan sooner than a remote client, because intra-node messages

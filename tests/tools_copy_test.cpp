@@ -88,7 +88,11 @@ TEST(CopyTool, CopyTrafficStaysLocal) {
 }
 
 TEST(CopyTool, NearLinearSpeedup) {
-  constexpr std::uint32_t kBlocks = 96;
+  // Large enough that per-block work dominates the fixed startup cost and the
+  // write-back debt make_file leaves in the p=2 cache: with track-coalesced
+  // vectored writes the copy itself is cheap, so small files under-report the
+  // scaling.
+  constexpr std::uint32_t kBlocks = 192;
   auto time_for = [&](std::uint32_t p) {
     BridgeInstance inst(cfg(p, 256));
     make_file(inst, "src", kBlocks);
