@@ -94,8 +94,11 @@ class JsonReporter {
 
   /// Emit {"bench":<name>, k1:v1, ...}.  Values are numeric; non-finite
   /// values (a bench shape with no valid measurement) are written as null.
+  /// `metrics_json`, when non-empty, must be a complete JSON object (from
+  /// BridgeInstance::metrics_summary_json) and is appended as "metrics".
   void emit(const std::string& bench,
-            std::initializer_list<std::pair<const char*, double>> fields) {
+            std::initializer_list<std::pair<const char*, double>> fields,
+            const std::string& metrics_json = "") {
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
@@ -110,12 +113,57 @@ class JsonReporter {
         std::fprintf(f, ",\"%s\":null", key);
       }
     }
+    if (!metrics_json.empty()) {
+      std::fprintf(f, ",\"metrics\":%s", metrics_json.c_str());
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
   }
 
  private:
   std::string path_;
+};
+
+/// --trace=<path>: capture a Chrome trace_event file (virtual-time spans,
+/// one lane per node/process; open in Perfetto).  Only the FIRST instance
+/// passed to arm() is traced — benches sweep many configurations, and one
+/// machine's trace is what you inspect, while arming a single run bounds
+/// the event buffer.  Tracing never charges virtual time, so measured
+/// costs are identical with or without the flag.
+class TraceOption {
+ public:
+  TraceOption(int argc, char** argv)
+      : path_(flag_string(argc, argv, "trace")) {}
+
+  [[nodiscard]] bool active() const noexcept { return !path_.empty(); }
+
+  /// Enable the tracer on `inst` if --trace was given and no earlier
+  /// instance claimed it.  Call right after constructing the instance.
+  void arm(core::BridgeInstance& inst) {
+    if (path_.empty() || armed_) return;
+    armed_ = true;
+    inst.runtime().tracer().enable();
+    target_ = &inst;
+  }
+
+  /// Write the armed instance's trace.  Call after run(), while the
+  /// instance is still alive; no-op otherwise.
+  void capture() {
+    if (target_ == nullptr) return;
+    obs::Tracer& tracer = target_->runtime().tracer();
+    if (auto st = tracer.write_chrome_trace(path_); !st.is_ok()) {
+      std::fprintf(stderr, "TraceOption: %s\n", st.to_string().c_str());
+    } else {
+      std::printf("trace: %zu events -> %s\n", tracer.event_count(),
+                  path_.c_str());
+    }
+    target_ = nullptr;
+  }
+
+ private:
+  std::string path_;
+  core::BridgeInstance* target_ = nullptr;
+  bool armed_ = false;
 };
 
 }  // namespace bridge::bench

@@ -17,10 +17,12 @@
 namespace bridge::bench {
 namespace {
 
-double run_copy(std::uint32_t p, std::uint64_t records) {
+double run_copy(std::uint32_t p, std::uint64_t records, TraceOption& trace,
+                std::string& metrics) {
   auto cfg = core::SystemConfig::paper_profile(
       p, static_cast<std::uint32_t>(2 * records / p + 128));
   core::BridgeInstance inst(cfg);
+  trace.arm(inst);
   fill_random_file(inst, "src", records, 11 + p);
   sim::SimTime elapsed{};
   inst.run_client("copy", [&](sim::Context& ctx, core::BridgeClient& client) {
@@ -28,13 +30,17 @@ double run_copy(std::uint32_t p, std::uint64_t records) {
     if (result.is_ok()) elapsed = result.value().elapsed;
   });
   inst.run();
+  metrics = inst.metrics_summary_json();
+  trace.capture();
   return elapsed.sec();
 }
 
-double run_sort(std::uint32_t p, std::uint64_t records, std::uint32_t c) {
+double run_sort(std::uint32_t p, std::uint64_t records, std::uint32_t c,
+                TraceOption& trace, std::string& metrics) {
   auto cfg = core::SystemConfig::paper_profile(
       p, static_cast<std::uint32_t>(4 * records / p + 256));
   core::BridgeInstance inst(cfg);
+  trace.arm(inst);
   fill_random_file(inst, "input", records, 13 + p);
   sim::SimTime elapsed{};
   inst.run_client("sort", [&](sim::Context& ctx, core::BridgeClient& client) {
@@ -44,6 +50,8 @@ double run_sort(std::uint32_t p, std::uint64_t records, std::uint32_t c) {
     if (result.is_ok()) elapsed = result.value().total;
   });
   inst.run();
+  metrics = inst.metrics_summary_json();
+  trace.capture();
   return elapsed.sec();
 }
 
@@ -56,6 +64,8 @@ int main(int argc, char** argv) {
   std::uint64_t records = flag_value(argc, argv, "records", 4096);
   auto c = static_cast<std::uint32_t>(
       flag_value(argc, argv, "in-core", records / 20 + 16));
+  JsonReporter json(argc, argv);
+  TraceOption trace(argc, argv);
 
   CostModel model;  // defaults match the paper profile's Table 2 regime
 
@@ -67,7 +77,8 @@ int main(int argc, char** argv) {
   std::printf("-----+------------+------------+----------------------\n");
   double copy_base = 0, copy_model_base = 0;
   for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
-    double sec = run_copy(p, records);
+    std::string metrics;
+    double sec = run_copy(p, records, trace, metrics);
     double model_sec = bridge::core::predicted_copy_seconds(records, p, model);
     if (p == 2) {
       copy_base = sec;
@@ -76,6 +87,13 @@ int main(int argc, char** argv) {
     std::printf("%4u | %8.1f s | %10.0f | %9.2fx %9.2fx\n", p, sec,
                 records / sec, copy_base / sec, copy_model_base / model_sec);
     std::fflush(stdout);
+    json.emit("fig_speedup_copy",
+              {{"p", p},
+               {"records", static_cast<double>(records)},
+               {"copy_sec", sec},
+               {"speedup", copy_base / sec},
+               {"model_speedup", copy_model_base / model_sec}},
+              metrics);
   }
 
   print_header("Figure: sort tool records/second vs processors");
@@ -89,7 +107,8 @@ int main(int argc, char** argv) {
   std::printf("-----+------------+------------+----------------------\n");
   double sort_base = 0, sort_model_base = 0;
   for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
-    double sec = run_sort(p, records, c);
+    std::string metrics;
+    double sec = run_sort(p, records, c, trace, metrics);
     double model_sec =
         bridge::core::predicted_local_sort_seconds(records, p, c, false, 4.4,
                                                    model) +
@@ -101,6 +120,13 @@ int main(int argc, char** argv) {
     std::printf("%4u | %8.1f s | %10.1f | %9.2fx %9.2fx\n", p, sec,
                 records / sec, sort_base / sec, sort_model_base / model_sec);
     std::fflush(stdout);
+    json.emit("fig_speedup_sort",
+              {{"p", p},
+               {"records", static_cast<double>(records)},
+               {"sort_sec", sec},
+               {"speedup", sort_base / sec},
+               {"model_speedup", sort_model_base / model_sec}},
+              metrics);
   }
   std::printf("\nshape checks: copy speedup near-linear; sort speedup\n"
               "super-linear (both measured and modeled).\n");

@@ -21,12 +21,14 @@ namespace {
 struct Row {
   std::uint32_t p;
   double create_ms, open_ms, write_ms, read_ms, piped_read_ms, delete_ms;
+  std::string metrics;
 };
 
-Row measure(std::uint32_t p, std::uint64_t filesize) {
+Row measure(std::uint32_t p, std::uint64_t filesize, TraceOption& trace) {
   auto cfg = core::SystemConfig::paper_profile(
       p, static_cast<std::uint32_t>(2 * filesize / p + 64));
   core::BridgeInstance inst(cfg);
+  trace.arm(inst);
   Row row{};
   row.p = p;
   inst.run_client("bench", [&](sim::Context& ctx, core::BridgeClient& client) {
@@ -72,6 +74,8 @@ Row measure(std::uint32_t p, std::uint64_t filesize) {
     row.delete_ms = (ctx.now() - t0).ms();
   });
   inst.run();
+  row.metrics = inst.metrics_summary_json();
+  trace.capture();
   return row;
 }
 
@@ -82,6 +86,7 @@ int main(int argc, char** argv) {
   using namespace bridge::bench;
   std::uint64_t filesize = flag_value(argc, argv, "filesize", 1024);
   JsonReporter json(argc, argv);
+  TraceOption trace(argc, argv);
 
   print_header("Table 2: Bridge basic operations (naive interface)");
   std::printf("file size: %llu blocks (%.1f MB of user data)\n\n",
@@ -97,7 +102,7 @@ int main(int argc, char** argv) {
   std::printf("-----+---------------------+-----------------+---------------------+"
               "---------------------+-----------+----------------------\n");
   for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
-    Row row = measure(p, filesize);
+    Row row = measure(p, filesize, trace);
     double paper_create = 145.0 + 17.5 * p;
     double paper_open = 80.0;
     double paper_write = 31.0;
@@ -116,7 +121,8 @@ int main(int argc, char** argv) {
                                    {"write_ms_per_block", row.write_ms},
                                    {"read_ms_per_block", row.read_ms},
                                    {"piped_read_ms_per_block", row.piped_read_ms},
-                                   {"delete_ms", row.delete_ms}});
+                                   {"delete_ms", row.delete_ms}},
+              row.metrics);
   }
   std::printf(
       "\nshape checks: Create grows linearly with p; Open/Write ~flat;\n"

@@ -31,6 +31,8 @@ constexpr PaperRow kPaper[] = {
 int main(int argc, char** argv) {
   using namespace bridge::bench;
   std::uint64_t records = flag_value(argc, argv, "records", 10240);
+  JsonReporter json(argc, argv);
+  TraceOption trace(argc, argv);
 
   print_header("Table 3: Copy tool performance (10 Mbyte file)");
   std::printf("file: %llu one-block records\n\n",
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
     auto cfg = bridge::core::SystemConfig::paper_profile(
         p, static_cast<std::uint32_t>(2 * records / p + 128));
     bridge::core::BridgeInstance inst(cfg);
+    trace.arm(inst);
     fill_random_file(inst, "src", records, /*seed=*/42 + p);
 
     bridge::sim::SimTime elapsed{};
@@ -77,6 +80,14 @@ int main(int argc, char** argv) {
                 sec, paper.copy_sec, static_cast<double>(records) / sec,
                 static_cast<double>(records) / paper.copy_sec,
                 base_sec / sec, paper_base / paper.copy_sec);
+    json.emit("table3_copy",
+              {{"p", p},
+               {"records", static_cast<double>(records)},
+               {"copy_sec", sec},
+               {"records_per_sec", static_cast<double>(records) / sec},
+               {"speedup", base_sec / sec}},
+              inst.metrics_summary_json());
+    trace.capture();
   }
   std::printf(
       "\nshape check: near-linear speedup 2 -> 32 processors (paper: 14.4x\n"

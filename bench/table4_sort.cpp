@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   std::uint64_t records = flag_value(argc, argv, "records", 10240);
   std::uint64_t in_core = flag_value(argc, argv, "in-core", 512);
   std::uint64_t min_p = flag_value(argc, argv, "min-p", 2);
+  JsonReporter json(argc, argv);
+  TraceOption trace(argc, argv);
 
   print_header("Table 4: Merge sort tool performance (10 Mbyte file)");
   std::printf("file: %llu one-block records, in-core buffer c = %llu records\n\n",
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
     auto cfg = bridge::core::SystemConfig::paper_profile(
         p, static_cast<std::uint32_t>(4 * records / p + 256));
     bridge::core::BridgeInstance inst(cfg);
+    trace.arm(inst);
     fill_random_file(inst, "input", records, /*seed=*/7 + p);
 
     bridge::tools::SortReport report;
@@ -89,6 +92,16 @@ int main(int argc, char** argv) {
         static_cast<double>(records) / report.total.sec(),
         static_cast<double>(records) / (paper.total_min * 60.0));
     std::fflush(stdout);
+    json.emit("table4_sort",
+              {{"p", p},
+               {"records", static_cast<double>(records)},
+               {"local_min", report.local_phase.minutes()},
+               {"merge_min", report.merge_phase.minutes()},
+               {"total_min", report.total.minutes()},
+               {"records_per_sec",
+                static_cast<double>(records) / report.total.sec()}},
+              inst.metrics_summary_json());
+    trace.capture();
   }
   std::printf(
       "\nshape checks: local phase shrinks super-linearly (a local merge pass\n"

@@ -53,6 +53,14 @@ class BridgeApi {
   virtual util::Result<RandomReadManyResponse> random_read_many(
       BridgeFileId id, std::uint64_t first_block, std::uint32_t count) = 0;
 
+  /// Shrink file `id` to `new_size_blocks` (growing is an error; equal is a
+  /// no-op).  The server fans per-constituent truncates to every involved
+  /// LFS and clamps open-session cursors.  Rejected for members of a
+  /// mirrored/parity group — their sizes are coupled invariants owned by the
+  /// replicated access methods.
+  virtual util::Result<std::uint64_t> truncate(
+      BridgeFileId id, std::uint64_t new_size_blocks) = 0;
+
   virtual util::Result<std::uint64_t> parallel_open(
       std::uint64_t session, const std::vector<sim::Address>& workers) = 0;
   virtual util::Result<ParallelReadResponse> parallel_read(

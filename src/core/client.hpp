@@ -112,6 +112,15 @@ class BridgeClient final : public BridgeApi {
     return util::decode_from_bytes<RandomReadManyResponse>(reply.value());
   }
 
+  util::Result<std::uint64_t> truncate(BridgeFileId id,
+                                       std::uint64_t new_size_blocks) override {
+    TruncateFileRequest req{id, new_size_blocks};
+    auto reply = call(BridgeMsg::kTruncate, util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<TruncateFileResponse>(reply.value())
+        .size_blocks;
+  }
+
   /// Group `workers` into a job on an open session; the caller becomes the
   /// job controller (§4.1).
   util::Result<std::uint64_t> parallel_open(

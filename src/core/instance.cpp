@@ -91,6 +91,61 @@ void BridgeInstance::print_stats(std::FILE* out) const {
   }
 }
 
+void BridgeInstance::publish_metrics() {
+  auto& registry = rt_->metrics();
+  sim::SimTime elapsed = rt_->now();
+  for (std::size_t i = 0; i < lfs_servers_.size(); ++i) {
+    auto& core = lfs_servers_[i]->core();
+    std::string n = ".n" + std::to_string(i);
+    core.device().stats().publish(registry, "disk" + n, elapsed);
+    core.cache_stats().publish(registry, "cache" + n);
+    core.op_stats().publish(registry, "efs" + n);
+  }
+  for (auto& server : bridges_) {
+    server->stats().publish(registry,
+                            "bridge.n" + std::to_string(server->node()));
+  }
+  rt_->message_stats().publish(registry, "net");
+}
+
+std::string BridgeInstance::metrics_json() {
+  publish_metrics();
+  return rt_->metrics().snapshot_json();
+}
+
+std::string BridgeInstance::metrics_summary_json() {
+  publish_metrics();
+  sim::SimTime elapsed = rt_->now();
+  std::string out = "{\"disk_util\":[";
+  for (std::size_t i = 0; i < lfs_servers_.size(); ++i) {
+    const auto& stats = lfs_servers_[i]->core().device().stats();
+    double util =
+        elapsed.us() > 0 ? stats.busy_time.sec() / elapsed.sec() : 0.0;
+    if (i != 0) out += ",";
+    out += obs::json_number(util);
+  }
+  out += "]";
+  const obs::Histogram* service = rt_->metrics().find_histogram(
+      "bridge.n" + std::to_string(bridges_[0]->node()) + ".service_us");
+  if (service != nullptr && service->count() > 0) {
+    out += ",\"req_p50_us\":" + obs::json_number(service->p50());
+    out += ",\"req_p95_us\":" + obs::json_number(service->p95());
+    out += ",\"req_p99_us\":" + obs::json_number(service->p99());
+  }
+  std::uint64_t hits = 0, misses = 0;
+  for (auto& server : lfs_servers_) {
+    hits += server->core().cache_stats().hits;
+    misses += server->core().cache_stats().misses;
+  }
+  if (hits + misses > 0) {
+    out += ",\"cache_hit\":" +
+           obs::json_number(static_cast<double>(hits) /
+                            static_cast<double>(hits + misses));
+  }
+  out += "}";
+  return out;
+}
+
 util::Status BridgeInstance::save_machine(
     const std::string& directory_path) const {
   for (std::size_t i = 0; i < lfs_servers_.size(); ++i) {

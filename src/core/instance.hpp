@@ -75,6 +75,19 @@ class BridgeInstance {
   /// interconnect traffic, server counters.  For examples and debugging.
   void print_stats(std::FILE* out) const;
 
+  /// Push every subsystem's counters into the runtime's MetricsRegistry
+  /// (disk.n<i>, cache.n<i>, efs.n<i>, bridge.n<node>, net.*).  Gauges such
+  /// as disk utilization are computed against the current virtual time.
+  void publish_metrics();
+
+  /// publish_metrics() + full registry dump — the whole machine as one JSON
+  /// object (counters, gauges, latency histograms per node).
+  [[nodiscard]] std::string metrics_json();
+
+  /// Compact summary for bench result rows: per-disk utilization, Bridge
+  /// request service-time percentiles, aggregate cache hit rate.
+  [[nodiscard]] std::string metrics_summary_json();
+
   /// Persist the whole machine to `directory_path` (one image per LFS disk
   /// plus a Bridge directory snapshot per server).  Call while the
   /// simulation is idle, after the relevant EFS caches were synced — an

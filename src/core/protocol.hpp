@@ -52,10 +52,40 @@ enum class BridgeMsg : std::uint32_t {
   kSeqReadMany = 0x20D,
   kSeqWriteMany = 0x20E,
   kRandomReadMany = 0x20F,
+  /// Extension: shrink an open file to `new_size_blocks`, fanning per-LFS
+  /// truncates to the constituents and keeping the server's PlacementMap /
+  /// size bookkeeping in step (ROADMAP "Naive-API truncate").
+  kTruncate = 0x210,
   // Server -> worker messages for parallel jobs:
   kWorkerData = 0x280,  ///< one-way block delivery (parallel read)
   kWorkerGive = 0x281,  ///< request/reply block solicitation (parallel write)
 };
+
+/// Stable op name for trace span labels ("bridge.Open", ...).
+constexpr const char* bridge_msg_name(BridgeMsg type) noexcept {
+  switch (type) {
+    case BridgeMsg::kCreate: return "bridge.Create";
+    case BridgeMsg::kDelete: return "bridge.Delete";
+    case BridgeMsg::kOpen: return "bridge.Open";
+    case BridgeMsg::kSeqRead: return "bridge.SeqRead";
+    case BridgeMsg::kRandomRead: return "bridge.RandomRead";
+    case BridgeMsg::kSeqWrite: return "bridge.SeqWrite";
+    case BridgeMsg::kRandomWrite: return "bridge.RandomWrite";
+    case BridgeMsg::kParallelOpen: return "bridge.ParallelOpen";
+    case BridgeMsg::kParallelRead: return "bridge.ParallelRead";
+    case BridgeMsg::kParallelWrite: return "bridge.ParallelWrite";
+    case BridgeMsg::kGetInfo: return "bridge.GetInfo";
+    case BridgeMsg::kDeleteMany: return "bridge.DeleteMany";
+    case BridgeMsg::kResolve: return "bridge.Resolve";
+    case BridgeMsg::kSeqReadMany: return "bridge.SeqReadMany";
+    case BridgeMsg::kSeqWriteMany: return "bridge.SeqWriteMany";
+    case BridgeMsg::kRandomReadMany: return "bridge.RandomReadMany";
+    case BridgeMsg::kTruncate: return "bridge.Truncate";
+    case BridgeMsg::kWorkerData: return "bridge.WorkerData";
+    case BridgeMsg::kWorkerGive: return "bridge.WorkerGive";
+  }
+  return "bridge.Unknown";
+}
 
 /// Summary of a Bridge file returned by Open.
 struct FileMeta {
@@ -357,6 +387,29 @@ struct RandomReadManyResponse {
     for (std::uint32_t i = 0; i < n; ++i) resp.blocks.push_back(r.bytes());
     return resp;
   }
+};
+
+/// Shrink file `id` to `new_size_blocks` global blocks.  Growing is not
+/// supported (write at the end to extend); equal size is a no-op.
+struct TruncateFileRequest {
+  BridgeFileId id = 0;
+  std::uint64_t new_size_blocks = 0;
+  void encode(util::Writer& w) const {
+    w.u32(id);
+    w.u64(new_size_blocks);
+  }
+  static TruncateFileRequest decode(util::Reader& r) {
+    TruncateFileRequest req;
+    req.id = r.u32();
+    req.new_size_blocks = r.u64();
+    return req;
+  }
+};
+
+struct TruncateFileResponse {
+  std::uint64_t size_blocks = 0;  ///< file size after the truncate
+  void encode(util::Writer& w) const { w.u64(size_blocks); }
+  static TruncateFileResponse decode(util::Reader& r) { return {r.u64()}; }
 };
 
 struct ParallelOpenRequest {

@@ -450,6 +450,7 @@ util::Result<RebuildReport> MirroredFile::rebuild_lfs(
     };
 
     for (std::uint32_t lo = 0; lo < todo; lo += window) {
+      sim::ScopedSpan window_span(*ctx_, "rebuild.window");
       std::uint32_t primary_hi = std::min(primary_count, lo + window);
       std::uint32_t mirror_hi = std::min(mirror_count, lo + window);
       auto replies = batch->wait_all();
@@ -527,6 +528,7 @@ util::Result<RebuildReport> MirroredFile::rebuild_lfs(
 
   // Reference path: one RPC per block, strictly sequential.
   for (std::uint32_t lo = 0; lo < todo; lo += window) {
+    sim::ScopedSpan window_span(*ctx_, "rebuild.window");
     std::uint32_t primary_hi = std::min(primary_count, lo + window);
     std::uint32_t mirror_hi = std::min(mirror_count, lo + window);
     std::vector<std::vector<std::byte>> primary_payloads, mirror_payloads;
@@ -956,6 +958,7 @@ util::Result<RebuildReport> ParityFile::rebuild_data_lfs(
     std::uint32_t pending_lo = 0, pending_hi = 0;
 
     for (std::uint32_t lo = 0; lo < lost; lo += options.window_blocks) {
+      sim::ScopedSpan window_span(*ctx_, "rebuild.window");
       std::uint32_t hi = std::min(lost, lo + options.window_blocks);
       auto replies = batch->wait_all();
       std::size_t b = 0;
@@ -1019,6 +1022,7 @@ util::Result<RebuildReport> ParityFile::rebuild_data_lfs(
 
   // Reference path: one RPC per surviving block, strictly sequential.
   for (std::uint32_t lo = 0; lo < lost; lo += options.window_blocks) {
+    sim::ScopedSpan window_span(*ctx_, "rebuild.window");
     std::uint32_t hi = std::min(lost, lo + options.window_blocks);
     reset_window(lo, hi);
     for (std::uint32_t s = lo; s < hi; ++s) {
@@ -1141,6 +1145,7 @@ util::Result<RebuildReport> ParityFile::rebuild_parity_lfs(
     std::uint32_t pending_lo = 0, pending_hi = 0;
 
     for (std::uint32_t lo = 0; lo < stripes; lo += options.window_blocks) {
+      sim::ScopedSpan window_span(*ctx_, "rebuild.window");
       std::uint32_t hi = std::min(stripes, lo + options.window_blocks);
       auto replies = batch->wait_all();
       std::size_t b = 0;
@@ -1203,6 +1208,7 @@ util::Result<RebuildReport> ParityFile::rebuild_parity_lfs(
 
   // Reference path: one RPC per surviving block, strictly sequential.
   for (std::uint32_t lo = 0; lo < stripes; lo += options.window_blocks) {
+    sim::ScopedSpan window_span(*ctx_, "rebuild.window");
     std::uint32_t hi = std::min(stripes, lo + options.window_blocks);
     reset_window(lo, hi);
     for (std::uint32_t s = lo; s < hi; ++s) {

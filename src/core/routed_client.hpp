@@ -107,6 +107,13 @@ class RoutedBridgeClient final : public BridgeApi {
     return clients_[it->second]->random_read_many(id, first_block, count);
   }
 
+  util::Result<std::uint64_t> truncate(
+      BridgeFileId id, std::uint64_t new_size_blocks) override {
+    auto it = id_home_.find(id);
+    if (it == id_home_.end()) return util::not_found("unknown file id");
+    return clients_[it->second]->truncate(id, new_size_blocks);
+  }
+
   util::Result<std::uint64_t> parallel_open(
       std::uint64_t session, const std::vector<sim::Address>& workers) override {
     std::size_t s = owner(session);

@@ -15,6 +15,15 @@ constexpr std::uint32_t msg(efs::MsgType m) {
 }
 }  // namespace
 
+void BridgeServerStats::publish(obs::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+  registry.counter(prefix + ".requests").set(requests);
+  registry.counter(prefix + ".blocks_forwarded").set(blocks_forwarded);
+  registry.counter(prefix + ".parallel_rounds").set(parallel_rounds);
+  registry.counter(prefix + ".vectored_batches").set(vectored_batches);
+  registry.counter(prefix + ".vectored_blocks").set(vectored_blocks);
+}
+
 BridgeServer::BridgeServer(sim::Runtime& rt, sim::NodeId node,
                            BridgeConfig config,
                            std::vector<sim::Address> lfs_services,
@@ -45,10 +54,29 @@ void BridgeServer::serve(sim::Context& ctx) {
     lfs_clients_.push_back(std::make_unique<efs::EfsClient>(rpc, service));
   }
   Wire wire{ctx, rpc};
+  std::string lane = "bridge.n" + std::to_string(node_);
+  obs::Histogram& queue_us = rt_.metrics().histogram(lane + ".queue_us");
+  obs::Histogram& service_us = rt_.metrics().histogram(lane + ".service_us");
+  obs::Tracer& tracer = rt_.tracer();
   while (true) {
     sim::Envelope env = mailbox_->recv();
     ++stats_.requests;
-    handle(wire, env);
+    // Queue wait vs service split (the §5 server-bottleneck question):
+    // sent_at -> dequeue is wire latency plus time parked behind earlier
+    // requests; dequeue -> reply is this server's own service time.
+    sim::SimTime queued = ctx.now() - env.sent_at;
+    queue_us.record(static_cast<std::uint64_t>(queued.us()));
+    if (tracer.enabled()) {
+      tracer.complete(node_, ctx.pid(), "bridge.queue", env.sent_at.us(),
+                      queued.us(), env.trace);
+    }
+    sim::SimTime t0 = ctx.now();
+    {
+      sim::ScopedSpan span(
+          ctx, bridge_msg_name(static_cast<BridgeMsg>(env.type)), env.trace);
+      handle(wire, env);
+    }
+    service_us.record(static_cast<std::uint64_t>((ctx.now() - t0).us()));
   }
 }
 
@@ -73,6 +101,7 @@ void BridgeServer::handle(Wire& wire, const sim::Envelope& env) {
       case BridgeMsg::kSeqWriteMany: return handle_seq_write_many(wire, env);
       case BridgeMsg::kRandomReadMany:
         return handle_random_read_many(wire, env);
+      case BridgeMsg::kTruncate: return handle_truncate(wire, env);
       default: break;
     }
     sim::send_reply(wire.ctx, env,
@@ -705,6 +734,106 @@ void BridgeServer::handle_random_read_many(Wire& wire,
   auto run = read_run(wire, *record, req.first_block, req.count);
   if (!run.is_ok()) return sim::send_reply(wire.ctx, env, run.status());
   RandomReadManyResponse resp{std::move(run).value()};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_truncate(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = TruncateFileRequest::decode(r);
+  FileRecord* record = find_by_id(req.id);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such file id"));
+  }
+  // Replica constituents have coupled sizes maintained by their access
+  // methods (MirroredFile / ParityFile roll partial appends back with their
+  // own truncates); shrinking one out from under them would tear every
+  // mirror pair or stripe behind the new tail.  Reject with a clean error.
+  const std::string& name = record->name;
+  if (name.ends_with("!mirror") || name.ends_with("!parity") ||
+      directory_.count(name + "!mirror") != 0 ||
+      directory_.count(name + "!parity") != 0) {
+    return sim::send_reply(
+        wire.ctx, env,
+        util::invalid_argument("truncate: " + name +
+                               " belongs to a mirrored/parity group; shrink "
+                               "it through its access method"));
+  }
+  std::uint64_t size = record->placement.size_blocks();
+  if (req.new_size_blocks > size) {
+    return sim::send_reply(
+        wire.ctx, env,
+        util::invalid_argument("truncate cannot grow a file"));
+  }
+  TruncateFileResponse resp{req.new_size_blocks};
+  if (req.new_size_blocks == size) {
+    return sim::send_reply(wire.ctx, env, util::ok_status(),
+                           util::encode_to_bytes(resp));
+  }
+
+  // How many tail blocks each constituent loses.  O(blocks removed):
+  // place() is closed-form or a table lookup.
+  std::vector<std::uint64_t> removed(num_lfs(), 0);
+  for (std::uint64_t n = req.new_size_blocks; n < size; ++n) {
+    auto placed = record->placement.place(n);
+    if (!placed.is_ok()) return sim::send_reply(wire.ctx, env, placed.status());
+    ++removed[placed.value().lfs_index];
+  }
+
+  // Current constituent sizes, gathered from the involved LFSs in one
+  // concurrent round (tools may have appended past our record).
+  efs::InfoRequest info_req{record->lfs_file_id};
+  auto info_payload = util::encode_to_bytes(info_req);
+  std::vector<std::uint32_t> involved;
+  sim::AsyncBatch info_batch(wire.rpc);
+  for (std::uint32_t i = 0; i < num_lfs(); ++i) {
+    if (removed[i] == 0) continue;
+    involved.push_back(i);
+    info_batch.call(lfs_services_[i], msg(efs::MsgType::kInfo), info_payload);
+  }
+  auto infos = info_batch.wait_all();
+  std::vector<std::uint32_t> new_local(involved.size(), 0);
+  for (std::size_t k = 0; k < involved.size(); ++k) {
+    if (!infos[k].is_ok()) {
+      return sim::send_reply(wire.ctx, env, infos[k].status());
+    }
+    auto info = util::decode_from_bytes<efs::InfoResponse>(infos[k].value());
+    std::uint64_t rm = removed[involved[k]];
+    if (info.size_blocks < rm) {
+      return sim::send_reply(
+          wire.ctx, env,
+          util::corrupt("constituent on LFS " + std::to_string(involved[k]) +
+                        " shorter than the tail being truncated"));
+    }
+    new_local[k] = info.size_blocks - static_cast<std::uint32_t>(rm);
+  }
+
+  // Fan the constituent truncates out concurrently.  EFS kTruncate to a
+  // smaller-or-equal size is idempotent, so a partial failure (some
+  // constituents shrunk, others not) is repaired by retrying this op:
+  // already-shrunk constituents see a no-op.
+  sim::AsyncBatch batch(wire.rpc);
+  for (std::size_t k = 0; k < involved.size(); ++k) {
+    efs::TruncateRequest lfs_req{record->lfs_file_id, new_local[k]};
+    batch.call(lfs_services_[involved[k]], msg(efs::MsgType::kTruncate),
+               util::encode_to_bytes(lfs_req));
+  }
+  if (auto st = batch.wait_all_ok(); !st.is_ok()) {
+    return sim::send_reply(wire.ctx, env, st);
+  }
+
+  // Commit: directory bookkeeping, hint hygiene (remembered tail addresses
+  // now point at freed blocks), and session cursors — write_run appends at
+  // the file size, so a cursor past the new end must be pulled back or the
+  // next sequential write would land far beyond EOF.
+  record->placement.truncate(req.new_size_blocks);
+  for (std::uint32_t i : involved) {
+    lfs_clients_[i]->forget_hint(record->lfs_file_id);
+  }
+  for (auto& [sid, session] : sessions_) {
+    if (session.name != record->name) continue;
+    session.read_cursor = std::min(session.read_cursor, req.new_size_blocks);
+    session.write_cursor = std::min(session.write_cursor, req.new_size_blocks);
+  }
   sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
 }
 

@@ -33,6 +33,22 @@ struct BridgeServerStats {
   std::uint64_t parallel_rounds = 0;
   std::uint64_t vectored_batches = 0;  ///< multi-block runs served
   std::uint64_t vectored_blocks = 0;   ///< blocks moved by those runs
+
+  void reset() noexcept { *this = BridgeServerStats{}; }
+
+  /// Publish counters under `prefix` (e.g. "bridge.n8").
+  void publish(obs::MetricsRegistry& registry, const std::string& prefix) const;
+
+  /// Phase delta: activity since `b` was captured.
+  friend BridgeServerStats operator-(BridgeServerStats a,
+                                     const BridgeServerStats& b) noexcept {
+    a.requests -= b.requests;
+    a.blocks_forwarded -= b.blocks_forwarded;
+    a.parallel_rounds -= b.parallel_rounds;
+    a.vectored_batches -= b.vectored_batches;
+    a.vectored_blocks -= b.vectored_blocks;
+    return a;
+  }
 };
 
 class BridgeServer {
@@ -55,6 +71,9 @@ class BridgeServer {
   [[nodiscard]] const BridgeServerStats& stats() const noexcept {
     return stats_;
   }
+  /// Zero the counters (phase measurement without rebuilding the instance).
+  void reset_stats() noexcept { stats_.reset(); }
+  [[nodiscard]] sim::NodeId node() const noexcept { return node_; }
   /// Number of Bridge files currently in the directory (tests).
   [[nodiscard]] std::size_t directory_size() const noexcept {
     return directory_.size();
@@ -109,6 +128,7 @@ class BridgeServer {
   void handle_seq_read_many(Wire& wire, const sim::Envelope& env);
   void handle_seq_write_many(Wire& wire, const sim::Envelope& env);
   void handle_random_read_many(Wire& wire, const sim::Envelope& env);
+  void handle_truncate(Wire& wire, const sim::Envelope& env);
   void handle_parallel_open(Wire& wire, const sim::Envelope& env);
   void handle_parallel_read(Wire& wire, const sim::Envelope& env);
   void handle_parallel_write(Wire& wire, const sim::Envelope& env);

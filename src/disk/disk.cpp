@@ -6,6 +6,30 @@
 
 namespace bridge::disk {
 
+namespace {
+/// Emit the access just charged as a complete event on the caller's lane —
+/// the disk busy-timeline.  [t0, now) is exactly the charged interval.
+void trace_access(sim::Context& ctx, const char* name, sim::SimTime t0) {
+  obs::Tracer& tracer = ctx.runtime().tracer();
+  if (!tracer.enabled()) return;
+  tracer.complete(ctx.node(), ctx.pid(), name, t0.us(), (ctx.now() - t0).us(),
+                  tracer.current_context(ctx.pid()));
+}
+}  // namespace
+
+void DiskStats::publish(obs::MetricsRegistry& registry,
+                        const std::string& prefix, sim::SimTime elapsed) const {
+  registry.counter(prefix + ".block_reads").set(block_reads);
+  registry.counter(prefix + ".block_writes").set(block_writes);
+  registry.counter(prefix + ".track_reads").set(track_reads);
+  registry.counter(prefix + ".track_writes").set(track_writes);
+  registry.counter(prefix + ".positioning_ops").set(positioning_ops);
+  registry.counter(prefix + ".busy_us")
+      .set(static_cast<std::uint64_t>(busy_time.us()));
+  registry.gauge(prefix + ".utilization")
+      .set(elapsed.us() > 0 ? busy_time.sec() / elapsed.sec() : 0.0);
+}
+
 SimDisk::SimDisk(Geometry geometry, LatencyModel latency)
     : geometry_(geometry), latency_(latency) {
   store_.resize(static_cast<std::size_t>(geometry_.capacity_blocks()) *
@@ -37,7 +61,9 @@ void SimDisk::charge_positioning(sim::Context& ctx, BlockAddr addr) {
 util::Result<std::vector<std::byte>> SimDisk::read(sim::Context& ctx,
                                                    BlockAddr addr) {
   if (auto st = check_addr(addr); !st.is_ok()) return st;
+  sim::SimTime t0 = ctx.now();
   charge_positioning(ctx, addr);
+  trace_access(ctx, "disk.read", t0);
   ++stats_.block_reads;
   auto begin = store_.begin() +
                static_cast<std::ptrdiff_t>(addr) * geometry_.block_size;
@@ -50,7 +76,9 @@ util::Status SimDisk::write(sim::Context& ctx, BlockAddr addr,
   if (data.size() != geometry_.block_size) {
     return util::invalid_argument("write size != block size");
   }
+  sim::SimTime t0 = ctx.now();
   charge_positioning(ctx, addr);
+  trace_access(ctx, "disk.write", t0);
   ++stats_.block_writes;
   std::copy(data.begin(), data.end(),
             store_.begin() + static_cast<std::ptrdiff_t>(addr) * geometry_.block_size);
@@ -71,7 +99,9 @@ util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_track(
                       latency_.transfer_per_block *
                           static_cast<std::int64_t>(geometry_.blocks_per_track);
   stats_.busy_time += cost;
+  sim::SimTime t0 = ctx.now();
   ctx.charge(cost);
+  trace_access(ctx, "disk.read_track", t0);
   last_addr_ = first + geometry_.blocks_per_track - 1;
 
   std::vector<std::vector<std::byte>> blocks;
@@ -106,7 +136,9 @@ util::Status SimDisk::write_run(sim::Context& ctx,
                       latency_.transfer_per_block *
                           static_cast<std::int64_t>(ops.size());
   stats_.busy_time += cost;
+  sim::SimTime t0 = ctx.now();
   ctx.charge(cost);
+  trace_access(ctx, "disk.write_run", t0);
   for (const auto& op : ops) {
     ++stats_.block_writes;
     std::copy(op.data.begin(), op.data.end(),

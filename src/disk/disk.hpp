@@ -56,6 +56,24 @@ struct DiskStats {
   std::uint64_t track_writes = 0;
   std::uint64_t positioning_ops = 0;
   sim::SimTime busy_time{0};
+
+  void reset() noexcept { *this = DiskStats{}; }
+
+  /// Publish counters under `prefix`, plus a `<prefix>.utilization` gauge
+  /// (busy_time / `elapsed` — pass the runtime's current virtual time).
+  void publish(obs::MetricsRegistry& registry, const std::string& prefix,
+               sim::SimTime elapsed) const;
+
+  /// Phase delta: activity since `b` was captured.
+  friend DiskStats operator-(DiskStats a, const DiskStats& b) noexcept {
+    a.block_reads -= b.block_reads;
+    a.block_writes -= b.block_writes;
+    a.track_reads -= b.track_reads;
+    a.track_writes -= b.track_writes;
+    a.positioning_ops -= b.positioning_ops;
+    a.busy_time -= b.busy_time;
+    return a;
+  }
 };
 
 /// One block of a same-track write run (see SimDisk::write_run).
@@ -75,6 +93,8 @@ class SimDisk {
 
   [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }
   [[nodiscard]] const DiskStats& stats() const noexcept { return stats_; }
+  /// Zero the counters (phase measurement without rebuilding the instance).
+  void reset_stats() noexcept { stats_.reset(); }
 
   /// Read one block.  Returns a copy of its contents.
   util::Result<std::vector<std::byte>> read(sim::Context& ctx, BlockAddr addr);

@@ -2,6 +2,18 @@
 
 namespace bridge::efs {
 
+void CacheStats::publish(obs::MetricsRegistry& registry,
+                         const std::string& prefix) const {
+  registry.counter(prefix + ".hits").set(hits);
+  registry.counter(prefix + ".misses").set(misses);
+  registry.counter(prefix + ".readahead_blocks").set(readahead_blocks);
+  registry.counter(prefix + ".dirty_evictions").set(dirty_evictions);
+  registry.counter(prefix + ".clean_evictions").set(clean_evictions);
+  registry.counter(prefix + ".coalesced_flush_blocks")
+      .set(coalesced_flush_blocks);
+  registry.gauge(prefix + ".hit_rate").set(hit_rate());
+}
+
 void BlockCache::touch(Entry& entry, disk::BlockAddr addr) {
   lru_.erase(entry.lru_pos);
   lru_.push_front(addr);
@@ -18,6 +30,7 @@ util::Result<std::span<const std::byte>> BlockCache::fetch(sim::Context& ctx,
   }
 
   ++stats_.misses;
+  sim::ScopedSpan miss_span(ctx, "cache.miss_fill");
   if (config_.track_readahead) {
     disk::BlockAddr track_start = 0;
     auto blocks = dev_.read_track(ctx, addr, &track_start);
@@ -95,6 +108,7 @@ util::Status BlockCache::flush_track(sim::Context& ctx, disk::BlockAddr addr) {
     flushed.push_back(&it->second);
   }
   if (ops.empty()) return util::ok_status();
+  sim::ScopedSpan flush_span(ctx, "cache.flush_track");
   if (auto st = dev_.write_run(ctx, ops); !st.is_ok()) return st;
   for (Entry* e : flushed) e->dirty = false;
   stats_.coalesced_flush_blocks += ops.size();

@@ -44,6 +44,22 @@ struct CacheStats {
     auto total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  void reset() noexcept { *this = CacheStats{}; }
+
+  /// Publish counters under `prefix`, plus a `<prefix>.hit_rate` gauge.
+  void publish(obs::MetricsRegistry& registry, const std::string& prefix) const;
+
+  /// Phase delta: activity since `b` was captured.
+  friend CacheStats operator-(CacheStats a, const CacheStats& b) noexcept {
+    a.hits -= b.hits;
+    a.misses -= b.misses;
+    a.readahead_blocks -= b.readahead_blocks;
+    a.dirty_evictions -= b.dirty_evictions;
+    a.clean_evictions -= b.clean_evictions;
+    a.coalesced_flush_blocks -= b.coalesced_flush_blocks;
+    return a;
+  }
 };
 
 class BlockCache {
@@ -76,6 +92,8 @@ class BlockCache {
   util::Status flush_track(sim::Context& ctx, disk::BlockAddr addr);
 
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  /// Zero the counters (phase measurement without rebuilding the instance).
+  void reset_stats() noexcept { stats_.reset(); }
   [[nodiscard]] std::size_t resident_blocks() const noexcept {
     return entries_.size();
   }

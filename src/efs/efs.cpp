@@ -25,6 +25,19 @@ std::vector<std::byte> payload_of(std::span<const std::byte> image) {
 
 }  // namespace
 
+void EfsOpStats::publish(obs::MetricsRegistry& registry,
+                         const std::string& prefix) const {
+  registry.counter(prefix + ".reads").set(reads);
+  registry.counter(prefix + ".writes").set(writes);
+  registry.counter(prefix + ".appends").set(appends);
+  registry.counter(prefix + ".creates").set(creates);
+  registry.counter(prefix + ".deletes").set(deletes);
+  registry.counter(prefix + ".truncates").set(truncates);
+  registry.counter(prefix + ".walk_steps").set(walk_steps);
+  registry.counter(prefix + ".hint_uses").set(hint_uses);
+  registry.counter(prefix + ".hint_rejects").set(hint_rejects);
+}
+
 EfsCore::EfsCore(disk::SimDisk& dev, EfsConfig config)
     : dev_(dev), config_(config), cache_(dev, config.cache) {
   // The track read-ahead path installs a whole track per miss; a cache

@@ -63,6 +63,11 @@ struct EfsOpStats {
   std::uint64_t walk_steps = 0;        ///< chain links traversed by locate()
   std::uint64_t hint_uses = 0;         ///< locates that started from a hint
   std::uint64_t hint_rejects = 0;      ///< hints that pointed at a wrong block
+
+  void reset() noexcept { *this = EfsOpStats{}; }
+
+  /// Publish counters under `prefix`.
+  void publish(obs::MetricsRegistry& registry, const std::string& prefix) const;
 };
 
 class EfsCore {

@@ -32,6 +32,22 @@ enum class MsgType : std::uint32_t {
   kTruncate = 0x108,
 };
 
+/// Stable op name for trace span labels ("efs.Read", ...).
+constexpr const char* efs_msg_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kCreate: return "efs.Create";
+    case MsgType::kDelete: return "efs.Delete";
+    case MsgType::kInfo: return "efs.Info";
+    case MsgType::kRead: return "efs.Read";
+    case MsgType::kWrite: return "efs.Write";
+    case MsgType::kSync: return "efs.Sync";
+    case MsgType::kReadMany: return "efs.ReadMany";
+    case MsgType::kWriteMany: return "efs.WriteMany";
+    case MsgType::kTruncate: return "efs.Truncate";
+  }
+  return "efs.Unknown";
+}
+
 struct CreateRequest {
   FileId file_id = kInvalidFileId;
   void encode(util::Writer& w) const { w.u32(file_id); }

@@ -25,9 +25,27 @@ void EfsServer::start() {
 }
 
 void EfsServer::serve(sim::Context& ctx) {
+  std::string lane = "lfs.n" + std::to_string(node_);
+  obs::Histogram& queue_us = rt_.metrics().histogram(lane + ".queue_us");
+  obs::Histogram& service_us = rt_.metrics().histogram(lane + ".service_us");
+  obs::Tracer& tracer = rt_.tracer();
   while (true) {
     sim::Envelope env = mailbox_->recv();
-    handle(ctx, env);
+    // Queue wait: wire latency + time the request sat behind earlier ones.
+    sim::SimTime queued = ctx.now() - env.sent_at;
+    queue_us.record(static_cast<std::uint64_t>(queued.us()));
+    if (tracer.enabled()) {
+      tracer.complete(node_, ctx.pid(), "efs.queue", env.sent_at.us(),
+                      queued.us(), env.trace);
+    }
+    sim::SimTime t0 = ctx.now();
+    {
+      // Service span parented under the caller's span via the envelope.
+      sim::ScopedSpan span(ctx, efs_msg_name(static_cast<MsgType>(env.type)),
+                           env.trace);
+      handle(ctx, env);
+    }
+    service_us.record(static_cast<std::uint64_t>((ctx.now() - t0).us()));
   }
 }
 

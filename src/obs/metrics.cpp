@@ -1,0 +1,154 @@
+#include "src/obs/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bridge::obs {
+
+bool globally_disabled() noexcept {
+  static const bool disabled = std::getenv("BRIDGE_OBS_DISABLED") != nullptr;
+  return disabled;
+}
+
+Histogram::Histogram() : enabled_(!globally_disabled()) {
+  std::memset(buckets_, 0, sizeof(buckets_));
+}
+
+namespace {
+// 4 sub-buckets per power-of-two octave.
+constexpr std::uint64_t kSubBuckets = 4;
+}  // namespace
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  auto msb = static_cast<std::uint32_t>(63 - std::countl_zero(value));
+  // (value >> (msb-2)) is in [4,8): the octave's sub-bucket plus 4.
+  std::size_t index = (msb - 2) * kSubBuckets +
+                      static_cast<std::size_t>(value >> (msb - 2));
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  std::size_t q = (index - kSubBuckets) / kSubBuckets;
+  std::size_t r = (index - kSubBuckets) % kSubBuckets;
+  return (std::uint64_t{1} << (q + 2)) + r * (std::uint64_t{1} << q);
+}
+
+void Histogram::record(std::uint64_t value_us) noexcept {
+  if (!enabled_) return;
+  ++buckets_[bucket_index(value_us)];
+  ++count_;
+  sum_ += value_us;
+  if (value_us > max_) max_ = value_us;
+}
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      std::uint64_t lo = bucket_lower_bound(i);
+      std::uint64_t hi = i + 1 < kBucketCount ? bucket_lower_bound(i + 1) : lo;
+      std::uint64_t mid = lo + (hi > lo ? (hi - lo - 1) / 2 : 0);
+      return mid < max_ ? mid : max_;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+namespace {
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    out += std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ':';
+    out += json_number(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ":{\"count\":" + std::to_string(h.count());
+    out += ",\"sum_us\":" + std::to_string(h.sum());
+    out += ",\"p50_us\":" + std::to_string(h.p50());
+    out += ",\"p95_us\":" + std::to_string(h.p95());
+    out += ",\"p99_us\":" + std::to_string(h.p99());
+    out += ",\"max_us\":" + std::to_string(h.max());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace bridge::obs

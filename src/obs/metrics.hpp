@@ -1,0 +1,126 @@
+// Unified metrics registry: named counters, gauges and virtual-time latency
+// histograms for the whole simulated machine.
+//
+// The registry is the one place every subsystem's numbers meet.  The ad-hoc
+// stat structs (DiskStats, CacheStats, BridgeServerStats, MessageStats, ...)
+// publish into it under per-node prefixes, and live code paths (server loops)
+// record request latencies into histograms directly — so a single
+// snapshot_json() call dumps the whole system, per node.
+//
+// Everything here counts VIRTUAL time and is driven by the deterministic
+// scheduler (one simulated process runs at a time), so no locking is needed
+// and snapshots are byte-identical across same-seed runs: names are kept in
+// sorted order (std::map) and all values are integers or fixed-format
+// doubles.
+//
+// BRIDGE_OBS_DISABLED: setting this environment variable turns every
+// histogram record into a no-op (counters/gauges are only written at
+// publish/snapshot time, which disabled runs never reach).  Since recording
+// charges no virtual time either way, simulated results never depend on it;
+// the switch exists to demonstrate the ~zero disabled overhead in wall time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace bridge::obs {
+
+/// True when the BRIDGE_OBS_DISABLED environment variable is set (checked
+/// once per process).  Tracer::enable() and Histogram::record honor it.
+bool globally_disabled() noexcept;
+
+/// Monotonic named counter.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept { value_ += n; }
+  void set(std::uint64_t n) noexcept { value_ = n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (utilization, hit rate, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed log-scale latency histogram over non-negative integer values
+/// (virtual microseconds by convention).
+///
+/// Buckets: values < 4 are exact; above that each power-of-two octave is
+/// split into 4 sub-buckets, so any percentile estimate is within ~12.5% of
+/// the true value while the whole histogram is 256 fixed slots — no
+/// allocation on the record path.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 256;
+
+  Histogram();
+
+  void record(std::uint64_t value_us) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+
+  /// Value at quantile q in [0,1] (bucket midpoint; 0 when empty).
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t p50() const noexcept { return percentile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const noexcept { return percentile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return percentile(0.99); }
+
+  void reset() noexcept;
+
+  /// Bucket index for `value` (exposed for tests).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Smallest value mapping to bucket `index` (exposed for tests).
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(std::size_t index) noexcept;
+
+ private:
+  std::uint64_t buckets_[kBucketCount];
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  bool enabled_ = true;  ///< false under BRIDGE_OBS_DISABLED
+};
+
+/// Name -> instrument registry.  Lookups create on first use; references
+/// stay valid for the registry's lifetime (std::map nodes are stable), so
+/// hot loops resolve their instruments once and record through the pointer.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+
+  /// One JSON object covering every instrument, keys sorted:
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  ///  "sum_us":..,"p50_us":..,"p95_us":..,"p99_us":..,"max_us":..},...}}
+  /// Deterministic: same instruments + same values => identical bytes.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Format a double for JSON output deterministically ("%.6g", with bare
+/// integers kept integral).  Shared by snapshot_json and the bench emitters.
+std::string json_number(double v);
+
+}  // namespace bridge::obs

@@ -1,0 +1,144 @@
+#include "src/obs/trace.hpp"
+
+#include <cstdio>
+
+#include "src/obs/metrics.hpp"
+
+namespace bridge::obs {
+
+void Tracer::enable() {
+  if (globally_disabled()) return;
+  enabled_ = true;
+}
+
+void Tracer::set_process_name(std::uint32_t node, std::uint64_t pid,
+                              std::string name) {
+  names_[{node, pid}] = std::move(name);
+}
+
+std::uint64_t Tracer::begin_span(std::uint32_t node, std::uint64_t pid,
+                                 std::string_view name, std::int64_t ts_us,
+                                 TraceContext parent) {
+  if (!enabled_) return 0;
+  OpenSpan span;
+  span.name.assign(name);
+  span.node = node;
+  span.start_us = ts_us;
+  span.span_id = next_id_++;
+  span.trace_id = parent.active() ? parent.trace_id : next_id_++;
+  span.parent_span = parent.parent_span;
+  stacks_[pid].push_back(std::move(span));
+  return stacks_[pid].back().span_id;
+}
+
+void Tracer::end_span(std::uint64_t pid, std::int64_t ts_us) {
+  if (!enabled_) return;
+  auto it = stacks_.find(pid);
+  if (it == stacks_.end() || it->second.empty()) return;
+  OpenSpan span = std::move(it->second.back());
+  it->second.pop_back();
+  events_.push_back(Event{'X', span.node, pid, std::move(span.name),
+                          span.start_us, ts_us - span.start_us, span.trace_id,
+                          span.span_id, span.parent_span});
+}
+
+void Tracer::complete(std::uint32_t node, std::uint64_t pid,
+                      std::string_view name, std::int64_t ts_us,
+                      std::int64_t dur_us, TraceContext parent) {
+  if (!enabled_) return;
+  events_.push_back(Event{'X', node, pid, std::string(name), ts_us, dur_us,
+                          parent.trace_id, next_id_++, parent.parent_span});
+}
+
+void Tracer::instant(std::uint32_t node, std::uint64_t pid,
+                     std::string_view name, std::int64_t ts_us) {
+  if (!enabled_) return;
+  events_.push_back(
+      Event{'i', node, pid, std::string(name), ts_us, 0, 0, next_id_++, 0});
+}
+
+TraceContext Tracer::current_context(std::uint64_t pid) const {
+  if (!enabled_) return {};
+  auto it = stacks_.find(pid);
+  if (it == stacks_.end() || it->second.empty()) return {};
+  const OpenSpan& top = it->second.back();
+  return TraceContext{top.trace_id, top.span_id};
+}
+
+namespace {
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  std::string out = "[\n";
+  bool first = true;
+  // Lane metadata first: process_name per node, thread_name per process.
+  std::map<std::uint32_t, bool> nodes_seen;
+  for (const auto& [key, name] : names_) {
+    auto [node, pid] = key;
+    if (!nodes_seen[node]) {
+      nodes_seen[node] = true;
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+             std::to_string(node) + ",\"tid\":0,\"args\":{\"name\":\"node" +
+             std::to_string(node) + "\"}}";
+    }
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(node) + ",\"tid\":" + std::to_string(pid) +
+           ",\"args\":{\"name\":";
+    append_quoted(out, name);
+    out += "}}";
+  }
+  for (const Event& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    append_quoted(out, ev.name);
+    out += ",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"ts\":" + std::to_string(ev.ts_us);
+    if (ev.phase == 'X') out += ",\"dur\":" + std::to_string(ev.dur_us);
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":" + std::to_string(ev.node);
+    out += ",\"tid\":" + std::to_string(ev.pid);
+    out += ",\"args\":{\"trace\":" + std::to_string(ev.trace_id);
+    out += ",\"span\":" + std::to_string(ev.span_id);
+    out += ",\"parent\":" + std::to_string(ev.parent_span);
+    out += "}}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+util::Status Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::internal_error("cannot open trace file: " + path);
+  }
+  std::string json = chrome_trace_json();
+  std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return util::internal_error("short write to trace file: " + path);
+  }
+  return util::ok_status();
+}
+
+void Tracer::clear() {
+  events_.clear();
+  stacks_.clear();
+  names_.clear();
+  next_id_ = 1;
+}
+
+}  // namespace bridge::obs

@@ -1,0 +1,119 @@
+// Deterministic virtual-time span tracer emitting Chrome trace_event JSON.
+//
+// Spans measure intervals of VIRTUAL time.  Because the scheduler admits
+// exactly one simulated process at a time, the tracer needs no locking and —
+// critically — span/trace ids can come from a plain monotonic counter: the
+// counter advances in scheduler dispatch order, which is deterministic, so
+// two runs with the same seed produce byte-identical trace files.  Nothing
+// here ever reads a wall clock or formats a pointer.
+//
+// Model:
+//  - A span is an interval on one process's lane (pid = node, tid = process
+//    id in the Chrome JSON; one lane per node/process).
+//  - Spans nest per process via an explicit stack; begin_span/end_span must
+//    pair (use sim::ScopedSpan for RAII).
+//  - A TraceContext {trace_id, parent_span} rides on every sim::Envelope, so
+//    a server handling a request parents its service span under the caller's
+//    span: one logical request = one trace across nodes.
+//  - Output is the Chrome trace_event "JSON array" flavor: open the file in
+//    Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// The tracer is disabled by default: begin/end/complete return immediately
+// and post() piggybacks a zero context, so the hot paths stay allocation
+// free.  enable() is a no-op when BRIDGE_OBS_DISABLED is set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.hpp"
+
+namespace bridge::obs {
+
+/// Propagated across RPC boundaries on the Envelope.  Zero means "no active
+/// trace" (tracing disabled, or the sender had no open span).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
+class Tracer {
+ public:
+  /// Start buffering events.  No-op when BRIDGE_OBS_DISABLED is set.
+  void enable();
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Lane naming: Chrome metadata events, emitted once per node/process at
+  /// write time.  Cheap; the Runtime registers every spawned process.
+  void set_process_name(std::uint32_t node, std::uint64_t pid,
+                        std::string name);
+
+  /// Open a span on (node,pid)'s lane.  If `parent` is inactive a fresh
+  /// trace id is allocated (this span is a trace root).  Returns the span id
+  /// (0 when disabled).  Must be balanced by end_span on the same pid.
+  std::uint64_t begin_span(std::uint32_t node, std::uint64_t pid,
+                           std::string_view name, std::int64_t ts_us,
+                           TraceContext parent = {});
+  void end_span(std::uint64_t pid, std::int64_t ts_us);
+
+  /// Record an already-measured interval (e.g. queue wait reconstructed from
+  /// the envelope's send time, or a disk access of known duration).
+  void complete(std::uint32_t node, std::uint64_t pid, std::string_view name,
+                std::int64_t ts_us, std::int64_t dur_us,
+                TraceContext parent = {});
+
+  /// Zero-duration marker on a lane.
+  void instant(std::uint32_t node, std::uint64_t pid, std::string_view name,
+               std::int64_t ts_us);
+
+  /// The context RPCs should piggyback: the innermost open span on `pid`'s
+  /// stack, or an inactive context.
+  [[nodiscard]] TraceContext current_context(std::uint64_t pid) const;
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+
+  /// Render the buffered events as Chrome trace_event JSON.  Deterministic:
+  /// byte-identical for identical event sequences.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// chrome_trace_json() to a file.
+  util::Status write_chrome_trace(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete, 'i' instant
+    std::uint32_t node;
+    std::uint64_t pid;
+    std::string name;
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+    std::uint64_t trace_id;
+    std::uint64_t span_id;
+    std::uint64_t parent_span;
+  };
+  struct OpenSpan {
+    std::string name;
+    std::uint32_t node;
+    std::int64_t start_us;
+    std::uint64_t trace_id;
+    std::uint64_t span_id;
+    std::uint64_t parent_span;
+  };
+
+  std::uint64_t next_id_ = 1;
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  std::map<std::uint64_t, std::vector<OpenSpan>> stacks_;  // pid -> open spans
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> names_;
+};
+
+}  // namespace bridge::obs

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/channel.hpp"
 #include "src/sim/runtime.hpp"
 #include "src/util/serde.hpp"
@@ -34,11 +35,18 @@ struct Address {
 
 /// One message.  `type` identifies the request/reply kind (each protocol
 /// defines its own enum); `correlation` matches replies to calls.
+///
+/// Two observability fields ride along (set by post(), free on the modeled
+/// wire): `trace` is the sender's trace context so servers can parent their
+/// service spans under the caller's span, and `sent_at` is the virtual send
+/// time so receivers can split queue wait from service time.
 struct Envelope {
   std::uint32_t type = 0;
   std::uint64_t correlation = 0;
   Address reply_to;
   std::vector<std::byte> payload;
+  obs::TraceContext trace;
+  SimTime sent_at{0};
 };
 
 /// Modeled fixed wire overhead of an envelope (headers, addressing).
@@ -69,12 +77,17 @@ inline Address decode_address(util::Reader& r) {
   return addr;
 }
 
-/// Deliver `env` to `dst`, modeling latency and accounting traffic.
+/// Deliver `env` to `dst`, modeling latency and accounting traffic.  The
+/// sender's trace context and the virtual send time are stamped on the
+/// envelope here, so every RPC boundary propagates them for free.
 inline void post(const Context& ctx, const Address& dst, Envelope env) {
   std::size_t bytes = env.payload.size() + kEnvelopeOverheadBytes;
   SimTime latency =
       ctx.runtime().topology().message_latency(ctx.node(), dst.node, bytes);
   ctx.runtime().account_message(ctx.node(), dst.node, bytes);
+  env.sent_at = ctx.now();
+  obs::Tracer& tracer = ctx.runtime().tracer();
+  if (tracer.enabled()) env.trace = tracer.current_context(ctx.pid());
   dst.box->send(std::move(env), latency);
 }
 
@@ -124,6 +137,9 @@ class RpcClient {
   util::Result<std::vector<std::byte>> call(const Address& service,
                                             std::uint32_t type,
                                             std::span<const std::byte> request) {
+    // Root span for the round trip: if the caller has no span open this
+    // starts a fresh trace, and the callee's spans parent under it.
+    ScopedSpan span(ctx_, "rpc.call");
     std::uint64_t corr = next_correlation_++;
     Envelope env;
     env.type = type;
@@ -169,6 +185,7 @@ class RpcClient {
   }
 
   [[nodiscard]] Address reply_address() noexcept { return reply_box_.address(); }
+  [[nodiscard]] Context& context() const noexcept { return ctx_; }
 
  private:
   Context& ctx_;
@@ -202,6 +219,9 @@ class AsyncBatch {
 
   /// Block until every reply has arrived; element i is call i's result.
   std::vector<util::Result<std::vector<std::byte>>> wait_all() {
+    // One span covering the whole reassembly wait: the gap between the
+    // fan-out and the slowest constituent's reply.
+    ScopedSpan span(rpc_->context(), "rpc.batch_wait");
     std::vector<util::Result<std::vector<std::byte>>> results;
     results.reserve(correlations_.size());
     for (auto corr : correlations_) {

@@ -29,6 +29,9 @@ ProcessHandle Runtime::spawn(NodeId node, std::string name,
       },
       delay);
   *slot = handle.get();
+  // Lane metadata for traces: every process gets a named lane even if the
+  // tracer is enabled later.
+  tracer_.set_process_name(node, handle.id(), handle.get()->name());
   return handle;
 }
 
@@ -51,6 +54,29 @@ void Context::sleep(SimTime d) const {
 
 Rng Context::rng() const {
   return Rng(rt_->seed() * 0x9e3779b97f4a7c15ULL + self_->id());
+}
+
+void MessageStats::publish(obs::MetricsRegistry& registry,
+                           const std::string& prefix) const {
+  registry.counter(prefix + ".local_messages").set(local_messages);
+  registry.counter(prefix + ".remote_messages").set(remote_messages);
+  registry.counter(prefix + ".local_bytes").set(local_bytes);
+  registry.counter(prefix + ".remote_bytes").set(remote_bytes);
+}
+
+ScopedSpan::ScopedSpan(const Context& ctx, std::string_view name,
+                       obs::TraceContext parent) {
+  obs::Tracer& tracer = ctx.runtime().tracer();
+  if (!tracer.enabled()) return;
+  ctx_ = &ctx;
+  if (!parent.active()) parent = tracer.current_context(ctx.pid());
+  id_ = tracer.begin_span(ctx.node(), ctx.pid(), name, ctx.now().us(), parent);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (ctx_ != nullptr) {
+    ctx_->runtime().tracer().end_span(ctx_->pid(), ctx_->now().us());
+  }
 }
 
 }  // namespace bridge::sim

@@ -11,6 +11,8 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/channel.hpp"
 #include "src/sim/rng.hpp"
 #include "src/sim/scheduler.hpp"
@@ -63,6 +65,19 @@ struct MessageStats {
   std::uint64_t remote_messages = 0;
   std::uint64_t local_bytes = 0;
   std::uint64_t remote_bytes = 0;
+
+  void reset() noexcept { *this = MessageStats{}; }
+  /// Publish counters under `prefix` (e.g. "interconnect").
+  void publish(obs::MetricsRegistry& registry, const std::string& prefix) const;
+
+  /// Phase delta: counters accumulated since `before` was captured.
+  friend MessageStats operator-(MessageStats a, const MessageStats& b) noexcept {
+    a.local_messages -= b.local_messages;
+    a.remote_messages -= b.remote_messages;
+    a.local_bytes -= b.local_bytes;
+    a.remote_bytes -= b.remote_bytes;
+    return a;
+  }
 };
 
 class Runtime {
@@ -97,10 +112,17 @@ class Runtime {
   [[nodiscard]] const MessageStats& message_stats() const noexcept {
     return msg_stats_;
   }
+  void reset_message_stats() noexcept { msg_stats_.reset(); }
 
   /// Record one message for the stats counters (called by Context::send and
   /// the RPC layer).
   void account_message(NodeId from, NodeId to, std::size_t bytes);
+
+  /// Unified metrics registry for this machine.  Server loops record latency
+  /// histograms into it live; stat structs publish into it on snapshot.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// Virtual-time span tracer (disabled until tracer().enable()).
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
 
  private:
   std::uint32_t num_nodes_;
@@ -108,6 +130,27 @@ class Runtime {
   std::uint64_t seed_;
   Scheduler sched_;
   MessageStats msg_stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+};
+
+/// RAII span on the calling process's lane: opens at construction time,
+/// closes at destruction, both stamped with virtual time.  A no-op when the
+/// runtime's tracer is disabled.  Nested ScopedSpans nest in the trace, and
+/// any RPC posted while one is open piggybacks it as the parent context.
+class ScopedSpan {
+ public:
+  ScopedSpan(const Context& ctx, std::string_view name,
+             obs::TraceContext parent = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  const Context* ctx_ = nullptr;
+  std::uint64_t id_ = 0;
 };
 
 template <typename T>

@@ -61,6 +61,12 @@ ProcessHandle Scheduler::spawn(NodeId node, std::string name,
   return ProcessHandle(p);
 }
 
+std::string Scheduler::log_context(void* process) {
+  auto* p = static_cast<Process*>(process);
+  return "[t=" + p->sched_.now().to_string() + " n" +
+         std::to_string(p->node_) + "/" + p->name_ + "]";
+}
+
 void Scheduler::process_main(Process& p) {
   {
     // Wait for the first dispatch (or teardown).
@@ -72,6 +78,8 @@ void Scheduler::process_main(Process& p) {
     }
     p.state_ = Process::State::kRunning;
   }
+  // Any log_line from this process carries its virtual time + node id.
+  util::set_thread_log_context(&Scheduler::log_context, &p);
   try {
     p.body_();
   } catch (const ProcessKilled&) {

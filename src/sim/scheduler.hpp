@@ -162,6 +162,9 @@ class Scheduler {
 
   void dispatch(const Event& ev, std::unique_lock<std::mutex>& lock);
   void process_main(Process& p);
+  /// util::log_line per-thread context provider: virtual timestamp + node id
+  /// of the simulated process (installed by process_main on its thread).
+  static std::string log_context(void* process);
 
   std::mutex mutex_;
   std::condition_variable controller_cv_;

@@ -12,6 +12,9 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mutex;
 
+thread_local std::string (*t_context_provider)(void*) = nullptr;
+thread_local void* t_context_arg = nullptr;
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -32,11 +35,29 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_thread_log_context(std::string (*provider)(void*), void* arg) noexcept {
+  t_context_provider = provider;
+  t_context_arg = arg;
+}
+
+std::string thread_log_context() {
+  return t_context_provider != nullptr ? t_context_provider(t_context_arg)
+                                       : std::string();
+}
+
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  std::string context = thread_log_context();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  if (context.empty()) {
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  } else {
+    std::fprintf(stderr, "[%s] %s %.*s: %.*s\n", level_name(level),
+                 context.c_str(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
 }
 
 const char* error_code_name(ErrorCode code) noexcept {

@@ -16,7 +16,21 @@ void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
 /// Emit one line to stderr: "[level] component: message".  Thread-safe.
+/// When the calling thread has a log context installed (the sim scheduler
+/// installs one on every simulated-process thread), the line becomes
+/// "[level] <context> component: message" — e.g. a virtual timestamp and
+/// node id — so warnings in test logs correlate with virtual-time traces.
 void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Install a per-thread context provider for log_line.  `provider(arg)` is
+/// called at log time on this thread; pass nullptr to restore the plain
+/// format.  A function pointer (not std::function) keeps installation free
+/// of allocation — it runs once per simulated process.
+void set_thread_log_context(std::string (*provider)(void*), void* arg) noexcept;
+
+/// The current thread's log context ("" when none installed).  Exposed so
+/// tests can assert on the prefix without capturing stderr.
+std::string thread_log_context();
 
 /// Stream-style helper: LogMessage(kWarn, "efs") << "bad block " << n;
 class LogMessage {

@@ -1,0 +1,161 @@
+// Metrics registry unit tests: log-scale bucket math, percentile accuracy
+// bounds, reset semantics, and snapshot determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+
+namespace bridge::obs {
+namespace {
+
+TEST(Histogram, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(v), v);
+  }
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 3u);
+}
+
+TEST(Histogram, BucketBoundsAreMonotoneAndConsistent) {
+  // Every bucket's lower bound must map back into that bucket, and bounds
+  // must strictly increase — the invariants percentile() relies on.
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "bucket " << i;
+    if (i > 0) {
+      EXPECT_GT(lo, prev) << "bucket " << i;
+    }
+    prev = lo;
+  }
+  // Values one below a boundary land in the previous bucket.
+  for (std::size_t i = 1; i < 200; ++i) {
+    std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(lo - 1), i - 1) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, RelativeErrorWithinOctaveSubdivision) {
+  // 4 sub-buckets per power-of-two octave: a bucket's width is at most 1/4
+  // of its lower bound, so a midpoint estimate is within ~12.5%.
+  for (std::uint64_t v : {5ull, 17ull, 100ull, 999ull, 12345ull, 1ull << 20,
+                          (1ull << 40) + 7}) {
+    std::size_t i = Histogram::bucket_index(v);
+    std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    std::uint64_t hi = Histogram::bucket_lower_bound(i + 1);
+    EXPECT_LE(lo, v);
+    EXPECT_LT(v, hi);
+    EXPECT_LE(hi - lo, lo / 4 + 1) << "value " << v;
+  }
+}
+
+TEST(Histogram, CountSumMaxAndPercentiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Percentiles are bucket midpoints: within 12.5% of the true value.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 500.0, 500.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(h.p95()), 950.0, 950.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 990.0, 990.0 * 0.125);
+  // Estimates never exceed the recorded max.
+  EXPECT_LE(h.percentile(1.0), 1000u);
+}
+
+TEST(Histogram, EmptyAndReset) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(Histogram, SingleValuePercentileIsItsBucket) {
+  Histogram h;
+  h.record(100);
+  std::size_t i = Histogram::bucket_index(100);
+  std::uint64_t lo = Histogram::bucket_lower_bound(i);
+  std::uint64_t hi = Histogram::bucket_lower_bound(i + 1);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(q), lo);
+    EXPECT_LE(h.percentile(q), hi);
+  }
+}
+
+TEST(MetricsRegistry, CreateOnUseAndFind) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("a.util").set(0.5);
+  registry.histogram("a.lat_us").record(10);
+
+  ASSERT_NE(registry.find_counter("a.count"), nullptr);
+  EXPECT_EQ(registry.find_counter("a.count")->value(), 3u);
+  ASSERT_NE(registry.find_gauge("a.util"), nullptr);
+  EXPECT_DOUBLE_EQ(registry.find_gauge("a.util")->value(), 0.5);
+  ASSERT_NE(registry.find_histogram("a.lat_us"), nullptr);
+  EXPECT_EQ(registry.find_histogram("a.lat_us")->count(), 1u);
+
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  EXPECT_EQ(registry.find_gauge("missing"), nullptr);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministicAndSorted) {
+  auto build = [](MetricsRegistry& registry, bool reverse_order) {
+    // Insert in different orders; std::map must render identically.
+    std::vector<std::string> names = {"z.ops", "a.ops", "m.ops"};
+    if (reverse_order) std::reverse(names.begin(), names.end());
+    for (const auto& n : names) registry.counter(n).add(7);
+    registry.gauge("disk.util").set(0.25);
+    registry.histogram("req_us").record(100);
+    registry.histogram("req_us").record(200);
+  };
+  MetricsRegistry a, b;
+  build(a, false);
+  build(b, true);
+  EXPECT_EQ(a.snapshot_json(), b.snapshot_json());
+
+  std::string json = a.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.ops\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  // Sorted: a.ops before m.ops before z.ops.
+  EXPECT_LT(json.find("\"a.ops\""), json.find("\"m.ops\""));
+  EXPECT_LT(json.find("\"m.ops\""), json.find("\"z.ops\""));
+}
+
+TEST(MetricsRegistry, ClearEmptiesEverything) {
+  MetricsRegistry registry;
+  registry.counter("c").add(1);
+  registry.histogram("h").record(1);
+  registry.clear();
+  EXPECT_EQ(registry.find_counter("c"), nullptr);
+  EXPECT_EQ(registry.find_histogram("h"), nullptr);
+}
+
+TEST(JsonNumber, IntegersStayIntegral) {
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(0.25), "0.25");
+  EXPECT_EQ(json_number(0.0), "0");
+}
+
+}  // namespace
+}  // namespace bridge::obs
