@@ -1,0 +1,235 @@
+// Ablation A11: adaptive end-to-end prefetch + SCAN disk scheduling.
+//
+// The paper's numbers come from a fixed track-level read-ahead and FIFO disk
+// service.  This bench asks what the two self-tuning mechanisms buy on top:
+//   - client/EFS adaptivity: the BufferedFileStream window and the EFS
+//     read-ahead depth both grow with observed sequential run length and
+//     collapse under random access, instead of using one fixed size;
+//   - SCAN: each LFS drains its mailbox into a RequestScheduler and serves
+//     in elevator order (bounded-wait aged) instead of arrival order.
+//
+// Four arms (fixed/adaptive x FIFO/SCAN) under a multi-client mix — several
+// sequential scanners plus a random reader hammering the same LFSs — swept
+// over p.  Every arm runs with a positional seek cost (seek_per_track > 0):
+// with the seed's flat 15 ms positioning model, service order cannot change
+// disk time, so a flat-model A/B would measure nothing.  The flat-model rows
+// of EXPERIMENTS.md are unaffected — this knob is enabled here only.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/core/buffered_stream.hpp"
+#include "src/efs/client.hpp"
+
+namespace bridge::bench {
+namespace {
+
+struct ArmResult {
+  double blocks_per_sec = 0;   ///< aggregate, mix completion-time based
+  double seq_ms_per_block = 0; ///< mean per-block cost seen by the scanners
+  double rand_ms_per_block = 0;
+  std::uint64_t reordered = 0; ///< scheduler pops that jumped the queue
+  std::uint64_t coalesced = 0;
+  std::uint64_t aged = 0;
+  std::uint64_t max_depth = 0;    ///< deepest per-LFS request queue seen
+  std::uint64_t deep_tracks = 0;  ///< extra read-ahead tracks requested
+  std::string metrics;
+};
+
+ArmResult run_arm(std::uint32_t p, bool adaptive, bool scan,
+                  std::uint64_t records, TraceOption* trace) {
+  const std::uint32_t scanners = 3;
+  const std::uint32_t randoms = 4;
+  auto cfg = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(2 * (scanners + 1) * records / p + 64));
+  // Positional disk model: order now matters (see header comment).
+  cfg.disk_latency.seek_per_track = sim::usec(500);
+  cfg.efs.readahead.adaptive = adaptive;
+  cfg.efs.sched.policy =
+      scan ? disk::SchedPolicy::kScan : disk::SchedPolicy::kFifo;
+  core::BridgeInstance inst(cfg);
+  if (trace != nullptr) trace->arm(inst);
+
+  for (std::uint32_t c = 0; c < scanners; ++c) {
+    fill_random_file(inst, "seq" + std::to_string(c), records, c);
+  }
+  // The random readers' file interleaves over only TWO LFSs: a deliberate
+  // hotspot, so those two queues hold a scanner run and several scattered
+  // reads at once — the ordering problem SCAN exists to solve.
+  inst.run_client("mkrand", [&](sim::Context&, core::BridgeClient& client) {
+    core::CreateOptions narrow;
+    narrow.width = 2;
+    if (!client.create("rand", narrow).is_ok()) return;
+    auto open = client.open("rand");
+    if (!open.is_ok()) return;
+    for (std::uint64_t i = 0; i < records; ++i) {
+      if (!client.seq_write(open.value().session, keyed_record(i)).is_ok()) {
+        return;
+      }
+    }
+  });
+  inst.run();
+
+  const std::uint32_t clients = scanners + randoms;
+  std::vector<sim::SimTime> started(clients), done(clients);
+  std::vector<std::uint64_t> blocks_read(clients, 0);
+
+  for (std::uint32_t c = 0; c < scanners; ++c) {
+    inst.run_client(
+        "scan" + std::to_string(c),
+        [&, c](sim::Context& ctx, core::BridgeClient& client) {
+          started[c] = ctx.now();
+          auto open = client.open("seq" + std::to_string(c));
+          if (!open.is_ok()) return;
+          core::BufferedStreamOptions opts;
+          opts.adaptive = adaptive;
+          if (adaptive) opts.read_window = 4;  // start small, earn the rest
+          core::BufferedFileStream stream(client, open.value().session, opts);
+          for (std::uint64_t i = 0; i < records; ++i) {
+            auto r = stream.read();
+            if (!r.is_ok() || r.value().eof) return;
+            ++blocks_read[c];
+          }
+          done[c] = ctx.now();
+        });
+  }
+  // The random readers go TOOL-view: straight to the LFSs, like the paper's
+  // sort and copy tools.  The Bridge Server serializes the requests it
+  // mediates, so only direct traffic makes several requests contend in one
+  // LFS queue — the contention SCAN exists to untangle, and the access
+  // pattern whose read-ahead adaptivity must collapse, not amplify.
+  for (std::uint32_t j = 0; j < randoms; ++j) {
+    inst.run_client(
+        "rand" + std::to_string(j),
+        [&, j](sim::Context& ctx, core::BridgeClient& client) {
+          const std::uint32_t c = scanners + j;
+          started[c] = ctx.now();
+          auto open = client.open("rand");
+          if (!open.is_ok()) return;
+          auto info = client.get_info();
+          if (!info.is_ok()) return;
+          sim::Rng rng(7 + j);
+          for (std::uint64_t i = 0; i < records; ++i) {
+            // width-2 interleave: global block g = (LFS g % 2, local g / 2).
+            std::uint64_t g = rng.next_below(records);
+            efs::EfsClient lfs(
+                client.rpc(),
+                info.value().lfs_services[static_cast<std::size_t>(g % 2)]);
+            auto r = lfs.read(open.value().meta.lfs_file_id,
+                              static_cast<std::uint32_t>(g / 2));
+            if (!r.is_ok()) return;
+            ++blocks_read[c];
+          }
+          done[c] = ctx.now();
+        });
+  }
+  inst.run();
+
+  ArmResult out;
+  sim::SimTime start_min = started[0], end_max{0};
+  std::uint64_t total_blocks = 0;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    start_min = std::min(start_min, started[c]);
+    end_max = std::max(end_max, done[c]);
+    total_blocks += blocks_read[c];
+  }
+  double seconds = (end_max - start_min).sec();
+  out.blocks_per_sec =
+      seconds <= 0 ? 0 : static_cast<double>(total_blocks) / seconds;
+  double seq_blocks = 0, seq_ms = 0;
+  for (std::uint32_t c = 0; c < scanners; ++c) {
+    seq_blocks += static_cast<double>(blocks_read[c]);
+    seq_ms += (done[c] - started[c]).ms();
+  }
+  out.seq_ms_per_block = seq_blocks <= 0 ? 0 : seq_ms / seq_blocks;
+  double rand_blocks = 0, rand_ms = 0;
+  for (std::uint32_t c = scanners; c < clients; ++c) {
+    rand_blocks += static_cast<double>(blocks_read[c]);
+    rand_ms += (done[c] - started[c]).ms();
+  }
+  out.rand_ms_per_block = rand_blocks <= 0 ? 0 : rand_ms / rand_blocks;
+  for (std::uint32_t i = 0; i < p; ++i) {
+    const auto& s = inst.lfs(i).sched_stats();
+    out.reordered += s.reordered;
+    out.coalesced += s.coalesced;
+    out.aged += s.aged;
+    out.max_depth = std::max(out.max_depth, s.max_queue_depth);
+    out.deep_tracks += inst.lfs(i).core().op_stats().deep_readahead_tracks;
+  }
+  out.metrics = inst.metrics_summary_json();
+  if (trace != nullptr) trace->capture();
+  return out;
+}
+
+}  // namespace
+}  // namespace bridge::bench
+
+int main(int argc, char** argv) {
+  using namespace bridge::bench;
+  std::uint64_t records = flag_value(argc, argv, "records", 96);
+  std::uint64_t max_p = flag_value(argc, argv, "max-p", 16);
+  JsonReporter json(argc, argv);
+  TraceOption trace(argc, argv);
+
+  print_header("Ablation A11: adaptive prefetch + SCAN disk scheduling");
+  std::printf(
+      "3 sequential scanners (naive view) + 4 random tool-view readers\n"
+      "hammering a width-2 hotspot file, %llu blocks each; all arms use a\n"
+      "positional seek model (500 us/track on top of the 15 ms access\n"
+      "latency); fixed arm: 16-block window, depth-1 readahead\n\n",
+      static_cast<unsigned long long>(records));
+  std::printf("%-3s %-8s %-6s | %12s | %11s | %11s | %9s %9s %6s %5s %10s\n",
+              "p", "window", "disk", "agg blk/s", "seq ms/blk", "rand ms/blk",
+              "reordered", "coalesced", "aged", "maxq", "deep-tracks");
+  std::printf("---------------------+--------------+-------------+------------"
+              "-+-----------------------------------------------\n");
+
+  double fixed_fifo_p8 = 0, adaptive_scan_p8 = 0;
+  for (std::uint32_t p = 4; p <= max_p; p *= 2) {
+    for (bool adaptive : {false, true}) {
+      for (bool scan : {false, true}) {
+        auto r = run_arm(p, adaptive, scan, records, &trace);
+        std::printf(
+            "%-3u %-8s %-6s | %12.1f | %11.2f | %11.2f | %9llu %9llu %6llu "
+            "%5llu %10llu\n",
+            p, adaptive ? "adaptive" : "fixed", scan ? "SCAN" : "FIFO",
+            r.blocks_per_sec, r.seq_ms_per_block, r.rand_ms_per_block,
+            static_cast<unsigned long long>(r.reordered),
+            static_cast<unsigned long long>(r.coalesced),
+            static_cast<unsigned long long>(r.aged),
+            static_cast<unsigned long long>(r.max_depth),
+            static_cast<unsigned long long>(r.deep_tracks));
+        if (p == 8 && !adaptive && !scan) fixed_fifo_p8 = r.blocks_per_sec;
+        if (p == 8 && adaptive && scan) adaptive_scan_p8 = r.blocks_per_sec;
+        json.emit("ablation_prefetch",
+                  {{"p", p},
+                   {"adaptive", adaptive ? 1.0 : 0.0},
+                   {"scan", scan ? 1.0 : 0.0},
+                   {"records", static_cast<double>(records)},
+                   {"blocks_per_sec", r.blocks_per_sec},
+                   {"seq_ms_per_block", r.seq_ms_per_block},
+                   {"rand_ms_per_block", r.rand_ms_per_block},
+                   {"sched_reordered", static_cast<double>(r.reordered)},
+                   {"sched_coalesced", static_cast<double>(r.coalesced)},
+                   {"sched_aged", static_cast<double>(r.aged)},
+                   {"sched_max_queue_depth", static_cast<double>(r.max_depth)},
+                   {"deep_readahead_tracks", static_cast<double>(r.deep_tracks)}},
+                  r.metrics);
+      }
+    }
+  }
+
+  std::printf(
+      "\nshape checks: SCAN only reorders under contention, so its win grows\n"
+      "with the queue depth the random reader induces; adaptive windows beat\n"
+      "the fixed 16-block window once scans run long enough to earn maximal\n"
+      "runs, while the random reader's depth collapses to single blocks.\n"
+      "adaptive+SCAN must beat fixed+FIFO at p=8");
+  if (fixed_fifo_p8 > 0 && adaptive_scan_p8 > 0) {
+    std::printf(": %.1f vs %.1f blk/s (%+.1f%%)\n", adaptive_scan_p8,
+                fixed_fifo_p8,
+                100.0 * (adaptive_scan_p8 / fixed_fifo_p8 - 1.0));
+  } else {
+    std::printf(" (sweep p=8 to check).\n");
+  }
+  return 0;
+}

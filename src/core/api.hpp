@@ -53,6 +53,11 @@ class BridgeApi {
   virtual util::Result<RandomReadManyResponse> random_read_many(
       BridgeFileId id, std::uint64_t first_block, std::uint32_t count) = 0;
 
+  /// Reposition a session's sequential read cursor (clamped to the file
+  /// size).  Returns the cursor after the seek.
+  virtual util::Result<std::uint64_t> seq_seek(std::uint64_t session,
+                                               std::uint64_t block_no) = 0;
+
   /// Shrink file `id` to `new_size_blocks` (growing is an error; equal is a
   /// no-op).  The server fans per-constituent truncates to every involved
   /// LFS and clamps open-session cursors.  Rejected for members of a

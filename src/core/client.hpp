@@ -112,6 +112,14 @@ class BridgeClient final : public BridgeApi {
     return util::decode_from_bytes<RandomReadManyResponse>(reply.value());
   }
 
+  util::Result<std::uint64_t> seq_seek(std::uint64_t session,
+                                       std::uint64_t block_no) override {
+    SeqSeekRequest req{session, block_no};
+    auto reply = call(BridgeMsg::kSeqSeek, util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<SeqSeekResponse>(reply.value()).block_no;
+  }
+
   util::Result<std::uint64_t> truncate(BridgeFileId id,
                                        std::uint64_t new_size_blocks) override {
     TruncateFileRequest req{id, new_size_blocks};

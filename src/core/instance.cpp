@@ -100,6 +100,7 @@ void BridgeInstance::publish_metrics() {
     core.device().stats().publish(registry, "disk" + n, elapsed);
     core.cache_stats().publish(registry, "cache" + n);
     core.op_stats().publish(registry, "efs" + n);
+    lfs_servers_[i]->sched_stats().publish(registry, "sched" + n);
   }
   for (auto& server : bridges_) {
     server->stats().publish(registry,

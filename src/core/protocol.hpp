@@ -56,6 +56,10 @@ enum class BridgeMsg : std::uint32_t {
   /// truncates to the constituents and keeping the server's PlacementMap /
   /// size bookkeeping in step (ROADMAP "Naive-API truncate").
   kTruncate = 0x210,
+  /// Extension: reposition a session's sequential read cursor (clamped to
+  /// the file size).  Lets window-buffered readers (BufferedFileStream)
+  /// serve random-access programs without reopening the file.
+  kSeqSeek = 0x211,
   // Server -> worker messages for parallel jobs:
   kWorkerData = 0x280,  ///< one-way block delivery (parallel read)
   kWorkerGive = 0x281,  ///< request/reply block solicitation (parallel write)
@@ -81,6 +85,7 @@ constexpr const char* bridge_msg_name(BridgeMsg type) noexcept {
     case BridgeMsg::kSeqWriteMany: return "bridge.SeqWriteMany";
     case BridgeMsg::kRandomReadMany: return "bridge.RandomReadMany";
     case BridgeMsg::kTruncate: return "bridge.Truncate";
+    case BridgeMsg::kSeqSeek: return "bridge.SeqSeek";
     case BridgeMsg::kWorkerData: return "bridge.WorkerData";
     case BridgeMsg::kWorkerGive: return "bridge.WorkerGive";
   }
@@ -353,6 +358,29 @@ struct SeqWriteManyResponse {
     resp.count = r.u32();
     return resp;
   }
+};
+
+/// Reposition a session's sequential read cursor to `block_no` (clamped to
+/// the file size, so seeking past EOF parks the cursor at EOF).
+struct SeqSeekRequest {
+  std::uint64_t session = 0;
+  std::uint64_t block_no = 0;
+  void encode(util::Writer& w) const {
+    w.u64(session);
+    w.u64(block_no);
+  }
+  static SeqSeekRequest decode(util::Reader& r) {
+    SeqSeekRequest req;
+    req.session = r.u64();
+    req.block_no = r.u64();
+    return req;
+  }
+};
+
+struct SeqSeekResponse {
+  std::uint64_t block_no = 0;  ///< cursor position after the (clamped) seek
+  void encode(util::Writer& w) const { w.u64(block_no); }
+  static SeqSeekResponse decode(util::Reader& r) { return {r.u64()}; }
 };
 
 /// Random read of `count` consecutive blocks starting at `first_block`.

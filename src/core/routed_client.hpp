@@ -107,6 +107,11 @@ class RoutedBridgeClient final : public BridgeApi {
     return clients_[it->second]->random_read_many(id, first_block, count);
   }
 
+  util::Result<std::uint64_t> seq_seek(std::uint64_t session,
+                                       std::uint64_t block_no) override {
+    return clients_[owner(session)]->seq_seek(untag(session), block_no);
+  }
+
   util::Result<std::uint64_t> truncate(
       BridgeFileId id, std::uint64_t new_size_blocks) override {
     auto it = id_home_.find(id);

@@ -102,6 +102,7 @@ void BridgeServer::handle(Wire& wire, const sim::Envelope& env) {
       case BridgeMsg::kRandomReadMany:
         return handle_random_read_many(wire, env);
       case BridgeMsg::kTruncate: return handle_truncate(wire, env);
+      case BridgeMsg::kSeqSeek: return handle_seq_seek(wire, env);
       default: break;
     }
     sim::send_reply(wire.ctx, env,
@@ -734,6 +735,27 @@ void BridgeServer::handle_random_read_many(Wire& wire,
   auto run = read_run(wire, *record, req.first_block, req.count);
   if (!run.is_ok()) return sim::send_reply(wire.ctx, env, run.status());
   RandomReadManyResponse resp{std::move(run).value()};
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_seq_seek(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = SeqSeekRequest::decode(r);
+  auto it = sessions_.find(req.session);
+  if (it == sessions_.end()) {
+    return sim::send_reply(wire.ctx, env, util::not_found("no such session"));
+  }
+  Session& session = it->second;
+  FileRecord* record = find_by_name(session.name);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env,
+                           util::not_found("file deleted: " + session.name));
+  }
+  // Clamp instead of failing: seeking to (or past) EOF is how a reader
+  // positions for "read returns eof", mirroring lseek semantics.
+  session.read_cursor =
+      std::min<std::uint64_t>(req.block_no, record->placement.size_blocks());
+  SeqSeekResponse resp{session.read_cursor};
   sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
 }
 

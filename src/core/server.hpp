@@ -129,6 +129,7 @@ class BridgeServer {
   void handle_seq_write_many(Wire& wire, const sim::Envelope& env);
   void handle_random_read_many(Wire& wire, const sim::Envelope& env);
   void handle_truncate(Wire& wire, const sim::Envelope& env);
+  void handle_seq_seek(Wire& wire, const sim::Envelope& env);
   void handle_parallel_open(Wire& wire, const sim::Envelope& env);
   void handle_parallel_read(Wire& wire, const sim::Envelope& env);
   void handle_parallel_write(Wire& wire, const sim::Envelope& env);

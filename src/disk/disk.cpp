@@ -44,14 +44,26 @@ util::Status SimDisk::check_addr(BlockAddr addr) const {
   return util::ok_status();
 }
 
+sim::SimTime SimDisk::positioning_cost(BlockAddr addr) const {
+  sim::SimTime cost = latency_.access_latency;
+  if (latency_.seek_per_track > sim::SimTime{0} && last_addr_ != kNilAddr) {
+    std::uint32_t from = geometry_.track_of(last_addr_);
+    std::uint32_t to = geometry_.track_of(addr);
+    std::uint32_t distance = from > to ? from - to : to - from;
+    cost += latency_.seek_per_track * static_cast<std::int64_t>(distance);
+  }
+  return cost;
+}
+
 void SimDisk::charge_positioning(sim::Context& ctx, BlockAddr addr) {
   bool sequential = latency_.sequential_discount && last_addr_ != kNilAddr &&
                     addr == last_addr_ + 1 &&
                     geometry_.track_of(addr) == geometry_.track_of(last_addr_);
   if (!sequential) {
+    sim::SimTime seek = positioning_cost(addr);
     ++stats_.positioning_ops;
-    stats_.busy_time += latency_.access_latency;
-    ctx.charge(latency_.access_latency);
+    stats_.busy_time += seek;
+    ctx.charge(seek);
   }
   stats_.busy_time += latency_.transfer_per_block;
   ctx.charge(latency_.transfer_per_block);
@@ -95,7 +107,7 @@ util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_track(
   // One positioning op, then the whole track streams past the head.
   ++stats_.positioning_ops;
   ++stats_.track_reads;
-  sim::SimTime cost = latency_.access_latency +
+  sim::SimTime cost = positioning_cost(addr) +
                       latency_.transfer_per_block *
                           static_cast<std::int64_t>(geometry_.blocks_per_track);
   stats_.busy_time += cost;
@@ -107,6 +119,40 @@ util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_track(
   std::vector<std::vector<std::byte>> blocks;
   blocks.reserve(geometry_.blocks_per_track);
   for (std::uint32_t i = 0; i < geometry_.blocks_per_track; ++i) {
+    auto begin = store_.begin() +
+                 static_cast<std::ptrdiff_t>(first + i) * geometry_.block_size;
+    blocks.emplace_back(begin, begin + geometry_.block_size);
+    stats_.block_reads++;
+  }
+  return blocks;
+}
+
+util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_tracks(
+    sim::Context& ctx, BlockAddr addr, std::uint32_t num_tracks,
+    BlockAddr* track_start) {
+  if (auto st = check_addr(addr); !st.is_ok()) return st;
+  if (num_tracks == 0) return util::invalid_argument("read_tracks of 0 tracks");
+  std::uint32_t track = geometry_.track_of(addr);
+  num_tracks = std::min(num_tracks, geometry_.num_tracks - track);
+  BlockAddr first = track * geometry_.blocks_per_track;
+  if (track_start != nullptr) *track_start = first;
+
+  std::uint32_t total_blocks = num_tracks * geometry_.blocks_per_track;
+  sim::SimTime cost =
+      positioning_cost(addr) +
+      latency_.transfer_per_block * static_cast<std::int64_t>(total_blocks) +
+      latency_.track_switch * static_cast<std::int64_t>(num_tracks - 1);
+  ++stats_.positioning_ops;
+  stats_.track_reads += num_tracks;
+  stats_.busy_time += cost;
+  sim::SimTime t0 = ctx.now();
+  ctx.charge(cost);
+  trace_access(ctx, "disk.read_tracks", t0);
+  last_addr_ = first + total_blocks - 1;
+
+  std::vector<std::vector<std::byte>> blocks;
+  blocks.reserve(total_blocks);
+  for (std::uint32_t i = 0; i < total_blocks; ++i) {
     auto begin = store_.begin() +
                  static_cast<std::ptrdiff_t>(first + i) * geometry_.block_size;
     blocks.emplace_back(begin, begin + geometry_.block_size);
@@ -132,7 +178,7 @@ util::Status SimDisk::write_run(sim::Context& ctx,
   // One positioning op, then every block lands as the track streams past.
   ++stats_.positioning_ops;
   ++stats_.track_writes;
-  sim::SimTime cost = latency_.access_latency +
+  sim::SimTime cost = positioning_cost(ops.front().addr) +
                       latency_.transfer_per_block *
                           static_cast<std::int64_t>(ops.size());
   stats_.busy_time += cost;

@@ -47,6 +47,14 @@ struct LatencyModel {
   /// If true, an access to the block immediately following the previous one
   /// on the same track skips the positioning delay (head is already there).
   bool sequential_discount = false;
+  /// Distance-dependent seek component added on top of access_latency:
+  /// seek_per_track * |track - previous track|.  Zero (the default) keeps
+  /// the paper's flat positioning charge; the scheduling ablation enables it
+  /// so head-travel order becomes visible in the makespan.
+  sim::SimTime seek_per_track{0};
+  /// Head movement between adjacent tracks inside one multi-track read
+  /// (read_tracks); far cheaper than a full positioning op.
+  sim::SimTime track_switch = sim::msec(1.0);
 };
 
 struct DiskStats {
@@ -85,8 +93,10 @@ struct WriteOp {
 /// An in-memory simulated disk.  All timed operations must be invoked from a
 /// simulated process (they charge virtual time through the Context).
 /// A SimDisk is owned and accessed by exactly one server process, matching
-/// the paper's one-disk-per-LFS-node structure, so no internal locking or
-/// request queueing is modeled.
+/// the paper's one-disk-per-LFS-node structure, so no internal locking is
+/// needed.  Request queueing lives one level up: the owning server drains
+/// its mailbox into a disk::RequestScheduler (sched.hpp) and serves requests
+/// in SCAN order, so the device itself stays a pure latency model.
 class SimDisk {
  public:
   SimDisk(Geometry geometry, LatencyModel latency);
@@ -109,12 +119,28 @@ class SimDisk {
   util::Result<std::vector<std::vector<std::byte>>> read_track(
       sim::Context& ctx, BlockAddr addr, BlockAddr* track_start);
 
+  /// Read `num_tracks` consecutive whole tracks starting with the one
+  /// containing `addr`, in one sweep: one positioning latency, then each
+  /// track streams past at transfer speed with a cheap track_switch hop
+  /// between adjacent tracks.  Deep read-ahead uses this so prefetching N
+  /// tracks costs far less than N independent read_track calls.  The count
+  /// is clamped to the end of the device; blocks return in address order.
+  util::Result<std::vector<std::vector<std::byte>>> read_tracks(
+      sim::Context& ctx, BlockAddr addr, std::uint32_t num_tracks,
+      BlockAddr* track_start);
+
   /// Write several blocks of ONE track in a single revolution: one
   /// positioning latency + one transfer time per block — the write-side
   /// mirror of read_track.  All ops must address the same track and carry
   /// exactly block_size bytes; violations fail before any time is charged
   /// or any byte lands.
   util::Status write_run(sim::Context& ctx, std::span<const WriteOp> ops);
+
+  /// Track under the head after the last access (0 before any access).
+  /// The request scheduler seeds its SCAN sweep from here.
+  [[nodiscard]] std::uint32_t current_track() const noexcept {
+    return last_addr_ == kNilAddr ? 0 : geometry_.track_of(last_addr_);
+  }
 
   /// Fault injection: after fail(), every operation returns kUnavailable
   /// until repair() is called.  Used by the fault-tolerance benches.
@@ -136,6 +162,9 @@ class SimDisk {
  private:
   util::Status check_addr(BlockAddr addr) const;
   void charge_positioning(sim::Context& ctx, BlockAddr addr);
+  /// Positioning cost to reach `addr` from the current head position:
+  /// access_latency plus the distance-dependent seek component (if any).
+  [[nodiscard]] sim::SimTime positioning_cost(BlockAddr addr) const;
 
   Geometry geometry_;
   LatencyModel latency_;

@@ -1,0 +1,95 @@
+#include "src/disk/sched.hpp"
+
+#include <algorithm>
+
+namespace bridge::disk {
+
+void SchedStats::publish(obs::MetricsRegistry& registry,
+                         const std::string& prefix) const {
+  registry.counter(prefix + ".enqueued").set(enqueued);
+  registry.counter(prefix + ".reordered").set(reordered);
+  registry.counter(prefix + ".coalesced").set(coalesced);
+  registry.counter(prefix + ".aged").set(aged);
+  registry.counter(prefix + ".max_queue_depth").set(max_queue_depth);
+}
+
+void RequestScheduler::push(sim::Envelope env, std::uint32_t track,
+                            sim::SimTime now) {
+  Item item;
+  item.env = std::move(env);
+  item.track = track;
+  item.seq = next_seq_++;
+  item.enqueued_at = now;
+  queue_.push_back(std::move(item));
+  ++stats_.enqueued;
+  stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth,
+                                                   queue_.size());
+}
+
+std::size_t RequestScheduler::pick_fifo() const {
+  // push() appends in arrival order and pops erase, so the oldest request is
+  // always at the front.
+  return 0;
+}
+
+std::size_t RequestScheduler::pick_scan(std::uint32_t head_track) {
+  // Bounded wait: an over-bypassed request preempts the sweep (oldest first).
+  std::size_t aged = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].bypassed < config_.max_bypass) continue;
+    if (aged == queue_.size() || queue_[i].seq < queue_[aged].seq) aged = i;
+  }
+  if (aged != queue_.size()) {
+    ++stats_.aged;
+    return aged;
+  }
+
+  // Elevator: nearest request in the sweep direction; reverse when the
+  // direction is exhausted.  Ties (same track) break on arrival order.
+  auto nearest = [&](bool up) -> std::size_t {
+    std::size_t best = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Item& item = queue_[i];
+      if (up ? item.track < head_track : item.track > head_track) continue;
+      if (best == queue_.size()) {
+        best = i;
+        continue;
+      }
+      const Item& cur = queue_[best];
+      std::uint32_t di = up ? item.track - head_track : head_track - item.track;
+      std::uint32_t dc = up ? cur.track - head_track : head_track - cur.track;
+      if (di < dc || (di == dc && item.seq < cur.seq)) best = i;
+    }
+    return best;
+  };
+
+  std::size_t best = nearest(scan_up_);
+  if (best == queue_.size()) {
+    scan_up_ = !scan_up_;
+    best = nearest(scan_up_);
+  }
+  return best;  // both directions cover all tracks, so best is valid here
+}
+
+RequestScheduler::Popped RequestScheduler::pop(std::uint32_t head_track) {
+  std::size_t chosen = config_.policy == SchedPolicy::kScan
+                           ? pick_scan(head_track)
+                           : pick_fifo();
+  Item item = std::move(queue_[chosen]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(chosen));
+
+  bool jumped = false;
+  for (Item& waiting : queue_) {
+    if (waiting.seq < item.seq) {
+      ++waiting.bypassed;
+      jumped = true;
+    }
+  }
+  if (jumped) ++stats_.reordered;
+  if (last_track_ && *last_track_ == item.track) ++stats_.coalesced;
+  last_track_ = item.track;
+
+  return Popped{std::move(item.env), item.track, item.enqueued_at};
+}
+
+}  // namespace bridge::disk

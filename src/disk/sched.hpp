@@ -1,0 +1,104 @@
+// Disk-request scheduler: SCAN/elevator ordering with bounded-wait aging.
+//
+// A SimDisk owner (the EFS server) drains its mailbox into one of these and
+// serves requests in the order pop() dictates, instead of arrival order.
+// SCAN sweeps the head across the tracks in one direction, serving every
+// queued request it passes, then reverses — the classic elevator — so
+// overlapping vectored runs from several clients cost one traversal instead
+// of thrashing between their tracks.  An aging bound keeps outliers from
+// starving: once max_bypass later-arriving requests have jumped a queued one,
+// it becomes the mandatory next pick.
+//
+// Everything here is deterministic: ties break on arrival sequence, no
+// wall-clock or randomness is consulted, so same-seed simulations pop in
+// byte-identical order (the trace-determinism guarantee extends through the
+// scheduler).
+//
+// The kFifo policy pops in exact arrival order — with it the owning server
+// behaves precisely as if no scheduler existed, which is both the default
+// (existing timings stay untouched) and the A/B baseline for the
+// ablation_prefetch bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/sim/rpc.hpp"
+#include "src/sim/time.hpp"
+
+namespace bridge::disk {
+
+enum class SchedPolicy : std::uint8_t {
+  kFifo = 0,  ///< arrival order (today's behavior; A/B baseline)
+  kScan = 1,  ///< elevator order over estimated target tracks
+};
+
+struct SchedConfig {
+  SchedPolicy policy = SchedPolicy::kFifo;
+  /// Bounded wait: after this many later arrivals have been served ahead of
+  /// a queued request, it is served next regardless of head position.
+  std::uint32_t max_bypass = 8;
+};
+
+struct SchedStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t reordered = 0;   ///< pops that jumped at least one older request
+  std::uint64_t coalesced = 0;   ///< pops landing on the track just served
+  std::uint64_t aged = 0;        ///< forced picks from the bounded-wait rule
+  std::uint64_t max_queue_depth = 0;
+
+  void reset() noexcept { *this = SchedStats{}; }
+
+  /// Publish counters under `prefix` (e.g. "sched.n3").
+  void publish(obs::MetricsRegistry& registry, const std::string& prefix) const;
+};
+
+class RequestScheduler {
+ public:
+  explicit RequestScheduler(SchedConfig config) : config_(config) {}
+
+  /// Queue a request estimated to land on `track`; `now` stamps the
+  /// enqueue so the owner can histogram scheduler wait at pop time.
+  void push(sim::Envelope env, std::uint32_t track, sim::SimTime now);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return queue_.size(); }
+
+  struct Popped {
+    sim::Envelope env;
+    std::uint32_t track = 0;
+    sim::SimTime enqueued_at{0};
+  };
+
+  /// Remove and return the next request to serve.  `head_track` is where
+  /// the disk head currently sits (SimDisk::current_track); SCAN continues
+  /// its sweep from there.  Precondition: !empty().
+  Popped pop(std::uint32_t head_track);
+
+  [[nodiscard]] const SchedStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ private:
+  struct Item {
+    sim::Envelope env;
+    std::uint32_t track = 0;
+    std::uint64_t seq = 0;        ///< arrival order (deterministic tie-break)
+    std::uint32_t bypassed = 0;   ///< later arrivals served ahead of this one
+    sim::SimTime enqueued_at{0};
+  };
+
+  [[nodiscard]] std::size_t pick_fifo() const;
+  [[nodiscard]] std::size_t pick_scan(std::uint32_t head_track);
+
+  SchedConfig config_;
+  std::vector<Item> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool scan_up_ = true;  ///< current elevator direction
+  std::optional<std::uint32_t> last_track_;  ///< track of the last pop
+  SchedStats stats_;
+};
+
+}  // namespace bridge::disk

@@ -1,5 +1,7 @@
 #include "src/efs/cache.hpp"
 
+#include <algorithm>
+
 namespace bridge::efs {
 
 void CacheStats::publish(obs::MetricsRegistry& registry,
@@ -20,8 +22,8 @@ void BlockCache::touch(Entry& entry, disk::BlockAddr addr) {
   entry.lru_pos = lru_.begin();
 }
 
-util::Result<std::span<const std::byte>> BlockCache::fetch(sim::Context& ctx,
-                                                           disk::BlockAddr addr) {
+util::Result<std::span<const std::byte>> BlockCache::fetch(
+    sim::Context& ctx, disk::BlockAddr addr, std::uint32_t readahead_tracks) {
   if (auto it = entries_.find(addr); it != entries_.end()) {
     ++stats_.hits;
     ctx.charge(config_.hit_cpu);
@@ -31,9 +33,16 @@ util::Result<std::span<const std::byte>> BlockCache::fetch(sim::Context& ctx,
 
   ++stats_.misses;
   sim::ScopedSpan miss_span(ctx, "cache.miss_fill");
-  if (config_.track_readahead) {
+  if (config_.track_readahead && readahead_tracks > 0) {
+    // A fill deeper than the cache would evict its own prefetch; clamp to
+    // whole resident tracks.
+    std::uint32_t bpt = dev_.geometry().blocks_per_track;
+    std::uint32_t fit = std::max<std::uint32_t>(1, config_.capacity_blocks / bpt);
+    std::uint32_t depth = std::min(readahead_tracks, fit);
     disk::BlockAddr track_start = 0;
-    auto blocks = dev_.read_track(ctx, addr, &track_start);
+    auto blocks = depth == 1
+                      ? dev_.read_track(ctx, addr, &track_start)
+                      : dev_.read_tracks(ctx, addr, depth, &track_start);
     if (!blocks.is_ok()) return blocks.status();
     auto& images = blocks.value();
     // Decide which track-mates to keep BEFORE installing anything: the track

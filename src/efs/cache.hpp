@@ -69,8 +69,15 @@ class BlockCache {
 
   /// Fetch a block (cache hit or disk read + track read-ahead).  The
   /// returned span is valid until the next cache operation.
+  ///
+  /// `readahead_tracks` scales the miss fill: 1 (the default) reads the
+  /// block's whole track as before, N > 1 streams N consecutive tracks in
+  /// one sweep (SimDisk::read_tracks), and 0 suppresses read-ahead entirely
+  /// — a random-access read costs one block, not a track.  Ignored when
+  /// track_readahead is off; clamped so the fill fits the cache capacity.
   util::Result<std::span<const std::byte>> fetch(sim::Context& ctx,
-                                                 disk::BlockAddr addr);
+                                                 disk::BlockAddr addr,
+                                                 std::uint32_t readahead_tracks = 1);
 
   /// Replace a block's contents and write it through to disk.
   util::Status write_through(sim::Context& ctx, disk::BlockAddr addr,

@@ -36,6 +36,9 @@ void EfsOpStats::publish(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".walk_steps").set(walk_steps);
   registry.counter(prefix + ".hint_uses").set(hint_uses);
   registry.counter(prefix + ".hint_rejects").set(hint_rejects);
+  registry.counter(prefix + ".deep_readahead_tracks").set(deep_readahead_tracks);
+  registry.gauge(prefix + ".readahead_depth")
+      .set(static_cast<double>(last_readahead_depth));
 }
 
 EfsCore::EfsCore(disk::SimDisk& dev, EfsConfig config)
@@ -210,6 +213,7 @@ util::Status EfsCore::remove(sim::Context& ctx, FileId id) {
     cur = next;
   }
   entry = DirEntry{kInvalidFileId, kNilAddr, 0, DirEntry::kTombstone};
+  seq_state_.erase(id);
   ++stats_.deletes;
   return dir_persist(ctx, static_cast<std::uint32_t>(slot), /*force=*/true);
 }
@@ -296,7 +300,7 @@ util::Result<ReadResult> EfsCore::read(sim::Context& ctx, FileId id,
   }
   auto located = locate(ctx, entry, block_no, hint);
   if (!located.is_ok()) return located.status();
-  auto image = cache_.fetch(ctx, located.value());
+  auto image = cache_.fetch(ctx, located.value(), readahead_depth(id, block_no));
   if (!image.is_ok()) return image.status();
   BlockHeader h = parse_header(image.value());
   if (h.block_no != block_no || h.file_id != id) {
@@ -305,6 +309,34 @@ util::Result<ReadResult> EfsCore::read(sim::Context& ctx, FileId id,
   ctx.charge(config_.record_cpu);
   ++stats_.reads;
   return ReadResult{located.value(), payload_of(image.value())};
+}
+
+std::uint32_t EfsCore::readahead_depth(FileId id, std::uint32_t block_no) {
+  if (!config_.readahead.adaptive) return 1;
+  SeqState& state = seq_state_[id];
+  if (block_no == state.next_block && block_no != 0) {
+    ++state.run_len;
+    state.random_streak = 0;
+  } else if (block_no == 0 && state.next_block == 0) {
+    // First-ever read of the file: neutral, not a random probe.
+    state.run_len = 0;
+  } else {
+    state.run_len = 0;
+    ++state.random_streak;
+  }
+  state.next_block = block_no + 1;
+
+  if (state.random_streak >= config_.readahead.random_cutoff) {
+    stats_.last_readahead_depth = 0;
+    return 0;
+  }
+  // One extra track per full track's worth of sequential blocks observed.
+  std::uint32_t bpt = std::max(1u, dev_.geometry().blocks_per_track);
+  std::uint32_t depth =
+      std::min(1 + state.run_len / bpt, config_.readahead.max_tracks);
+  stats_.last_readahead_depth = depth;
+  if (depth > 1) stats_.deep_readahead_tracks += depth - 1;
+  return depth;
 }
 
 util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry,

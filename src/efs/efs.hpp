@@ -18,9 +18,11 @@
 #include <deque>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/disk/disk.hpp"
+#include "src/disk/sched.hpp"
 #include "src/efs/cache.hpp"
 #include "src/efs/layout.hpp"
 #include "src/sim/runtime.hpp"
@@ -28,8 +30,24 @@
 
 namespace bridge::efs {
 
+/// Per-file sequentiality detection driving track read-ahead depth.  With
+/// adaptive off (the default) every miss prefetches exactly one track — the
+/// seed behavior.  With it on, a file read sequentially earns one extra
+/// read-ahead track per full track's worth of consecutive blocks observed
+/// (up to max_tracks), and a file probed randomly loses read-ahead entirely
+/// after random_cutoff consecutive non-sequential reads.
+struct ReadaheadConfig {
+  bool adaptive = false;
+  std::uint32_t max_tracks = 4;
+  std::uint32_t random_cutoff = 4;
+};
+
 struct EfsConfig {
   CacheConfig cache;
+  /// Request scheduling for the server's mailbox drain (FIFO = arrival
+  /// order, exactly the unscheduled seed behavior).
+  disk::SchedConfig sched;
+  ReadaheadConfig readahead;
   /// Honor request hints (§4.3).  Disabled only by the hint ablation bench.
   bool hints_enabled = true;
   /// CPU per request (decode, dispatch, directory probe).
@@ -63,6 +81,8 @@ struct EfsOpStats {
   std::uint64_t walk_steps = 0;        ///< chain links traversed by locate()
   std::uint64_t hint_uses = 0;         ///< locates that started from a hint
   std::uint64_t hint_rejects = 0;      ///< hints that pointed at a wrong block
+  std::uint64_t deep_readahead_tracks = 0;  ///< extra tracks requested (>1)
+  std::uint64_t last_readahead_depth = 1;   ///< depth of the latest read
 
   void reset() noexcept { *this = EfsOpStats{}; }
 
@@ -135,6 +155,13 @@ class EfsCore {
   [[nodiscard]] std::size_t free_block_count() const noexcept {
     return free_list_.size();
   }
+  /// Disk address of the file's head block (kNilAddr if absent or empty).
+  /// Untimed — the directory is RAM-resident; the request scheduler uses
+  /// this to estimate a request's target track without touching the disk.
+  [[nodiscard]] BlockAddr peek_head(FileId id) const {
+    std::int64_t slot = dir_find(id);
+    return slot < 0 ? kNilAddr : dir_[static_cast<std::size_t>(slot)].head;
+  }
   [[nodiscard]] std::size_t file_count() const noexcept;
   [[nodiscard]] const EfsOpStats& op_stats() const noexcept { return stats_; }
   [[nodiscard]] const CacheStats& cache_stats() const noexcept {
@@ -183,12 +210,23 @@ class EfsCore {
   /// Untimed block view preferring unflushed cache contents over the device.
   [[nodiscard]] std::span<const std::byte> cache_view(BlockAddr addr) const;
 
+  /// Per-file sequentiality detector state (ReadaheadConfig).
+  struct SeqState {
+    std::uint32_t next_block = 0;     ///< expected next sequential block_no
+    std::uint32_t run_len = 0;        ///< consecutive sequential reads
+    std::uint32_t random_streak = 0;  ///< consecutive non-sequential reads
+  };
+  /// Observe a read of `block_no` and return the track read-ahead depth the
+  /// cache should use for it (0 = no read-ahead, 1 = one track, ...).
+  [[nodiscard]] std::uint32_t readahead_depth(FileId id, std::uint32_t block_no);
+
   disk::SimDisk& dev_;
   EfsConfig config_;
   BlockCache cache_;
   Superblock sb_;
   std::vector<DirEntry> dir_;
   std::deque<BlockAddr> free_list_;  ///< ascending after format: locality
+  std::unordered_map<FileId, SeqState> seq_state_;
   std::uint32_t dir_mutations_ = 0;
   EfsOpStats stats_;
   bool formatted_ = false;

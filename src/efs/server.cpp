@@ -8,7 +8,7 @@ namespace bridge::efs {
 
 EfsServer::EfsServer(sim::Runtime& rt, sim::NodeId node, disk::Geometry geometry,
                      disk::LatencyModel latency, EfsConfig config)
-    : rt_(rt), node_(node) {
+    : rt_(rt), node_(node), sched_(config.sched) {
   disk_ = std::make_unique<disk::SimDisk>(geometry, latency);
   core_ = std::make_unique<EfsCore>(*disk_, config);
   core_->format();
@@ -28,9 +28,29 @@ void EfsServer::serve(sim::Context& ctx) {
   std::string lane = "lfs.n" + std::to_string(node_);
   obs::Histogram& queue_us = rt_.metrics().histogram(lane + ".queue_us");
   obs::Histogram& service_us = rt_.metrics().histogram(lane + ".service_us");
+  obs::Histogram& sched_wait_us =
+      rt_.metrics().histogram(lane + ".sched_wait_us");
+  obs::Gauge& depth_gauge = rt_.metrics().gauge(lane + ".sched_queue_depth");
   obs::Tracer& tracer = rt_.tracer();
   while (true) {
-    sim::Envelope env = mailbox_->recv();
+    // Refill: block for the first request, then drain every envelope already
+    // delivered into the scheduler so overlapping runs can be reordered.
+    // With the FIFO policy pop() returns strict arrival order — identical to
+    // serving straight off the mailbox.
+    if (sched_.empty()) {
+      sim::Envelope first = mailbox_->recv();
+      std::uint32_t track = estimate_track(first);
+      sched_.push(std::move(first), track, ctx.now());
+    }
+    while (auto more = mailbox_->try_recv()) {
+      std::uint32_t track = estimate_track(*more);
+      sched_.push(std::move(*more), track, ctx.now());
+    }
+    depth_gauge.set(static_cast<double>(sched_.depth()));
+    auto popped = sched_.pop(disk_->current_track());
+    sched_wait_us.record(
+        static_cast<std::uint64_t>((ctx.now() - popped.enqueued_at).us()));
+    sim::Envelope env = std::move(popped.env);
     // Queue wait: wire latency + time the request sat behind earlier ones.
     sim::SimTime queued = ctx.now() - env.sent_at;
     queue_us.record(static_cast<std::uint64_t>(queued.us()));
@@ -47,6 +67,47 @@ void EfsServer::serve(sim::Context& ctx) {
     }
     service_us.record(static_cast<std::uint64_t>((ctx.now() - t0).us()));
   }
+}
+
+std::uint32_t EfsServer::estimate_track(const sim::Envelope& env) const {
+  const auto& geom = disk_->geometry();
+  auto track_of_hint = [&](FileId file_id, BlockAddr hint) -> std::uint32_t {
+    if (hint != kNilAddr && hint < geom.capacity_blocks()) {
+      return geom.track_of(hint);
+    }
+    BlockAddr head = core_->peek_head(file_id);
+    if (head != kNilAddr && head < geom.capacity_blocks()) {
+      return geom.track_of(head);
+    }
+    return disk_->current_track();
+  };
+  // Cheap partial decode: every data request encodes file_id first, and the
+  // hint right after whatever fixed fields precede it.  A malformed payload
+  // falls through to "no preference" and is rejected later by handle().
+  try {
+    util::Reader r(env.payload);
+    switch (static_cast<MsgType>(env.type)) {
+      case MsgType::kRead:
+      case MsgType::kWrite: {
+        FileId file_id = r.u32();
+        r.u32();  // block_no
+        return track_of_hint(file_id, r.u32());
+      }
+      case MsgType::kReadMany:
+      case MsgType::kWriteMany: {
+        FileId file_id = r.u32();
+        return track_of_hint(file_id, r.u32());
+      }
+      case MsgType::kDelete:
+      case MsgType::kTruncate:
+        return track_of_hint(r.u32(), kNilAddr);
+      default:
+        break;
+    }
+  } catch (const util::StatusError&) {
+    // Short payload: no track preference.
+  }
+  return disk_->current_track();
 }
 
 void EfsServer::handle(sim::Context& ctx, const sim::Envelope& env) {

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "src/disk/disk.hpp"
+#include "src/disk/sched.hpp"
 #include "src/efs/efs.hpp"
 #include "src/efs/protocol.hpp"
 #include "src/sim/rpc.hpp"
@@ -31,16 +32,25 @@ class EfsServer {
   [[nodiscard]] EfsCore& core() noexcept { return *core_; }
   [[nodiscard]] const EfsCore& core() const noexcept { return *core_; }
   [[nodiscard]] disk::SimDisk& disk() noexcept { return *disk_; }
+  [[nodiscard]] const disk::SchedStats& sched_stats() const noexcept {
+    return sched_.stats();
+  }
 
  private:
   void serve(sim::Context& ctx);
   void handle(sim::Context& ctx, const sim::Envelope& env);
+  /// Estimate the disk track a queued request will touch (for SCAN
+  /// ordering): the request's hint when it carries a valid one, else the
+  /// file's head block, else wherever the head currently sits.  Untimed —
+  /// only the RAM-resident directory is consulted.
+  [[nodiscard]] std::uint32_t estimate_track(const sim::Envelope& env) const;
 
   sim::Runtime& rt_;
   sim::NodeId node_;
   std::unique_ptr<disk::SimDisk> disk_;
   std::unique_ptr<EfsCore> core_;
   std::unique_ptr<sim::Mailbox> mailbox_;
+  disk::RequestScheduler sched_;
   bool started_ = false;
 };
 

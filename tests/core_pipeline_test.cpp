@@ -421,6 +421,153 @@ TEST(Pipeline, BufferedStreamRejectsOversizedRecord) {
   inst.run();
 }
 
+TEST(Pipeline, SeqSeekRepositionsCursorWithClamp) {
+  BridgeInstance inst(test_config(4));
+  inst.run_client("c", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("seekable").is_ok());
+    auto open = client.open("seekable");
+    ASSERT_TRUE(open.is_ok());
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(client.seq_write(open.value().session, record(i)).is_ok());
+    }
+    // Jump back: the next sequential read returns the target block.
+    auto cur = client.seq_seek(open.value().session, 5);
+    ASSERT_TRUE(cur.is_ok());
+    EXPECT_EQ(cur.value(), 5u);
+    auto r = client.seq_read(open.value().session);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().block_no, 5u);
+    EXPECT_EQ(r.value().data, record(5));
+    // Past-EOF seeks clamp to the file size (lseek-style): reads see EOF.
+    cur = client.seq_seek(open.value().session, 1000);
+    ASSERT_TRUE(cur.is_ok());
+    EXPECT_EQ(cur.value(), 20u);
+    r = client.seq_read(open.value().session);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_TRUE(r.value().eof);
+    // And back to the start.
+    ASSERT_TRUE(client.seq_seek(open.value().session, 0).is_ok());
+    r = client.seq_read(open.value().session);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().block_no, 0u);
+    // Unknown sessions are rejected.
+    EXPECT_EQ(client.seq_seek(0xDEAD, 0).status().code(),
+              util::ErrorCode::kNotFound);
+  });
+  inst.run();
+}
+
+TEST(Pipeline, StreamSeekFlushesAndInvalidatesWindow) {
+  BridgeInstance inst(test_config(4));
+  inst.run_client("c", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("sk").is_ok());
+    auto open = client.open("sk");
+    ASSERT_TRUE(open.is_ok());
+    BufferedStreamOptions opts;
+    opts.read_window = 8;
+    opts.write_batch = 8;
+    BufferedFileStream stream(client, open.value().session, opts);
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(stream.write(record(i)).is_ok());
+    }
+    EXPECT_EQ(stream.pending_writes(), 4u);  // 16 flushed, 4 pending
+    // seek() must push the write-behind buffer first — otherwise the file
+    // would still be 16 blocks and the target could not exist yet.
+    auto cur = stream.seek(18);
+    ASSERT_TRUE(cur.is_ok());
+    EXPECT_EQ(cur.value(), 18u);
+    EXPECT_EQ(stream.pending_writes(), 0u);
+    auto r = stream.read();
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().block_no, 18u);
+    EXPECT_EQ(r.value().data, record(18));
+    // Seek discards prefetched-but-unconsumed blocks: after reading 19 the
+    // window holds stale state unless invalidated; jumping to 3 must return
+    // exactly block 3.
+    cur = stream.seek(3);
+    ASSERT_TRUE(cur.is_ok());
+    r = stream.read();
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().block_no, 3u);
+    EXPECT_EQ(r.value().data, record(3));
+  });
+  inst.run();
+  EXPECT_TRUE(inst.verify_all_lfs().is_ok());
+}
+
+TEST(Pipeline, AdaptiveWindowGrowsOnSequentialDrainShrinksOnSeek) {
+  BridgeInstance inst(test_config(4));
+  inst.run_client("c", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("ad").is_ok());
+    auto open = client.open("ad");
+    ASSERT_TRUE(open.is_ok());
+    BufferedStreamOptions opts;
+    opts.adaptive = true;
+    opts.read_window = 4;
+    opts.min_window = 2;
+    opts.max_window = 16;
+    BufferedFileStream stream(client, open.value().session, opts);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(stream.write(record(i)).is_ok());
+    }
+    ASSERT_TRUE(stream.flush().is_ok());
+    EXPECT_EQ(stream.current_window(), 4u);
+    // Drain windows sequentially: 4, then 8, then 16, then capped at 16.
+    std::uint64_t next = 0;
+    auto read_n = [&](std::uint32_t n) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        auto r = stream.read();
+        ASSERT_TRUE(r.is_ok());
+        ASSERT_FALSE(r.value().eof);
+        EXPECT_EQ(r.value().block_no, next);
+        ++next;
+      }
+    };
+    read_n(4);
+    read_n(1);  // triggers the refill that doubles the window
+    EXPECT_EQ(stream.current_window(), 8u);
+    read_n(7);
+    read_n(1);
+    EXPECT_EQ(stream.current_window(), 16u);
+    read_n(15);
+    read_n(1);
+    EXPECT_EQ(stream.current_window(), 16u);  // clamped at max_window
+    // A seek is the random-access signal: collapse to min_window.
+    ASSERT_TRUE(stream.seek(0).is_ok());
+    EXPECT_EQ(stream.current_window(), 2u);
+    auto r = stream.read();
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().block_no, 0u);
+  });
+  inst.run();
+}
+
+TEST(Pipeline, StreamMoveWriteRoundTrips) {
+  BridgeInstance inst(test_config(2));
+  inst.run_client("c", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("mv").is_ok());
+    auto open = client.open("mv");
+    ASSERT_TRUE(open.is_ok());
+    BufferedFileStream stream(client, open.value().session);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(stream.write(record(i)).is_ok());  // rvalue overload
+    }
+    std::vector<std::byte> big(efs::kUserDataBytes + 1);
+    EXPECT_EQ(stream.write(std::move(big)).code(),
+              util::ErrorCode::kInvalidArgument);
+    ASSERT_TRUE(stream.flush().is_ok());
+    auto check = client.open("mv");
+    ASSERT_TRUE(check.is_ok());
+    EXPECT_EQ(check.value().meta.size_blocks, 10u);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      auto r = client.seq_read(check.value().session);
+      ASSERT_TRUE(r.is_ok());
+      EXPECT_EQ(r.value().data, record(i));
+    }
+  });
+  inst.run();
+}
+
 TEST(Pipeline, EfsVectoredOpsRoundTrip) {
   // Tool-view coverage of the LFS-level vectored ops themselves: scrambled
   // order, hint chaining, and the out-of-space preflight.

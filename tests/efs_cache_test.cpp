@@ -183,6 +183,116 @@ TEST(Cache, ReadAheadEvictionDoesNotResurrectStaleData) {
   rt.run();
 }
 
+TEST(Cache, FlushTrackCleansBlocksSoEvictionSkipsRewrite) {
+  // Satellite of the adaptive-I/O PR: a dirty block pushed out by a
+  // coalesced flush_track must evict CLEAN afterwards — no second device
+  // write, and the eviction counters must say exactly that.
+  sim::Runtime rt(1);
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  CacheConfig cfg;
+  cfg.capacity_blocks = 4;
+  cfg.track_readahead = false;
+  BlockCache cache(dev, cfg);
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(cache.write_back(ctx, 8, block(0x21)).is_ok());
+    ASSERT_TRUE(cache.write_back(ctx, 9, block(0x22)).is_ok());
+    ASSERT_TRUE(cache.flush_track(ctx, 8).is_ok());  // one write_run, 2 blocks
+    EXPECT_EQ(cache.stats().coalesced_flush_blocks, 2u);
+    EXPECT_EQ(dev.stats().track_writes, 1u);
+    std::uint64_t writes_after_flush = dev.stats().block_writes;
+    // Force both flushed blocks out of the cache.
+    for (disk::BlockAddr a = 20; a < 24; ++a) {
+      ASSERT_TRUE(cache.fetch(ctx, a).is_ok());
+    }
+    EXPECT_FALSE(cache.contains(8));
+    EXPECT_FALSE(cache.contains(9));
+    // Evictions were clean: the flush already persisted the data.
+    EXPECT_EQ(dev.stats().block_writes, writes_after_flush);
+    EXPECT_EQ(cache.stats().dirty_evictions, 0u);
+    EXPECT_EQ(cache.stats().clean_evictions, 2u);
+    EXPECT_EQ((*dev.peek(8))[0], std::byte{0x21});
+    EXPECT_EQ((*dev.peek(9))[0], std::byte{0x22});
+  });
+  rt.run();
+}
+
+TEST(Cache, RedirtyAfterFlushTrackStillFlushesOnEviction) {
+  // The inverse guard: a block re-dirtied AFTER flush_track must still be
+  // written out when evicted (clean-marking must not be sticky).
+  sim::Runtime rt(1);
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  CacheConfig cfg;
+  cfg.capacity_blocks = 4;
+  cfg.track_readahead = false;
+  BlockCache cache(dev, cfg);
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(cache.write_back(ctx, 8, block(0x31)).is_ok());
+    ASSERT_TRUE(cache.flush_track(ctx, 8).is_ok());
+    ASSERT_TRUE(cache.write_back(ctx, 8, block(0x32)).is_ok());  // re-dirty
+    for (disk::BlockAddr a = 20; a < 24; ++a) {
+      ASSERT_TRUE(cache.fetch(ctx, a).is_ok());
+    }
+    EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+    EXPECT_EQ((*dev.peek(8))[0], std::byte{0x32});
+  });
+  rt.run();
+}
+
+TEST(Cache, DeepReadaheadInstallsMultipleTracks) {
+  sim::Runtime rt(1);
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  BlockCache cache(dev, CacheConfig{});
+  sim::SimTime t_fill{};
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    auto before = ctx.now();
+    ASSERT_TRUE(cache.fetch(ctx, 8, /*readahead_tracks=*/2).is_ok());
+    t_fill = ctx.now() - before;
+    // Both track 2 and track 3 are now resident: blocks 8..15 all hit.
+    for (disk::BlockAddr a = 9; a < 16; ++a) {
+      ASSERT_TRUE(cache.fetch(ctx, a).is_ok());
+    }
+  });
+  rt.run();
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 7u);
+  EXPECT_EQ(cache.stats().readahead_blocks, 7u);
+  EXPECT_EQ(dev.stats().track_reads, 2u);
+  // One sweep: 15ms positioning + 8*0.5ms transfer + 1ms track switch —
+  // far below two independent track reads (2*17ms).
+  EXPECT_EQ(t_fill.us(), 20'000);
+}
+
+TEST(Cache, ZeroReadaheadReadsSingleBlockEvenWhenTrackModeOn) {
+  // Depth 0 is the sequentiality detector's "random access" verdict: fetch
+  // only the block asked for, even though track readahead is enabled.
+  sim::Runtime rt(1);
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  BlockCache cache(dev, CacheConfig{});
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(cache.fetch(ctx, 8, /*readahead_tracks=*/0).is_ok());
+  });
+  rt.run();
+  EXPECT_EQ(dev.stats().track_reads, 0u);
+  EXPECT_EQ(dev.stats().block_reads, 1u);
+  EXPECT_EQ(cache.stats().readahead_blocks, 0u);
+}
+
+TEST(Cache, DeepReadaheadClampsToCacheCapacity) {
+  // A 4-block cache holds exactly one track: a depth-4 request must clamp
+  // to one track or the fill would evict its own prefetch.
+  sim::Runtime rt(1);
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  CacheConfig cfg;
+  cfg.capacity_blocks = 4;
+  BlockCache cache(dev, cfg);
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(cache.fetch(ctx, 8, /*readahead_tracks=*/4).is_ok());
+  });
+  rt.run();
+  EXPECT_EQ(dev.stats().track_reads, 1u);
+  EXPECT_EQ(cache.stats().readahead_blocks, 3u);
+}
+
 TEST(Cache, InvalidateDropsWithoutFlush) {
   sim::Runtime rt(1);
   disk::SimDisk dev(geo(), disk::LatencyModel{});

@@ -529,5 +529,69 @@ TEST(EfsCore, TruncatePersistsAcrossRemount) {
   EXPECT_TRUE(efs2.verify_integrity().is_ok());
 }
 
+TEST(EfsCore, AdaptiveReadaheadDeepensWithRunLength) {
+  EfsConfig cfg;
+  cfg.readahead.adaptive = true;
+  cfg.readahead.max_tracks = 4;
+  with_efs(
+      [](sim::Context& ctx, EfsCore& efs) {
+        ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+        for (std::uint32_t i = 0; i < 24; ++i) {
+          ASSERT_TRUE(efs.write(ctx, 1, i, payload(i), kNilAddr).is_ok());
+        }
+        // Sequential scan: depth starts at 1 and deepens one track per
+        // blocks_per_track (=4) of observed run, clamping at max_tracks.
+        EXPECT_EQ(efs.read(ctx, 1, 0, kNilAddr).is_ok(), true);
+        EXPECT_EQ(efs.op_stats().last_readahead_depth, 1u);
+        for (std::uint32_t i = 1; i < 24; ++i) {
+          ASSERT_TRUE(efs.read(ctx, 1, i, kNilAddr).is_ok());
+        }
+        // run_len at block 23 is 23: min(1 + 23/4, 4) = 4.
+        EXPECT_EQ(efs.op_stats().last_readahead_depth, 4u);
+        EXPECT_GT(efs.op_stats().deep_readahead_tracks, 0u);
+      },
+      cfg);
+}
+
+TEST(EfsCore, RandomAccessShutsReadaheadOff) {
+  EfsConfig cfg;
+  cfg.readahead.adaptive = true;
+  cfg.readahead.random_cutoff = 4;
+  with_efs(
+      [](sim::Context& ctx, EfsCore& efs) {
+        ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+        for (std::uint32_t i = 0; i < 32; ++i) {
+          ASSERT_TRUE(efs.write(ctx, 1, i, payload(i), kNilAddr).is_ok());
+        }
+        // A hostile stride: every read breaks the sequential prediction.
+        const std::uint32_t jumps[] = {20, 4, 28, 12, 24, 8};
+        for (std::uint32_t b : jumps) {
+          ASSERT_TRUE(efs.read(ctx, 1, b, kNilAddr).is_ok());
+        }
+        // After random_cutoff misses the detector calls the file random and
+        // drops to single-block fetches (depth 0).
+        EXPECT_EQ(efs.op_stats().last_readahead_depth, 0u);
+        // Resuming a sequential run re-arms it.
+        ASSERT_TRUE(efs.read(ctx, 1, 9, kNilAddr).is_ok());
+        ASSERT_TRUE(efs.read(ctx, 1, 10, kNilAddr).is_ok());
+        EXPECT_GE(efs.op_stats().last_readahead_depth, 1u);
+      },
+      cfg);
+}
+
+TEST(EfsCore, AdaptiveOffKeepsSeedReadahead) {
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 1, i, payload(i), kNilAddr).is_ok());
+    }
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      ASSERT_TRUE(efs.read(ctx, 1, i, kNilAddr).is_ok());
+    }
+    EXPECT_EQ(efs.op_stats().last_readahead_depth, 1u);
+    EXPECT_EQ(efs.op_stats().deep_readahead_tracks, 0u);
+  });
+}
+
 }  // namespace
 }  // namespace bridge::efs

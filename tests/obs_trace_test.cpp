@@ -51,6 +51,46 @@ TEST(Tracer, SameSeedRunsAreByteIdentical) {
   EXPECT_EQ(a, b) << "trace output must be bit-reproducible";
 }
 
+/// The traced_run workout with the adaptive I/O machinery fully enabled:
+/// SCAN scheduling, per-track seeks, deep adaptive read-ahead.
+std::string traced_sched_run(std::uint64_t seed) {
+  auto cfg = SystemConfig::paper_profile(4, /*data_blocks_per_lfs=*/256);
+  cfg.seed = seed;
+  cfg.disk_latency.seek_per_track = sim::usec(100);
+  cfg.efs.sched.policy = disk::SchedPolicy::kScan;
+  cfg.efs.readahead.adaptive = true;
+  BridgeInstance inst(cfg);
+  inst.runtime().tracer().enable();
+  inst.run_client("c", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("f").is_ok());
+    auto open = client.open("f");
+    ASSERT_TRUE(open.is_ok());
+    for (std::uint32_t i = 0; i < 24; ++i) {
+      ASSERT_TRUE(client.seq_write(open.value().session, record(i)).is_ok());
+    }
+    auto reopen = client.open("f");
+    ASSERT_TRUE(reopen.is_ok());
+    auto many = client.seq_read_many(reopen.value().session, 24);
+    ASSERT_TRUE(many.is_ok());
+    // A couple of random reads exercise the non-sequential path too.
+    ASSERT_TRUE(client.random_read(open.value().meta.id, 17).is_ok());
+    ASSERT_TRUE(client.random_read(open.value().meta.id, 3).is_ok());
+    ASSERT_TRUE(client.remove("f").is_ok());
+  });
+  inst.run();
+  return inst.runtime().tracer().chrome_trace_json();
+}
+
+TEST(Tracer, SchedulerRunsAreByteIdentical) {
+  // The determinism guarantee must survive the request scheduler: SCAN
+  // reorders by estimated track and arrival sequence only — no wall clock,
+  // no randomness — so same-seed traces stay bit-reproducible.
+  std::string a = traced_sched_run(/*seed=*/4242);
+  std::string b = traced_sched_run(/*seed=*/4242);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "scheduler broke trace determinism";
+}
+
 TEST(Tracer, DifferentSeedsStillProduceValidSpans) {
   // Different interconnect jitter, same workload: the span set is the same
   // even though timestamps differ.
