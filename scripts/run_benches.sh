@@ -1,10 +1,10 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerate every paper table/figure and ablation; writes bench_output.txt
 # (human tables) and BENCH_results.json (one JSON object per measured row,
 # appended by each bench via --json=).
 # NOTE: table4_sort and ablation_sort_anomaly take a few minutes each (they
 # simulate hundreds of virtual minutes of 1988 disk time).
-set -e
+set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build
 cmake --build build -j "$(nproc)"

@@ -1,0 +1,157 @@
+#include "src/analysis/race.hpp"
+
+#include <algorithm>
+
+namespace bridge::analysis {
+
+namespace {
+/// Reports are deduplicated per object (first conflict wins per site pair),
+/// but a pathological run could still produce one report per object; cap the
+/// buffer so a broken build doesn't balloon.
+constexpr std::size_t kMaxReports = 256;
+}  // namespace
+
+std::string RaceReport::to_string() const {
+  auto access_str = [](const RaceAccess& a) {
+    std::string s;
+    s += a.write ? "write" : "read";
+    s += " by pid ";
+    s += std::to_string(a.pid);
+    s += " (node ";
+    s += std::to_string(a.node);
+    s += ") at t=";
+    s += std::to_string(a.vt_us);
+    s += "us";
+    if (a.span != 0) {
+      s += " span ";
+      s += std::to_string(a.span);
+    }
+    s += " [";
+    s += a.site;
+    s += "]";
+    return s;
+  };
+  return "race on " + object + ": " + access_str(prior) +
+         " is unordered with " + access_str(current);
+}
+
+std::string RaceDetector::report_text() const {
+  std::string out;
+  for (const auto& r : reports_) {
+    out += r.to_string();
+    out += '\n';
+  }
+  if (suppressed_reports_ > 0) {
+    out += "... and " + std::to_string(suppressed_reports_) +
+           " further reports suppressed\n";
+  }
+  return out;
+}
+
+RaceDetector::Clock& RaceDetector::clock_of(std::uint64_t pid) {
+  if (pid >= clocks_.size()) clocks_.resize(pid + 1);
+  Clock& clock = clocks_[pid];
+  if (pid >= clock.size()) clock.resize(pid + 1, 0);
+  return clock;
+}
+
+bool RaceDetector::seen(const Clock& clock, const Epoch& e) noexcept {
+  return e.pid < clock.size() && clock[e.pid] >= e.value;
+}
+
+void RaceDetector::on_spawn(std::uint64_t parent_pid, std::uint64_t child_pid) {
+  Clock parent = clock_of(parent_pid);  // copy: clock_of(child) may reallocate
+  Clock& child = clock_of(child_pid);
+  if (parent.size() > child.size()) child.resize(parent.size(), 0);
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    child[i] = std::max(child[i], parent[i]);
+  }
+  ++child[child_pid];
+  ++clock_of(parent_pid)[parent_pid];
+}
+
+std::uint64_t RaceDetector::on_send(std::uint64_t pid) {
+  Clock& clock = clock_of(pid);
+  ++clock[pid];
+  std::uint64_t token = next_token_++;
+  tokens_.emplace(token, clock);
+  return token;
+}
+
+void RaceDetector::on_recv(std::uint64_t pid, std::uint64_t token) {
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) return;
+  Clock snapshot = std::move(it->second);
+  tokens_.erase(it);
+  Clock& clock = clock_of(pid);
+  if (snapshot.size() > clock.size()) clock.resize(snapshot.size(), 0);
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    clock[i] = std::max(clock[i], snapshot[i]);
+  }
+  ++clock[pid];
+}
+
+void RaceDetector::on_quiescence() {
+  Clock& controller = clock_of(0);
+  for (const Clock& clock : clocks_) {
+    if (clock.size() > controller.size()) controller.resize(clock.size(), 0);
+    for (std::size_t i = 0; i < clock.size(); ++i) {
+      controller[i] = std::max(controller[i], clock[i]);
+    }
+  }
+  ++controller[0];
+}
+
+void RaceDetector::report(const ObjectState& obj, const RaceAccess& prior,
+                          const RaceAccess& current) {
+  // One report per (object, site pair): the first unordered pair is the
+  // actionable one; repeats of the same pair on later blocks/requests are
+  // noise.
+  for (const auto& r : reports_) {
+    if (r.object == obj.label && r.prior.site == prior.site &&
+        r.current.site == current.site) {
+      return;
+    }
+  }
+  if (reports_.size() >= kMaxReports) {
+    ++suppressed_reports_;
+    return;
+  }
+  reports_.push_back(RaceReport{obj.label, prior, current});
+}
+
+void RaceDetector::on_access(const void* base, std::uint64_t sub,
+                             std::string_view label, const RaceAccess& access) {
+  ++accesses_;
+  const Clock& clock = clock_of(access.pid);
+  ObjectState& obj = objects_[Key{base, sub}];
+  if (obj.label.empty()) obj.label = label;
+
+  if (obj.last_write.has_value() && !seen(clock, *obj.last_write)) {
+    report(obj, obj.last_write->info, access);
+  }
+  Epoch here{access.pid, clock[access.pid], access};
+  if (access.write) {
+    for (const Epoch& read : obj.reads) {
+      if (!seen(clock, read)) report(obj, read.info, access);
+    }
+    obj.reads.clear();
+    obj.last_write = here;
+  } else {
+    for (Epoch& read : obj.reads) {
+      if (read.pid == access.pid) {
+        read = here;
+        return;
+      }
+    }
+    obj.reads.push_back(here);
+  }
+}
+
+void RaceDetector::clear_reports() {
+  reports_.clear();
+  objects_.clear();
+  suppressed_reports_ = 0;
+}
+
+}  // namespace bridge::analysis

@@ -1,0 +1,162 @@
+// Virtual-time happens-before race detector.
+//
+// The scheduler serializes the whole simulation, so nothing here is a data
+// race in the C++ sense.  What CAN go wrong is a *logical* race: two
+// processes touching one piece of logically-shared state (a file's placement,
+// an LFS free list, a cache entry) in an order that is fixed only by virtual
+// timing or tie-breaks — not by any message.  Such code produces the right
+// answer today and silently changes behavior the day a latency constant,
+// scheduler policy, or hash function moves, which is exactly the
+// reproducibility failure the determinism suite exists to prevent (see
+// docs/ANALYSIS.md).
+//
+// Model: classic vector clocks.  Every simulated process (plus pid 0, the
+// controlling thread) owns a clock.  Causal edges — the ONLY orderings that
+// count — are:
+//   - spawn:       parent -> child (the child joins the parent's clock),
+//   - channel:     send -> recv (every sim::Channel item carries a clock
+//                  snapshot token; RPC envelopes ride on channels, so every
+//                  request/reply edge is covered for free),
+//   - quiescence:  every process -> the controller when Scheduler::run()
+//                  returns (run() observing quiescence is a real barrier;
+//                  it is what makes post-run inspection from tests safe).
+// Virtual time is deliberately NOT an edge: two accesses ordered only by the
+// clock are exactly the bugs this detector exists to flag.
+//
+// Shared state is annotated at access sites (BRIDGE_RACE_READ/WRITE in
+// src/sim/race_annotate.hpp).  Per object the detector keeps the last write
+// and the reads since then as (pid, clock) epochs; a new access conflicts
+// with a prior one iff they are not equal-pid and the prior epoch is not
+// contained in the accessor's clock (write/write, write/read or read/write).
+//
+// Everything is driven in scheduler dispatch order and consults neither wall
+// clock nor randomness, so reports are deterministic.  The detector never
+// sleeps, charges, allocates ids, or posts messages: enabling it perturbs
+// virtual time by exactly nothing (asserted by the trace byte-identity test).
+//
+// This header intentionally depends on nothing from src/sim — the sim layer
+// links against it, not the other way around.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bridge::analysis {
+
+/// One annotated access.  `site` and `label` must point at storage that
+/// outlives the detector (string literals at every call site).
+struct RaceAccess {
+  std::uint64_t pid = 0;
+  std::uint32_t node = 0;
+  bool write = false;
+  std::int64_t vt_us = 0;        ///< virtual timestamp of the access
+  std::uint64_t span = 0;        ///< innermost open tracer span id (0 = none)
+  std::string_view site;         ///< "file:line" of the annotation
+};
+
+/// A pair of conflicting accesses with no causal path between them.
+struct RaceReport {
+  std::string object;            ///< annotation label, e.g. "bridge.placement"
+  RaceAccess prior;
+  RaceAccess current;
+
+  /// Human-readable one-liner: object, both sites, pids, nodes, virtual
+  /// timestamps and active spans.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class RaceDetector {
+ public:
+  // --- Causal edges (called by the sim layer). ---
+
+  /// Child joins the parent's clock.  `parent_pid` 0 means the controller.
+  void on_spawn(std::uint64_t parent_pid, std::uint64_t child_pid);
+
+  /// Snapshot the sender's clock; returns a token the channel stores on the
+  /// item (0 is never returned).
+  std::uint64_t on_send(std::uint64_t pid);
+
+  /// Join the snapshot identified by `token` into the receiver's clock.
+  /// Tokens are single-use; 0 and unknown tokens are ignored.
+  void on_recv(std::uint64_t pid, std::uint64_t token);
+
+  /// Scheduler::run() returned: the controller has observed quiescence, so
+  /// every process's history happened before whatever the controller (or a
+  /// process spawned later) does next.
+  void on_quiescence();
+
+  // --- Access annotations (called via BRIDGE_RACE_READ/WRITE). ---
+
+  /// Record an access to the logically-shared object identified by
+  /// (base, sub); conflicts append to reports().  `label` names the object
+  /// in reports (first annotation wins).
+  void on_access(const void* base, std::uint64_t sub, std::string_view label,
+                 const RaceAccess& access);
+
+  [[nodiscard]] const std::vector<RaceReport>& reports() const noexcept {
+    return reports_;
+  }
+  /// Total annotated accesses observed (tests use it to prove the
+  /// instrumentation was live during a clean run).
+  [[nodiscard]] std::uint64_t access_count() const noexcept {
+    return accesses_;
+  }
+  /// All reports, one to_string() per line.
+  [[nodiscard]] std::string report_text() const;
+
+  /// Forget reports and object history but keep the clocks (phase
+  /// measurement without tearing down the runtime).
+  void clear_reports();
+
+ private:
+  using Clock = std::vector<std::uint64_t>;  ///< indexed by pid
+
+  /// (pid, clock value) stamp of a past access, FastTrack-style.
+  struct Epoch {
+    std::uint64_t pid = 0;
+    std::uint64_t value = 0;
+    RaceAccess info;
+  };
+  struct ObjectState {
+    std::string label;
+    std::optional<Epoch> last_write;
+    std::vector<Epoch> reads;  ///< since the last write; at most one per pid
+  };
+  struct Key {
+    const void* base;
+    std::uint64_t sub;
+    bool operator==(const Key& o) const noexcept {
+      return base == o.base && sub == o.sub;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      auto h = reinterpret_cast<std::uintptr_t>(k.base);
+      return std::size_t(h ^ (k.sub * 0x9E3779B97F4A7C15ull));
+    }
+  };
+
+  Clock& clock_of(std::uint64_t pid);
+  /// True iff the accessor owning `clock` has seen epoch `e`.
+  static bool seen(const Clock& clock, const Epoch& e) noexcept;
+  void report(const ObjectState& obj, const RaceAccess& prior,
+              const RaceAccess& current);
+
+  std::vector<Clock> clocks_;  ///< index = pid; [0] is the controller
+  // Outstanding message-clock snapshots, erased when consumed.  Keyed by
+  // token and never iterated, so hash order cannot reach any output.
+  std::unordered_map<std::uint64_t, Clock> tokens_;
+  std::uint64_t next_token_ = 1;
+  // Object table; never iterated (reports are appended in discovery order,
+  // which is scheduler dispatch order — deterministic).
+  std::unordered_map<Key, ObjectState, KeyHash> objects_;
+  std::vector<RaceReport> reports_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t suppressed_reports_ = 0;  ///< overflow beyond kMaxReports
+};
+
+}  // namespace bridge::analysis

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/core/bridge_block.hpp"
+#include "src/sim/race_annotate.hpp"
 #include "src/util/logging.hpp"
 
 namespace bridge::core {
@@ -199,6 +200,7 @@ void BridgeServer::handle_create(Wire& wire, const sim::Envelope& env) {
     }
   }
 
+  BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
   id_index_[record.id] = record.name;
   directory_[record.name] = std::move(record);
   CreateFileResponse resp{directory_[req.name].id};
@@ -225,6 +227,7 @@ void BridgeServer::handle_delete(Wire& wire, const sim::Envelope& env) {
     auto reply = wire.rpc.wait_reply(corr);
     if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
   }
+  BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
   id_index_.erase(record->id);
   directory_.erase(req.name);
   sim::send_reply(wire.ctx, env, util::ok_status());
@@ -253,6 +256,7 @@ void BridgeServer::handle_delete_many(Wire& wire, const sim::Envelope& env) {
     auto reply = wire.rpc.wait_reply(corr);
     if (!reply.is_ok()) return sim::send_reply(wire.ctx, env, reply.status());
   }
+  BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
   for (const auto& name : req.names) {
     FileRecord* record = find_by_name(name);
     if (record != nullptr) {
@@ -280,6 +284,7 @@ util::Status BridgeServer::refresh_size(Wire& wire, FileRecord& record) {
     if (!reply.is_ok()) return reply.status();
     total += util::decode_from_bytes<efs::InfoResponse>(reply.value()).size_blocks;
   }
+  BRIDGE_RACE_WRITE(wire.ctx, &record.placement, 0, "bridge.placement");
   record.placement.set_size_closed_form(total);
   return util::ok_status();
 }
@@ -287,6 +292,7 @@ util::Status BridgeServer::refresh_size(Wire& wire, FileRecord& record) {
 void BridgeServer::handle_open(Wire& wire, const sim::Envelope& env) {
   util::Reader r(env.payload);
   auto req = OpenRequest::decode(r);
+  BRIDGE_RACE_READ(wire.ctx, &directory_, 0, "bridge.directory");
   FileRecord* record = find_by_name(req.name);
   if (record == nullptr) {
     return sim::send_reply(wire.ctx, env, util::not_found("file " + req.name));
@@ -310,6 +316,7 @@ void BridgeServer::handle_open(Wire& wire, const sim::Envelope& env) {
 
 util::Result<std::vector<std::vector<std::byte>>> BridgeServer::read_run(
     Wire& wire, FileRecord& record, std::uint64_t first, std::uint32_t count) {
+  BRIDGE_RACE_READ(wire.ctx, &record.placement, 0, "bridge.placement");
   // Place the whole run before any I/O so a bad range costs nothing.
   struct LfsGroup {
     std::vector<std::uint32_t> run_pos;       ///< index within the run
@@ -407,6 +414,7 @@ util::Result<std::vector<std::vector<std::byte>>> BridgeServer::read_run(
 util::Status BridgeServer::write_run(
     Wire& wire, FileRecord& record, std::uint64_t first,
     std::span<const std::vector<std::byte>> user_blocks) {
+  BRIDGE_RACE_WRITE(wire.ctx, &record.placement, 0, "bridge.placement");
   std::uint64_t original_size = record.placement.size_blocks();
   auto rollback = [&] {
     if (record.placement.size_blocks() > original_size) {
@@ -847,10 +855,13 @@ void BridgeServer::handle_truncate(Wire& wire, const sim::Envelope& env) {
   // now point at freed blocks), and session cursors — write_run appends at
   // the file size, so a cursor past the new end must be pulled back or the
   // next sequential write would land far beyond EOF.
+  BRIDGE_RACE_WRITE(wire.ctx, &record->placement, 0, "bridge.placement");
   record->placement.truncate(req.new_size_blocks);
   for (std::uint32_t i : involved) {
     lfs_clients_[i]->forget_hint(record->lfs_file_id);
   }
+  // NOLINT(bridge-unordered-iter): clamp-with-min is commutative and touches
+  // each session independently — no observable effect of visit order.
   for (auto& [sid, session] : sessions_) {
     if (session.name != record->name) continue;
     session.read_cursor = std::min(session.read_cursor, req.new_size_blocks);
@@ -893,6 +904,7 @@ void BridgeServer::handle_parallel_read(Wire& wire, const sim::Envelope& env) {
   if (record == nullptr) {
     return sim::send_reply(wire.ctx, env, util::not_found("file deleted"));
   }
+  BRIDGE_RACE_READ(wire.ctx, &record->placement, 0, "bridge.placement");
   std::uint64_t size = record->placement.size_blocks();
   std::uint32_t t = static_cast<std::uint32_t>(job.workers.size());
   std::uint32_t p = num_lfs();
@@ -979,6 +991,7 @@ void BridgeServer::handle_parallel_write(Wire& wire, const sim::Envelope& env) {
   if (record == nullptr) {
     return sim::send_reply(wire.ctx, env, util::not_found("file deleted"));
   }
+  BRIDGE_RACE_WRITE(wire.ctx, &record->placement, 0, "bridge.placement");
   std::uint32_t t = static_cast<std::uint32_t>(job.workers.size());
   std::uint32_t p = num_lfs();
   std::uint32_t written = 0;
@@ -1061,6 +1074,7 @@ void BridgeServer::handle_resolve(Wire& wire, const sim::Envelope& env) {
   if (record == nullptr) {
     return sim::send_reply(wire.ctx, env, util::not_found("no such file id"));
   }
+  BRIDGE_RACE_READ(wire.ctx, &record->placement, 0, "bridge.placement");
   ResolveResponse resp;
   resp.placements.reserve(req.count);
   for (std::uint32_t i = 0; i < req.count; ++i) {
@@ -1077,11 +1091,24 @@ void BridgeServer::encode_state(util::Writer& w) const {
   w.u32(0xB81DD1C7);  // directory snapshot magic
   w.u32(next_file_id_);
   w.u32(static_cast<std::uint32_t>(directory_.size()));
+  // Snapshot bytes must be a function of the directory *contents*: two
+  // replicas holding identical directories must produce identical snapshots,
+  // so serialize in sorted-name order rather than hash-bucket order.
+  std::vector<const FileRecord*> records;
+  records.reserve(directory_.size());
+  // NOLINT(bridge-unordered-iter): order-insensitive collection, sorted below
   for (const auto& [name, record] : directory_) {
-    w.str(name);
-    w.u32(record.id);
-    w.u32(record.lfs_file_id);
-    record.placement.encode(w);
+    records.push_back(&record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const FileRecord* a, const FileRecord* b) {
+              return a->name < b->name;
+            });
+  for (const FileRecord* record : records) {
+    w.str(record->name);
+    w.u32(record->id);
+    w.u32(record->lfs_file_id);
+    record->placement.encode(w);
   }
 }
 

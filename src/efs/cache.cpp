@@ -1,6 +1,9 @@
 #include "src/efs/cache.hpp"
 
 #include <algorithm>
+#include <vector>
+
+#include "src/sim/race_annotate.hpp"
 
 namespace bridge::efs {
 
@@ -24,6 +27,7 @@ void BlockCache::touch(Entry& entry, disk::BlockAddr addr) {
 
 util::Result<std::span<const std::byte>> BlockCache::fetch(
     sim::Context& ctx, disk::BlockAddr addr, std::uint32_t readahead_tracks) {
+  BRIDGE_RACE_READ(ctx, &entries_, addr, "efs.cache");
   if (auto it = entries_.find(addr); it != entries_.end()) {
     ++stats_.hits;
     ctx.charge(config_.hit_cpu);
@@ -97,8 +101,18 @@ void BlockCache::invalidate(disk::BlockAddr addr) {
 }
 
 util::Status BlockCache::flush_all(sim::Context& ctx) {
-  for (auto& [addr, entry] : entries_) {
-    if (!entry.dirty) continue;
+  // Collect-then-sort: the writeback order must be a function of the cache
+  // contents, not of the hash table's bucket layout (which varies with
+  // libstdc++ version and insertion history even on identical workloads).
+  std::vector<disk::BlockAddr> dirty;
+  // NOLINT(bridge-unordered-iter): order-insensitive collection, sorted below
+  for (const auto& [addr, entry] : entries_) {
+    if (entry.dirty) dirty.push_back(addr);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (disk::BlockAddr addr : dirty) {
+    Entry& entry = entries_.at(addr);
+    BRIDGE_RACE_WRITE(ctx, &entries_, addr, "efs.cache");
     if (auto st = dev_.write(ctx, addr, entry.data); !st.is_ok()) return st;
     entry.dirty = false;
   }
@@ -126,6 +140,7 @@ util::Status BlockCache::flush_track(sim::Context& ctx, disk::BlockAddr addr) {
 
 util::Status BlockCache::install(sim::Context& ctx, disk::BlockAddr addr,
                                  std::vector<std::byte> data, bool dirty) {
+  BRIDGE_RACE_WRITE(ctx, &entries_, addr, "efs.cache");
   if (auto it = entries_.find(addr); it != entries_.end()) {
     it->second.data = std::move(data);
     it->second.dirty = it->second.dirty || dirty;
@@ -146,6 +161,7 @@ util::Status BlockCache::install(sim::Context& ctx, disk::BlockAddr addr,
 
 util::Status BlockCache::evict_one(sim::Context& ctx) {
   disk::BlockAddr victim = lru_.back();
+  BRIDGE_RACE_WRITE(ctx, &entries_, victim, "efs.cache");
   auto it = entries_.find(victim);
   if (it->second.dirty) {
     ++stats_.dirty_evictions;

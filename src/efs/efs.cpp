@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "src/sim/race_annotate.hpp"
 #include "src/util/logging.hpp"
 
 namespace bridge::efs {
@@ -151,7 +152,8 @@ util::Status EfsCore::dir_persist(sim::Context& ctx, std::uint32_t slot,
 }
 
 util::Result<BlockAddr> EfsCore::allocate_block(sim::Context& ctx) {
-  (void)ctx;  // allocation is an in-memory free-list pop
+  // Allocation is an in-memory free-list pop; ctx is only for the annotation.
+  BRIDGE_RACE_WRITE(ctx, &free_list_, 0, "efs.free_list");
   if (free_list_.empty()) return util::out_of_space("no free blocks");
   BlockAddr addr = free_list_.front();
   free_list_.pop_front();
@@ -169,6 +171,7 @@ util::Status EfsCore::free_block(sim::Context& ctx, BlockAddr addr) {
   // (§4.5) — this write is what makes Delete cost ~20ms per local block.
   if (auto st = dev_.write(ctx, addr, image); !st.is_ok()) return st;
   cache_.invalidate(addr);
+  BRIDGE_RACE_WRITE(ctx, &free_list_, 0, "efs.free_list");
   free_list_.push_back(addr);
   sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
   return util::ok_status();
@@ -184,6 +187,7 @@ util::Status EfsCore::create(sim::Context& ctx, FileId id) {
   }
   std::int64_t slot = dir_find_free(id);
   if (slot < 0) return util::out_of_space("directory full");
+  BRIDGE_RACE_WRITE(ctx, &dir_, id, "efs.file");
   dir_[static_cast<std::size_t>(slot)] =
       DirEntry{id, kNilAddr, 0, /*flags=*/0};
   ++stats_.creates;
@@ -196,6 +200,7 @@ util::Status EfsCore::remove(sim::Context& ctx, FileId id) {
   ctx.charge(config_.request_cpu);
   std::int64_t slot = dir_find(id);
   if (slot < 0) return util::not_found("file " + std::to_string(id));
+  BRIDGE_RACE_WRITE(ctx, &dir_, id, "efs.file");
   DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
 
   // "A file deletion algorithm that traverses the file sequentially,
@@ -222,6 +227,7 @@ util::Result<FileInfo> EfsCore::info(sim::Context& ctx, FileId id) {
   ctx.charge(config_.request_cpu);
   std::int64_t slot = dir_find(id);
   if (slot < 0) return util::not_found("file " + std::to_string(id));
+  BRIDGE_RACE_READ(ctx, &dir_, id, "efs.file");
   const DirEntry& e = dir_[static_cast<std::size_t>(slot)];
   return FileInfo{id, e.size_blocks, e.head};
 }
@@ -294,6 +300,7 @@ util::Result<ReadResult> EfsCore::read(sim::Context& ctx, FileId id,
   ctx.charge(config_.request_cpu);
   std::int64_t slot = dir_find(id);
   if (slot < 0) return util::not_found("file " + std::to_string(id));
+  BRIDGE_RACE_READ(ctx, &dir_, id, "efs.file");
   const DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
   if (block_no >= entry.size_blocks) {
     return util::invalid_argument("read past EOF");
@@ -419,6 +426,7 @@ util::Result<BlockAddr> EfsCore::write_one(sim::Context& ctx, FileId id,
   }
   std::int64_t slot = dir_find(id);
   if (slot < 0) return util::not_found("file " + std::to_string(id));
+  BRIDGE_RACE_WRITE(ctx, &dir_, id, "efs.file");
   DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
 
   ctx.charge(config_.record_cpu);
@@ -504,6 +512,7 @@ util::Status EfsCore::truncate(sim::Context& ctx, FileId id,
   ctx.charge(config_.request_cpu);
   std::int64_t slot = dir_find(id);
   if (slot < 0) return util::not_found("file " + std::to_string(id));
+  BRIDGE_RACE_WRITE(ctx, &dir_, id, "efs.file");
   DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
   if (new_size_blocks > entry.size_blocks) {
     return util::invalid_argument("truncate would grow the file");

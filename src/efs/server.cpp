@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "src/sim/race_annotate.hpp"
 #include "src/util/logging.hpp"
 
 namespace bridge::efs {
@@ -40,13 +41,16 @@ void EfsServer::serve(sim::Context& ctx) {
     if (sched_.empty()) {
       sim::Envelope first = mailbox_->recv();
       std::uint32_t track = estimate_track(first);
+      BRIDGE_RACE_WRITE(ctx, &sched_, 0, "efs.sched_queue");
       sched_.push(std::move(first), track, ctx.now());
     }
     while (auto more = mailbox_->try_recv()) {
       std::uint32_t track = estimate_track(*more);
+      BRIDGE_RACE_WRITE(ctx, &sched_, 0, "efs.sched_queue");
       sched_.push(std::move(*more), track, ctx.now());
     }
     depth_gauge.set(static_cast<double>(sched_.depth()));
+    BRIDGE_RACE_WRITE(ctx, &sched_, 0, "efs.sched_queue");
     auto popped = sched_.pop(disk_->current_track());
     sched_wait_us.record(
         static_cast<std::uint64_t>((ctx.now() - popped.enqueued_at).us()));

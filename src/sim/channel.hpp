@@ -47,7 +47,10 @@ class Channel {
       at = std::max(at, it->second);
       it->second = at;
     }
-    items_.push(Item{at, next_seq_++, std::move(value)});
+    // Happens-before edge for the race detector: the item carries a snapshot
+    // of the sender's vector clock, joined into the receiver's on delivery.
+    std::uint64_t race_token = sched_.race_on_send_locked();
+    items_.push(Item{at, next_seq_++, std::move(value), race_token});
     // Wake every parked receiver at the delivery time; stale-epoch filtering
     // makes redundant wakes harmless.
     for (Process* waiter : waiters_) {
@@ -62,6 +65,7 @@ class Channel {
     while (true) {
       if (!items_.empty() && items_.top().at <= sched_.now()) {
         T value = std::move(const_cast<Item&>(items_.top()).value);
+        sched_.race_on_recv_locked(items_.top().race_token);
         items_.pop();
         return value;
       }
@@ -86,6 +90,7 @@ class Channel {
     while (true) {
       if (!items_.empty() && items_.top().at <= sched_.now()) {
         T value = std::move(const_cast<Item&>(items_.top()).value);
+        sched_.race_on_recv_locked(items_.top().race_token);
         items_.pop();
         return value;
       }
@@ -107,6 +112,7 @@ class Channel {
     auto lock = sched_.lock();
     if (!items_.empty() && items_.top().at <= sched_.now()) {
       T value = std::move(const_cast<Item&>(items_.top()).value);
+      sched_.race_on_recv_locked(items_.top().race_token);
       items_.pop();
       return value;
     }
@@ -124,6 +130,7 @@ class Channel {
     SimTime at;
     std::uint64_t seq;
     T value;
+    std::uint64_t race_token = 0;  ///< sender clock snapshot (0 = none)
   };
   struct ItemLater {
     bool operator()(const Item& a, const Item& b) const noexcept {

@@ -1,0 +1,48 @@
+// Access annotations for the happens-before race detector.
+//
+// Sprinkle BRIDGE_RACE_READ / BRIDGE_RACE_WRITE on code that touches
+// logically-shared state (a Bridge file's placement, an LFS free list, a
+// cache entry, a disk-request queue).  An object is identified by a stable
+// base pointer plus a caller-chosen sub-key (0 for whole-object granularity,
+// a block address or file id for per-entry granularity).  `label` must be a
+// string literal — it names the object in reports and is stored by reference.
+//
+// When the detector is off (the default) an annotation is one pointer load
+// and a branch; it never touches virtual time either way.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/analysis/race.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace bridge::sim {
+
+inline void race_access(const Context& ctx, const void* base,
+                        std::uint64_t sub, std::string_view label, bool write,
+                        std::string_view site) {
+  analysis::RaceDetector* detector = ctx.runtime().race();
+  if (detector == nullptr) return;
+  analysis::RaceAccess access;
+  access.pid = ctx.pid();
+  access.node = ctx.node();
+  access.write = write;
+  access.vt_us = ctx.now().us();
+  access.span = ctx.runtime().tracer().current_context(ctx.pid()).parent_span;
+  access.site = site;
+  detector->on_access(base, sub, label, access);
+}
+
+}  // namespace bridge::sim
+
+#define BRIDGE_RACE_STRINGIFY2(x) #x
+#define BRIDGE_RACE_STRINGIFY(x) BRIDGE_RACE_STRINGIFY2(x)
+#define BRIDGE_RACE_SITE __FILE__ ":" BRIDGE_RACE_STRINGIFY(__LINE__)
+
+#define BRIDGE_RACE_READ(ctx, base, sub, label) \
+  ::bridge::sim::race_access((ctx), (base), (sub), (label), /*write=*/false, \
+                             BRIDGE_RACE_SITE)
+#define BRIDGE_RACE_WRITE(ctx, base, sub, label) \
+  ::bridge::sim::race_access((ctx), (base), (sub), (label), /*write=*/true, \
+                             BRIDGE_RACE_SITE)

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/analysis/race.hpp"
+
 namespace bridge::sim {
 
 Runtime::Runtime(std::uint32_t num_nodes, Topology topology, std::uint64_t seed)
@@ -9,6 +11,21 @@ Runtime::Runtime(std::uint32_t num_nodes, Topology topology, std::uint64_t seed)
   if (num_nodes == 0) {
     throw std::invalid_argument("Runtime requires at least one node");
   }
+#ifdef BRIDGE_RACE_CHECK
+  enable_race_check();
+#endif
+}
+
+Runtime::~Runtime() {
+  // Processes (scheduler threads) may still run teardown code that consults
+  // the detector through channel hooks; detach it before it is destroyed.
+  sched_.set_race_detector(nullptr);
+}
+
+void Runtime::enable_race_check() {
+  if (race_ != nullptr) return;
+  race_ = std::make_unique<analysis::RaceDetector>();
+  sched_.set_race_detector(race_.get());
 }
 
 ProcessHandle Runtime::spawn(NodeId node, std::string name,

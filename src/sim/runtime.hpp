@@ -19,6 +19,10 @@
 #include "src/sim/time.hpp"
 #include "src/sim/topology.hpp"
 
+namespace bridge::analysis {
+class RaceDetector;
+}  // namespace bridge::analysis
+
 namespace bridge::sim {
 
 class Runtime;
@@ -84,6 +88,7 @@ class Runtime {
  public:
   explicit Runtime(std::uint32_t num_nodes, Topology topology = {},
                    std::uint64_t seed = 1);
+  ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -124,6 +129,16 @@ class Runtime {
   /// Virtual-time span tracer (disabled until tracer().enable()).
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
 
+  /// Turn on the happens-before race detector (src/analysis/race.hpp).
+  /// Call before spawning processes so spawn edges are recorded.  Purely
+  /// observational: virtual time is identical with it on or off.  Builds
+  /// configured with -DBRIDGE_RACE_CHECK=ON enable it at construction.
+  void enable_race_check();
+  /// The active detector, or nullptr when disabled.
+  [[nodiscard]] analysis::RaceDetector* race() const noexcept {
+    return race_.get();
+  }
+
  private:
   std::uint32_t num_nodes_;
   Topology topology_;
@@ -132,6 +147,7 @@ class Runtime {
   MessageStats msg_stats_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  std::unique_ptr<analysis::RaceDetector> race_;
 };
 
 /// RAII span on the calling process's lane: opens at construction time,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/analysis/race.hpp"
 #include "src/util/logging.hpp"
 
 namespace bridge::sim {
@@ -58,6 +59,10 @@ ProcessHandle Scheduler::spawn(NodeId node, std::string name,
   events_.push(Event{clock_ + delay, next_seq_++, p, /*epoch=*/0, /*is_start=*/true});
   processes_.push_back(std::move(proc));
   ++stats_.processes_spawned;
+  if (race_ != nullptr) {
+    // Causal edge: the spawner's history happened before the child's body.
+    race_->on_spawn(current_ == nullptr ? 0 : current_->id(), p->id());
+  }
   return ProcessHandle(p);
 }
 
@@ -147,6 +152,21 @@ void Scheduler::run() {
   for (auto& p : processes_) {
     if (p->state_ == Process::State::kParked && !p->daemon_) deadlocked_ = true;
   }
+  if (race_ != nullptr) {
+    // run() returning is a real barrier: the controller (and anything it
+    // spawns afterwards) is causally after every process's history.
+    race_->on_quiescence();
+  }
+}
+
+std::uint64_t Scheduler::race_on_send_locked() {
+  if (race_ == nullptr) return 0;
+  return race_->on_send(current_ == nullptr ? 0 : current_->id());
+}
+
+void Scheduler::race_on_recv_locked(std::uint64_t token) {
+  if (race_ == nullptr || token == 0) return;
+  race_->on_recv(current_ == nullptr ? 0 : current_->id(), token);
 }
 
 std::vector<std::string> Scheduler::parked_process_names() const {

@@ -26,6 +26,10 @@
 
 #include "src/sim/time.hpp"
 
+namespace bridge::analysis {
+class RaceDetector;
+}  // namespace bridge::analysis
+
 namespace bridge::sim {
 
 class Scheduler;
@@ -145,6 +149,25 @@ class Scheduler {
     return std::unique_lock<std::mutex>(mutex_);
   }
 
+  // --- Race-detector plumbing (see src/analysis/race.hpp). ---
+
+  /// Install (or remove, with nullptr) the happens-before detector.  The
+  /// Runtime owns it; the scheduler and channels only feed it causal edges.
+  void set_race_detector(analysis::RaceDetector* detector) noexcept {
+    race_ = detector;
+  }
+  [[nodiscard]] analysis::RaceDetector* race_detector() const noexcept {
+    return race_;
+  }
+
+  /// Channel send/recv edge hooks.  Both must be called with the scheduler
+  /// lock held (channels already hold it while manipulating their queues).
+  /// on_send snapshots the current process's vector clock and returns a
+  /// token stored on the in-flight item (0 when the detector is off);
+  /// on_recv joins that snapshot into the receiver's clock.
+  [[nodiscard]] std::uint64_t race_on_send_locked();
+  void race_on_recv_locked(std::uint64_t token);
+
  private:
   struct Event {
     SimTime time;
@@ -177,6 +200,7 @@ class Scheduler {
   SchedulerStats stats_;
   bool deadlocked_ = false;
   bool draining_ = false;  ///< destructor: force-finish parked processes
+  analysis::RaceDetector* race_ = nullptr;  ///< owned by the Runtime
 };
 
 }  // namespace bridge::sim

@@ -1,0 +1,249 @@
+// Happens-before race detector: unit tests for the vector-clock core, a
+// fault-injection test that plants the PR's motivating ordering bug (two
+// unrouted writers mutating one file's placement with no message between
+// them), causal-edge suppression through channels, a clean full-machine
+// workload, and the zero-perturbation guarantee (same-seed traces are
+// byte-identical with the detector on or off).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/race.hpp"
+#include "src/core/distribution.hpp"
+#include "src/core/instance.hpp"
+#include "src/sim/race_annotate.hpp"
+#include "src/sim/runtime.hpp"
+
+namespace bridge {
+namespace {
+
+using analysis::RaceAccess;
+using analysis::RaceDetector;
+
+RaceAccess access_at(std::uint64_t pid, std::int64_t vt_us, bool write,
+                     std::string_view site) {
+  RaceAccess a;
+  a.pid = pid;
+  a.node = static_cast<std::uint32_t>(pid);
+  a.write = write;
+  a.vt_us = vt_us;
+  a.site = site;
+  return a;
+}
+
+int dummy_object;  // identity only; never dereferenced
+
+// --- Vector-clock core -----------------------------------------------------
+
+TEST(RaceDetectorCore, UnorderedWritesConflict) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_spawn(0, 2);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 10, true, "a.cpp:1"));
+  d.on_access(&dummy_object, 0, "obj", access_at(2, 20, true, "b.cpp:2"));
+  ASSERT_EQ(d.reports().size(), 1u);
+  const auto& r = d.reports()[0];
+  EXPECT_EQ(r.object, "obj");
+  EXPECT_EQ(r.prior.pid, 1u);
+  EXPECT_EQ(r.current.pid, 2u);
+  EXPECT_EQ(r.prior.site, "a.cpp:1");
+  EXPECT_EQ(r.current.site, "b.cpp:2");
+  // Virtual time is NOT an ordering: the later timestamp did not save it.
+  EXPECT_LT(r.prior.vt_us, r.current.vt_us);
+}
+
+TEST(RaceDetectorCore, SendRecvEdgeOrders) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_spawn(0, 2);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 10, true, "a.cpp:1"));
+  std::uint64_t token = d.on_send(1);
+  ASSERT_NE(token, 0u);
+  d.on_recv(2, token);
+  d.on_access(&dummy_object, 0, "obj", access_at(2, 20, true, "b.cpp:2"));
+  EXPECT_TRUE(d.reports().empty()) << d.report_text();
+}
+
+TEST(RaceDetectorCore, EdgesAreTransitive) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_spawn(0, 2);
+  d.on_spawn(0, 3);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 1, true, "a.cpp:1"));
+  std::uint64_t t1 = d.on_send(1);
+  d.on_recv(2, t1);
+  std::uint64_t t2 = d.on_send(2);  // 2 relays without touching the object
+  d.on_recv(3, t2);
+  d.on_access(&dummy_object, 0, "obj", access_at(3, 3, true, "c.cpp:3"));
+  EXPECT_TRUE(d.reports().empty()) << d.report_text();
+}
+
+TEST(RaceDetectorCore, ConcurrentReadsAreFine) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_spawn(0, 2);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 1, false, "a.cpp:1"));
+  d.on_access(&dummy_object, 0, "obj", access_at(2, 2, false, "b.cpp:2"));
+  EXPECT_TRUE(d.reports().empty()) << d.report_text();
+  // ...but an unordered write against either read is flagged.
+  d.on_spawn(0, 3);
+  d.on_access(&dummy_object, 0, "obj", access_at(3, 3, true, "c.cpp:3"));
+  EXPECT_EQ(d.reports().size(), 2u) << d.report_text();
+}
+
+TEST(RaceDetectorCore, QuiescenceOrdersPostRunInspection) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 5, true, "a.cpp:1"));
+  d.on_quiescence();  // Scheduler::run() returned
+  d.on_access(&dummy_object, 0, "obj", access_at(0, 5, false, "test.cpp:1"));
+  EXPECT_TRUE(d.reports().empty()) << d.report_text();
+  // A process spawned after the barrier inherits the controller's view.
+  d.on_spawn(0, 2);
+  d.on_access(&dummy_object, 0, "obj", access_at(2, 9, true, "b.cpp:2"));
+  EXPECT_TRUE(d.reports().empty()) << d.report_text();
+}
+
+TEST(RaceDetectorCore, DistinctObjectsDoNotInteract) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_spawn(0, 2);
+  d.on_access(&dummy_object, 1, "obj[1]", access_at(1, 1, true, "a.cpp:1"));
+  d.on_access(&dummy_object, 2, "obj[2]", access_at(2, 2, true, "b.cpp:2"));
+  EXPECT_TRUE(d.reports().empty()) << d.report_text();
+  EXPECT_EQ(d.access_count(), 2u);
+}
+
+// --- Fault injection: the PR's motivating bug ------------------------------
+
+// Two "servers" that were never routed through each other both mutate one
+// file's placement.  Nothing orders them but virtual time — exactly the
+// latent reproducibility bug the detector exists to catch.  This test also
+// guards against the detector being silently disabled: it FAILS if no report
+// is produced.
+TEST(RaceDetectorSim, InjectedPlacementRaceIsReported) {
+  sim::Runtime rt(/*num_nodes=*/2);
+  rt.enable_race_check();
+  ASSERT_NE(rt.race(), nullptr)
+      << "race detector must be active for this test to mean anything";
+
+  core::PlacementMap placement(core::Distribution::kRoundRobin, /*width=*/2,
+                               /*start_lfs=*/0, /*total_lfs=*/2,
+                               /*chunk_blocks=*/0, /*hash_seed=*/1);
+  rt.spawn(0, "serverA", [&](sim::Context& ctx) {
+    ctx.sleep(sim::usec(100));
+    BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
+    (void)placement.append();
+  });
+  rt.spawn(1, "serverB", [&](sim::Context& ctx) {
+    ctx.sleep(sim::usec(200));  // later in virtual time, still unordered
+    BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
+    (void)placement.append();
+  });
+  rt.run();
+
+  ASSERT_EQ(rt.race()->reports().size(), 1u)
+      << "injected ordering bug must be reported; if this fails with zero "
+         "reports the detector wiring is broken\n"
+      << rt.race()->report_text();
+  const auto& r = rt.race()->reports()[0];
+  EXPECT_EQ(r.object, "bridge.placement");
+  EXPECT_TRUE(r.prior.write);
+  EXPECT_TRUE(r.current.write);
+  EXPECT_NE(r.prior.pid, r.current.pid);
+  EXPECT_EQ(r.prior.vt_us, 100);
+  EXPECT_EQ(r.current.vt_us, 200);
+  // The report names both annotation sites in this file.
+  EXPECT_NE(r.prior.site.find("analysis_race_test.cpp"), std::string::npos);
+  EXPECT_NE(r.current.site.find("analysis_race_test.cpp"), std::string::npos);
+  EXPECT_NE(r.to_string().find("bridge.placement"), std::string::npos);
+}
+
+// Same two writers, but the second mutation is driven by a message from the
+// first: the channel edge orders them and the detector stays silent.
+TEST(RaceDetectorSim, ChannelEdgeSuppressesReport) {
+  sim::Runtime rt(/*num_nodes=*/2);
+  rt.enable_race_check();
+  core::PlacementMap placement(core::Distribution::kRoundRobin, 2, 0, 2, 0, 1);
+  auto done = rt.make_channel<int>(/*node=*/1);
+  rt.spawn(0, "serverA", [&](sim::Context& ctx) {
+    ctx.sleep(sim::usec(100));
+    BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
+    (void)placement.append();
+    ctx.send(*done, 1, /*payload_bytes=*/4);
+  });
+  rt.spawn(1, "serverB", [&](sim::Context& ctx) {
+    (void)done->recv();
+    BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
+    (void)placement.append();
+  });
+  rt.run();
+  ASSERT_NE(rt.race(), nullptr);
+  EXPECT_TRUE(rt.race()->reports().empty()) << rt.race()->report_text();
+  EXPECT_EQ(rt.race()->access_count(), 2u);
+}
+
+// --- Full machine ----------------------------------------------------------
+
+core::SystemConfig test_config(std::uint32_t p) {
+  return core::SystemConfig::paper_profile(p, /*data_blocks_per_lfs=*/512);
+}
+
+void table2_style_workload(core::BridgeClient& client) {
+  std::vector<std::byte> block(efs::kUserDataBytes, std::byte{0x5A});
+  auto id = client.create("wl");
+  ASSERT_TRUE(id.is_ok());
+  auto open = client.open("wl");
+  ASSERT_TRUE(open.is_ok());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(client.seq_write(open.value().session, block).is_ok());
+  }
+  auto reopen = client.open("wl");
+  ASSERT_TRUE(reopen.is_ok());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(client.seq_read(reopen.value().session).is_ok());
+  }
+  ASSERT_TRUE(client.truncate(id.value(), 4).is_ok());
+}
+
+// The shipped request paths are properly ordered: a real workload over a
+// p=4 machine annotates thousands of accesses and must produce no reports.
+TEST(RaceDetectorSim, CleanWorkloadHasNoRaces) {
+  core::BridgeInstance inst(test_config(4));
+  inst.runtime().enable_race_check();
+  inst.run_client("c", [&](sim::Context&, core::BridgeClient& client) {
+    table2_style_workload(client);
+  });
+  inst.run();
+  EXPECT_TRUE(inst.verify_all_lfs().is_ok());
+  ASSERT_NE(inst.runtime().race(), nullptr);
+  EXPECT_TRUE(inst.runtime().race()->reports().empty())
+      << inst.runtime().race()->report_text();
+  // Proof the instrumentation was live, not compiled out or unreached.
+  EXPECT_GT(inst.runtime().race()->access_count(), 100u);
+}
+
+// Zero-perturbation guarantee: the detector observes but never sleeps,
+// charges, or posts, so a same-seed run produces a byte-identical virtual
+// time trace whether it is on or off.
+TEST(RaceDetectorSim, DetectorDoesNotPerturbVirtualTime) {
+  auto run_once = [&](bool with_detector) {
+    core::BridgeInstance inst(test_config(4));
+    if (with_detector) inst.runtime().enable_race_check();
+    inst.runtime().tracer().enable();
+    inst.run_client("c", [&](sim::Context&, core::BridgeClient& client) {
+      table2_style_workload(client);
+    });
+    inst.run();
+    return inst.runtime().tracer().chrome_trace_json();
+  };
+  std::string off = run_once(false);
+  std::string on = run_once(true);
+  EXPECT_GT(off.size(), 1000u);
+  EXPECT_EQ(off, on)
+      << "enabling the race detector changed the virtual-time trace";
+}
+
+}  // namespace
+}  // namespace bridge

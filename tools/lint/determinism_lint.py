@@ -1,0 +1,394 @@
+#!/usr/bin/env python3
+"""Determinism lint for the Bridge simulator.
+
+The whole value of the simulator rests on one property: the same seed
+produces the same trace, byte for byte, on any machine.  This linter scans
+the C++ sources for constructs that silently break that property:
+
+  bridge-wall-clock      Wall-clock reads (std::chrono::system_clock,
+                         time(), clock_gettime, gettimeofday).  Virtual time
+                         comes from sim::Context::now(); host time must never
+                         leak into simulation state or output.
+  bridge-unseeded-random Nondeterministic randomness (std::random_device,
+                         rand()/srand()).  All randomness must derive from
+                         the run seed via sim::Rng.
+  bridge-unordered-iter  Iteration over std::unordered_map/std::unordered_set.
+                         Bucket order depends on libstdc++ version, insertion
+                         history and pointer values; any iteration whose order
+                         can escape (serialization, RPC issue order,
+                         scheduling) is a reproducibility bug.  Sites that are
+                         provably order-insensitive carry a NOLINT waiver.
+  bridge-pointer-key-map Ordered containers (std::map/std::set) keyed on a
+                         pointer type.  Pointer comparison order is ASLR
+                         order; iterating such a container is nondeterministic
+                         across runs even with identical seeds.
+  bridge-uninit-pod      POD members of wire-protocol structs without an
+                         initializer.  Uninitialized padding/fields serialize
+                         garbage bytes, breaking trace and message byte
+                         identity.
+
+Waivers: a finding is suppressed by a comment on the same line or the line
+directly above:
+
+    // NOLINT(bridge-<rule>): <non-empty reason>
+
+The reason is mandatory; a bare NOLINT without a justification is itself an
+error.  Run from the repo root:
+
+    python3 tools/lint/determinism_lint.py        # lint src/ bench/ tests/
+    python3 tools/lint/determinism_lint.py src/efs  # or specific paths
+
+Exit status is 0 when no findings, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+DEFAULT_ROOTS = ["src", "bench", "tests"]
+CXX_EXTENSIONS = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+# Protocol headers whose structs go on the wire: every POD member must have
+# an initializer.
+PROTOCOL_HEADERS = {
+    os.path.join("src", "core", "protocol.hpp"),
+    os.path.join("src", "efs", "protocol.hpp"),
+}
+
+NOLINT_RE = re.compile(r"//\s*NOLINT\((bridge-[a-z-]+)\)\s*(?::\s*(.*))?")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    path: str
+    raw_lines: list[str]
+    # Lines with comments and string/char literals blanked out, so regexes
+    # never match inside them.  Same line count / column layout as raw_lines.
+    code_lines: list[str] = field(default_factory=list)
+    # line number (1-based) -> (rule, reason or None)
+    waivers: dict[int, tuple[str, str | None]] = field(default_factory=dict)
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comments and string/char literals, preserving layout."""
+    out: list[str] = []
+    in_block_comment = False
+    for line in lines:
+        buf: list[str] = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block_comment:
+                if line.startswith("*/", i):
+                    in_block_comment = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+                continue
+            two = line[i : i + 2]
+            if two == "//":
+                buf.append(" " * (n - i))
+                break
+            if two == "/*":
+                in_block_comment = True
+                buf.append("  ")
+                i += 2
+                continue
+            ch = line[i]
+            if ch == '"' or ch == "'":
+                quote = ch
+                buf.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        buf.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        buf.append(quote)
+                        i += 1
+                        break
+                    buf.append(" ")
+                    i += 1
+                continue
+            buf.append(ch)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def load_file(path: str) -> SourceFile:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read().splitlines()
+    sf = SourceFile(path=path, raw_lines=raw)
+    sf.code_lines = strip_comments_and_strings(raw)
+    for lineno, line in enumerate(raw, start=1):
+        m = NOLINT_RE.search(line)
+        if m:
+            reason = m.group(2)
+            reason = reason.strip() if reason else None
+            sf.waivers[lineno] = (m.group(1), reason or None)
+    return sf
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.used_waivers: set[tuple[str, int]] = set()
+
+    def report(self, sf: SourceFile, lineno: int, rule: str, message: str) -> None:
+        """Record a finding unless a valid waiver covers it.
+
+        A waiver applies on the same line or anywhere in the contiguous
+        comment block directly above (so the justification can wrap).
+        """
+        candidates = [lineno]
+        wline = lineno - 1
+        while wline >= 1 and sf.raw_lines[wline - 1].strip().startswith("//"):
+            candidates.append(wline)
+            wline -= 1
+        for wline in candidates:
+            waiver = sf.waivers.get(wline)
+            if waiver and waiver[0] == rule:
+                self.used_waivers.add((sf.path, wline))
+                if waiver[1] is None:
+                    self.findings.append(
+                        Finding(
+                            sf.path,
+                            wline,
+                            rule,
+                            "NOLINT waiver requires a reason: "
+                            f"// NOLINT({rule}): <why this is safe>",
+                        )
+                    )
+                return
+        self.findings.append(Finding(sf.path, lineno, rule, message))
+
+    # ---- simple pattern rules -------------------------------------------
+
+    WALL_CLOCK_PATTERNS = [
+        (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+        (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
+        (
+            re.compile(r"std::chrono::high_resolution_clock"),
+            "std::chrono::high_resolution_clock",
+        ),
+        (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "time()"),
+        (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+        (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+        (re.compile(r"\blocaltime(?:_r)?\s*\("), "localtime()"),
+    ]
+
+    RANDOM_PATTERNS = [
+        (re.compile(r"std::random_device"), "std::random_device"),
+        (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    ]
+
+    def lint_patterns(self, sf: SourceFile) -> None:
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            for pat, what in self.WALL_CLOCK_PATTERNS:
+                if pat.search(line):
+                    self.report(
+                        sf,
+                        lineno,
+                        "bridge-wall-clock",
+                        f"{what} reads host time; simulation code must use "
+                        "sim::Context::now() so runs are reproducible",
+                    )
+            for pat, what in self.RANDOM_PATTERNS:
+                if pat.search(line):
+                    self.report(
+                        sf,
+                        lineno,
+                        "bridge-unseeded-random",
+                        f"{what} is not derived from the run seed; use "
+                        "sim::Rng (Context::rng()) instead",
+                    )
+
+    POINTER_KEY_RE = re.compile(r"std::(?:map|set)\s*<\s*[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+
+    def lint_pointer_keys(self, sf: SourceFile) -> None:
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            if self.POINTER_KEY_RE.search(line):
+                self.report(
+                    sf,
+                    lineno,
+                    "bridge-pointer-key-map",
+                    "ordered container keyed on a pointer iterates in address "
+                    "order, which varies run to run under ASLR; key on a "
+                    "stable id instead",
+                )
+
+    # ---- unordered-container iteration ----------------------------------
+
+    UNORDERED_DECL_RE = re.compile(
+        r"std::unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=]"
+    )
+    # `for (... : name)` and `name.begin()`
+    RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*(?:this\s*->\s*)?(\w+)\s*\)")
+    BEGIN_RE = re.compile(r"(?<![\w.])(\w+)\s*\.\s*(?:begin|cbegin)\s*\(")
+
+    def collect_unordered_names(self, sf: SourceFile) -> set[str]:
+        names: set[str] = set()
+        for line in sf.code_lines:
+            for m in self.UNORDERED_DECL_RE.finditer(line):
+                names.add(m.group(1))
+        return names
+
+    def lint_unordered_iteration(self, sf: SourceFile, extra_names: set[str]) -> None:
+        names = self.collect_unordered_names(sf) | extra_names
+        if not names:
+            return
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            hits: set[str] = set()
+            for m in self.RANGE_FOR_RE.finditer(line):
+                if m.group(1) in names:
+                    hits.add(m.group(1))
+            for m in self.BEGIN_RE.finditer(line):
+                if m.group(1) in names:
+                    hits.add(m.group(1))
+            for name in sorted(hits):
+                self.report(
+                    sf,
+                    lineno,
+                    "bridge-unordered-iter",
+                    f"iterating unordered container '{name}': bucket order is "
+                    "not deterministic across libraries/runs; sort a snapshot "
+                    "first, or waive with a reason if order cannot escape",
+                )
+
+    # ---- uninitialized POD members in protocol structs -------------------
+
+    POD_TYPES = (
+        r"(?:std::)?u?int(?:8|16|32|64)_t|std::size_t|std::byte|bool|float|"
+        r"double|char|(?:un)?signed(?:\s+\w+)?|short|long(?:\s+long)?|int"
+    )
+    POD_MEMBER_RE = re.compile(
+        r"^\s*(?:static\s+constexpr\s+|constexpr\s+|mutable\s+)?"
+        rf"(?P<type>{POD_TYPES})\s+"
+        r"(?P<name>\w+)\s*(?P<init>=[^;]+|\{[^;]*\})?\s*;"
+    )
+
+    def lint_uninit_pod(self, sf: SourceFile) -> None:
+        in_struct_depth: list[int] = []  # brace depths where a struct body opened
+        depth = 0
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            stripped = line.strip()
+            if re.match(r"(?:struct|class)\s+\w+[^;]*\{", stripped):
+                in_struct_depth.append(depth)
+            opens = line.count("{")
+            closes = line.count("}")
+            if in_struct_depth and depth + opens > in_struct_depth[-1]:
+                m = self.POD_MEMBER_RE.match(line)
+                if m and not m.group("init"):
+                    if "static" not in line and "constexpr" not in line:
+                        self.report(
+                            sf,
+                            lineno,
+                            "bridge-uninit-pod",
+                            f"protocol struct member '{m.group('name')}' has no "
+                            "initializer; uninitialized bytes serialize as "
+                            "garbage and break byte-identical replay",
+                        )
+            depth += opens - closes
+            while in_struct_depth and depth <= in_struct_depth[-1]:
+                if closes > 0 and depth <= in_struct_depth[-1]:
+                    in_struct_depth.pop()
+                else:
+                    break
+
+    # ---- waiver hygiene --------------------------------------------------
+
+    def lint_unused_waivers(self, files: list[SourceFile]) -> None:
+        for sf in files:
+            for lineno, (rule, _reason) in sf.waivers.items():
+                if (sf.path, lineno) not in self.used_waivers:
+                    self.findings.append(
+                        Finding(
+                            sf.path,
+                            lineno,
+                            rule,
+                            f"NOLINT({rule}) waiver matches no finding; "
+                            "remove it so waivers stay meaningful",
+                        )
+                    )
+
+
+def discover(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = [d for d in dirnames if d not in ("build", ".git")]
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] in CXX_EXTENSIONS:
+                    files.append(os.path.join(dirpath, fn))
+    return sorted(files)
+
+
+def sibling_header_names(path: str, linter: Linter) -> set[str]:
+    """Unordered-container members declared in the matching .hpp of a .cpp."""
+    base, ext = os.path.splitext(path)
+    if ext not in (".cpp", ".cc"):
+        return set()
+    for hext in (".hpp", ".hh", ".h"):
+        header = base + hext
+        if os.path.isfile(header):
+            return linter.collect_unordered_names(load_file(header))
+    return set()
+
+
+def main(argv: list[str]) -> int:
+    roots = argv[1:] or DEFAULT_ROOTS
+    roots = [r for r in roots if os.path.exists(r)]
+    if not roots:
+        print("determinism_lint: no input paths found", file=sys.stderr)
+        return 2
+
+    linter = Linter()
+    files = [load_file(p) for p in discover(roots)]
+    for sf in files:
+        linter.lint_patterns(sf)
+        linter.lint_pointer_keys(sf)
+        extra = sibling_header_names(sf.path, linter)
+        linter.lint_unordered_iteration(sf, extra)
+        norm = os.path.normpath(sf.path)
+        if norm in PROTOCOL_HEADERS or os.path.basename(norm) == "protocol.hpp":
+            linter.lint_uninit_pod(sf)
+    linter.lint_unused_waivers(files)
+
+    for finding in sorted(
+        linter.findings, key=lambda f: (f.path, f.line, f.rule)
+    ):
+        print(finding.render())
+    if linter.findings:
+        print(
+            f"determinism_lint: {len(linter.findings)} finding(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism_lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
