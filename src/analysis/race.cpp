@@ -72,11 +72,18 @@ void RaceDetector::on_spawn(std::uint64_t parent_pid, std::uint64_t child_pid) {
 
 std::uint64_t RaceDetector::on_send(std::uint64_t pid) {
   Clock& clock = clock_of(pid);
-  ++clock[pid];
+  // Snapshot BEFORE ticking, mirroring on_spawn: the tick opens the sender's
+  // next epoch, so anything the sender does after the send stays unordered
+  // with the receiver's post-recv work.  (Ticking first would fold every
+  // post-send access of the sender into the snapshot and silently suppress
+  // those races.)
   std::uint64_t token = next_token_++;
   tokens_.emplace(token, clock);
+  ++clock[pid];
   return token;
 }
+
+void RaceDetector::drop_token(std::uint64_t token) { tokens_.erase(token); }
 
 void RaceDetector::on_recv(std::uint64_t pid, std::uint64_t token) {
   auto it = tokens_.find(token);
@@ -100,6 +107,16 @@ void RaceDetector::on_quiescence() {
     }
   }
   ++controller[0];
+  // Every process also starts a fresh epoch at the barrier.  A parked daemon
+  // that resumes in a later run() phase must not reuse epoch values already
+  // absorbed above, or its post-barrier accesses would be falsely ordered
+  // before all post-quiescence work (missed races across run() phases).
+  for (std::size_t p = 1; p < clocks_.size(); ++p) {
+    Clock& clock = clocks_[p];
+    if (clock.empty()) continue;  // pid slot never materialized
+    if (clock.size() <= p) clock.resize(p + 1, 0);
+    ++clock[p];
+  }
 }
 
 void RaceDetector::report(const ObjectState& obj, const RaceAccess& prior,

@@ -84,6 +84,12 @@ class RaceDetector {
   /// Tokens are single-use; 0 and unknown tokens are ignored.
   void on_recv(std::uint64_t pid, std::uint64_t token);
 
+  /// Discard the snapshot of an item dropped without delivery (its channel
+  /// was destroyed while the item was still queued).  Without this,
+  /// fire-and-forget channels would grow the token table without bound.
+  /// 0 and unknown tokens are ignored.
+  void drop_token(std::uint64_t token);
+
   /// Scheduler::run() returned: the controller has observed quiescence, so
   /// every process's history happened before whatever the controller (or a
   /// process spawned later) does next.
@@ -107,6 +113,11 @@ class RaceDetector {
   }
   /// All reports, one to_string() per line.
   [[nodiscard]] std::string report_text() const;
+  /// Message snapshots not yet consumed or dropped (tests assert channel
+  /// teardown releases the snapshots of undelivered items).
+  [[nodiscard]] std::size_t outstanding_tokens() const noexcept {
+    return tokens_.size();
+  }
 
   /// Forget reports and object history but keep the clocks (phase
   /// measurement without tearing down the runtime).
@@ -147,8 +158,9 @@ class RaceDetector {
               const RaceAccess& current);
 
   std::vector<Clock> clocks_;  ///< index = pid; [0] is the controller
-  // Outstanding message-clock snapshots, erased when consumed.  Keyed by
-  // token and never iterated, so hash order cannot reach any output.
+  // Outstanding message-clock snapshots, erased when consumed (on_recv) or
+  // when the undelivered item is dropped at channel teardown (drop_token).
+  // Keyed by token and never iterated, so hash order cannot reach any output.
   std::unordered_map<std::uint64_t, Clock> tokens_;
   std::uint64_t next_token_ = 1;
   // Object table; never iterated (reports are appended in discovery order,

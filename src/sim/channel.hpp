@@ -28,6 +28,16 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  /// Undelivered items still hold race-detector clock snapshots; release
+  /// them so tearing down an abandoned channel does not leak tokens.
+  ~Channel() {
+    auto lock = sched_.lock();
+    while (!items_.empty()) {
+      sched_.race_on_drop_locked(items_.top().race_token);
+      items_.pop();
+    }
+  }
+
   [[nodiscard]] NodeId node() const noexcept { return node_; }
 
   /// Enqueue `value`, visible to receivers at now + latency.  Callable from

@@ -169,6 +169,11 @@ void Scheduler::race_on_recv_locked(std::uint64_t token) {
   race_->on_recv(current_ == nullptr ? 0 : current_->id(), token);
 }
 
+void Scheduler::race_on_drop_locked(std::uint64_t token) {
+  if (race_ == nullptr || token == 0) return;
+  race_->drop_token(token);
+}
+
 std::vector<std::string> Scheduler::parked_process_names() const {
   std::vector<std::string> names;
   for (const auto& p : processes_) {

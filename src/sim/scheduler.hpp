@@ -167,6 +167,10 @@ class Scheduler {
   /// on_recv joins that snapshot into the receiver's clock.
   [[nodiscard]] std::uint64_t race_on_send_locked();
   void race_on_recv_locked(std::uint64_t token);
+  /// An in-flight item is being dropped without delivery (its channel is
+  /// being destroyed): release the clock snapshot held for `token` so
+  /// abandoned fire-and-forget channels do not leak detector state.
+  void race_on_drop_locked(std::uint64_t token);
 
  private:
   struct Event {

@@ -65,6 +65,25 @@ TEST(RaceDetectorCore, SendRecvEdgeOrders) {
   EXPECT_TRUE(d.reports().empty()) << d.report_text();
 }
 
+// The snapshot covers only the sender's history UP TO the send: mutations
+// the sender makes after posting the message are unordered with the
+// receiver's post-recv work and must still be reported.  (Regression: a
+// tick-before-snapshot bug folded post-send accesses into the snapshot and
+// silently suppressed these races.)
+TEST(RaceDetectorCore, SenderPostSendAccessStaysUnordered) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_spawn(0, 2);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 10, true, "a.cpp:1"));
+  std::uint64_t token = d.on_send(1);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 15, true, "a.cpp:2"));
+  d.on_recv(2, token);
+  d.on_access(&dummy_object, 0, "obj", access_at(2, 20, true, "b.cpp:3"));
+  ASSERT_EQ(d.reports().size(), 1u) << d.report_text();
+  EXPECT_EQ(d.reports()[0].prior.site, "a.cpp:2");
+  EXPECT_EQ(d.reports()[0].current.site, "b.cpp:3");
+}
+
 TEST(RaceDetectorCore, EdgesAreTransitive) {
   RaceDetector d;
   d.on_spawn(0, 1);
@@ -103,6 +122,24 @@ TEST(RaceDetectorCore, QuiescenceOrdersPostRunInspection) {
   d.on_spawn(0, 2);
   d.on_access(&dummy_object, 0, "obj", access_at(2, 9, true, "b.cpp:2"));
   EXPECT_TRUE(d.reports().empty()) << d.report_text();
+}
+
+// The quiescence barrier orders pre-barrier history before the controller,
+// but a daemon resuming in a LATER run() phase starts a fresh epoch: its new
+// accesses are unordered with the controller's post-barrier work and must be
+// reported, not absorbed into the already-merged history.
+TEST(RaceDetectorCore, ResumeAfterQuiescenceStartsFreshEpoch) {
+  RaceDetector d;
+  d.on_spawn(0, 1);
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 5, true, "a.cpp:1"));
+  d.on_quiescence();  // first run() phase ends
+  // pid 1 resumes in a second phase (e.g. a timer wake) and writes again;
+  // nothing but virtual time orders it against the controller's write.
+  d.on_access(&dummy_object, 0, "obj", access_at(1, 50, true, "a.cpp:2"));
+  d.on_access(&dummy_object, 0, "obj", access_at(0, 60, true, "test.cpp:1"));
+  ASSERT_EQ(d.reports().size(), 1u) << d.report_text();
+  EXPECT_EQ(d.reports()[0].prior.site, "a.cpp:2");
+  EXPECT_EQ(d.reports()[0].current.site, "test.cpp:1");
 }
 
 TEST(RaceDetectorCore, DistinctObjectsDoNotInteract) {
@@ -182,6 +219,25 @@ TEST(RaceDetectorSim, ChannelEdgeSuppressesReport) {
   ASSERT_NE(rt.race(), nullptr);
   EXPECT_TRUE(rt.race()->reports().empty()) << rt.race()->report_text();
   EXPECT_EQ(rt.race()->access_count(), 2u);
+}
+
+// Fire-and-forget channels: items that are never received hold clock
+// snapshots; destroying the channel must release them so long detector
+// runs with abandoned channels don't grow token state without bound.
+TEST(RaceDetectorSim, DroppedChannelItemsReleaseSnapshots) {
+  sim::Runtime rt(/*num_nodes=*/1);
+  rt.enable_race_check();
+  ASSERT_NE(rt.race(), nullptr);
+  {
+    auto abandoned = rt.make_channel<int>(/*node=*/0);
+    rt.spawn(0, "fire-and-forget", [&](sim::Context& ctx) {
+      ctx.send(*abandoned, 1, /*payload_bytes=*/4);
+      ctx.send(*abandoned, 2, /*payload_bytes=*/4);
+    });
+    rt.run();
+    EXPECT_EQ(rt.race()->outstanding_tokens(), 2u);
+  }  // channel destroyed with both items undelivered
+  EXPECT_EQ(rt.race()->outstanding_tokens(), 0u);
 }
 
 // --- Full machine ----------------------------------------------------------

@@ -83,15 +83,40 @@ class SourceFile:
     waivers: dict[int, tuple[str, str | None]] = field(default_factory=dict)
 
 
+def _is_digit_separator(line: str, i: int) -> bool:
+    """True when the quote at line[i] is a C++14 digit separator (1'000'000,
+    0xFF'FF) rather than the start of a char literal: the quote sits inside a
+    pp-number, i.e. the maximal alnum/quote/dot run ending just before i
+    starts with a digit.  (Known blind spot: prefixed char literals such as
+    u8'a' look like a pp-number and are misread; none exist in this tree.)"""
+    j = i - 1
+    while j >= 0 and (line[j].isalnum() or line[j] in "'._"):
+        j -= 1
+    start = j + 1
+    return start < i and line[start].isdigit()
+
+
 def strip_comments_and_strings(lines: list[str]) -> list[str]:
-    """Blank out comments and string/char literals, preserving layout."""
+    """Blank out comments and string/char/raw-string literals, preserving
+    layout.  Digit separators (1'000'000) are not treated as quotes."""
     out: list[str] = []
     in_block_comment = False
+    raw_end: str | None = None  # inside R"delim( ... when set, holds )delim"
     for line in lines:
         buf: list[str] = []
         i = 0
         n = len(line)
         while i < n:
+            if raw_end is not None:
+                end = line.find(raw_end, i)
+                if end == -1:
+                    buf.append(" " * (n - i))
+                    i = n
+                else:
+                    buf.append(" " * (end - i + len(raw_end)))
+                    i = end + len(raw_end)
+                    raw_end = None
+                continue
             if in_block_comment:
                 if line.startswith("*/", i):
                     in_block_comment = False
@@ -111,6 +136,26 @@ def strip_comments_and_strings(lines: list[str]) -> list[str]:
                 i += 2
                 continue
             ch = line[i]
+            if (
+                ch == '"'
+                and i > 0
+                and line[i - 1] == "R"
+                and (i < 2 or not (line[i - 2].isalnum() or line[i - 2] == "_"))
+            ):
+                # Raw string R"delim( ... )delim"; contents may span lines.
+                paren = line.find("(", i + 1)
+                if paren != -1:
+                    raw_end = ")" + line[i + 1 : paren] + '"'
+                    buf.append('"')
+                    buf.append(" " * (paren - i))
+                    i = paren + 1
+                    continue
+                # No '(' on the line: malformed raw string; fall through and
+                # treat it as an ordinary string literal.
+            if ch == "'" and _is_digit_separator(line, i):
+                buf.append(" ")
+                i += 1
+                continue
             if ch == '"' or ch == "'":
                 quote = ch
                 buf.append(quote)
