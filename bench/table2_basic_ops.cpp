@@ -128,7 +128,9 @@ int main(int argc, char** argv) {
       "\nshape checks: Create grows linearly with p; Open/Write ~flat;\n"
       "Read stays well under the 15 ms disk latency (full-track buffering);\n"
       "the pipelined (vectored) read column drops below the single-block\n"
-      "read as one round trip amortizes over a 16-block window; Delete\n"
-      "scales as filesize/p.\n");
+      "read as one round trip amortizes over a 16-block window; Delete is\n"
+      "flat in file size since layout v2 (clear O(extents) bitmap ranges,\n"
+      "one directory flush) where the paper's per-block freeing scaled as\n"
+      "20*filesize/p.\n");
   return 0;
 }

@@ -3,7 +3,7 @@
 // The scheduler serializes the whole simulation, so nothing here is a data
 // race in the C++ sense.  What CAN go wrong is a *logical* race: two
 // processes touching one piece of logically-shared state (a file's placement,
-// an LFS free list, a cache entry) in an order that is fixed only by virtual
+// an LFS allocation bitmap, a cache entry) in an order that is fixed only by virtual
 // timing or tie-breaks — not by any message.  Such code produces the right
 // answer today and silently changes behavior the day a latency constant,
 // scheduler policy, or hash function moves, which is exactly the

@@ -44,7 +44,9 @@ double predicted_merge_seconds(std::uint64_t records, std::uint32_t p,
 /// false each local-merge read pays an expected chain walk of a quarter of
 /// the run length (the §4.3 search from the nearest of head/tail) at
 /// `walk_step_ms` per link — the source of the prototype's anomalously
-/// expensive local merges and the super-linear total speedup.
+/// expensive local merges and the super-linear total speedup.  This models
+/// the paper's 1988 chain layout; the repository's layout-v2 extent maps
+/// have no walk, so pass `hinted_reads = true` to model the current code.
 double predicted_local_sort_seconds(std::uint64_t records, std::uint32_t p,
                                     std::uint32_t in_core_records,
                                     bool hinted_reads, double walk_step_ms,

@@ -65,12 +65,12 @@ void BridgeInstance::print_stats(std::FILE* out) const {
                       : 0.0;
     std::fprintf(out,
                  "LFS %zu: %llu reads %llu writes %llu track-reads "
-                 "(disk %4.1f%% busy) | cache hit %4.1f%% | walks %llu\n",
+                 "(disk %4.1f%% busy) | cache hit %4.1f%% | extents %llu\n",
                  i, static_cast<unsigned long long>(disk_stats.block_reads),
                  static_cast<unsigned long long>(disk_stats.block_writes),
                  static_cast<unsigned long long>(disk_stats.track_reads), util,
                  100.0 * cache.hit_rate(),
-                 static_cast<unsigned long long>(ops.walk_steps));
+                 static_cast<unsigned long long>(ops.extent_lookups));
   }
   const auto& messages = rt_->message_stats();
   std::fprintf(out,
@@ -99,7 +99,7 @@ void BridgeInstance::publish_metrics() {
     std::string n = ".n" + std::to_string(i);
     core.device().stats().publish(registry, "disk" + n, elapsed);
     core.cache_stats().publish(registry, "cache" + n);
-    core.op_stats().publish(registry, "efs" + n);
+    core.publish_metrics(registry, "efs" + n);
     lfs_servers_[i]->sched_stats().publish(registry, "sched" + n);
   }
   for (auto& server : bridges_) {

@@ -6,10 +6,11 @@
 // because of full-track buffering" (§4.5).  On a miss the cache reads the
 // whole track containing the requested block in one positioning operation.
 //
-// Write policy: callers choose per update.  Data writes go through to disk;
-// pointer-only updates (chain maintenance during append) dirty the cached
-// copy and are flushed on eviction — this is what makes an append cost about
-// two disk operations in steady state, the paper's 31 ms Write.
+// Write policy: callers choose per update.  Single-block data writes go
+// through to disk; vectored runs stage blocks with write_back and land each
+// touched track in one positioning operation via flush_track.  Since layout
+// v2 the chain-pointer write-back of the seed is gone — an append touches
+// exactly one data block, placement lives in the extent tables.
 #pragma once
 
 #include <cstdint>

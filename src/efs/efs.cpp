@@ -24,6 +24,20 @@ std::vector<std::byte> payload_of(std::span<const std::byte> image) {
   return {image.begin() + kEfsHeaderBytes, image.end()};
 }
 
+/// Check that an extent list is sorted, gap-free from block 0 and covers
+/// exactly `size_blocks` blocks inside [data_start, capacity).
+bool extents_well_formed(const std::vector<Extent>& extents,
+                         std::uint32_t size_blocks, std::uint32_t data_start,
+                         std::uint32_t capacity) {
+  std::uint32_t expected = 0;
+  for (const Extent& e : extents) {
+    if (e.block_no != expected || e.len == 0) return false;
+    if (e.addr < data_start || e.addr + e.len > capacity) return false;
+    expected += e.len;
+  }
+  return expected == size_blocks;
+}
+
 }  // namespace
 
 void EfsOpStats::publish(obs::MetricsRegistry& registry,
@@ -34,9 +48,10 @@ void EfsOpStats::publish(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".creates").set(creates);
   registry.counter(prefix + ".deletes").set(deletes);
   registry.counter(prefix + ".truncates").set(truncates);
-  registry.counter(prefix + ".walk_steps").set(walk_steps);
-  registry.counter(prefix + ".hint_uses").set(hint_uses);
-  registry.counter(prefix + ".hint_rejects").set(hint_rejects);
+  registry.counter(prefix + ".extent_lookups").set(extent_lookups);
+  registry.counter(prefix + ".extents_allocated").set(extents_allocated);
+  registry.counter(prefix + ".extents_freed").set(extents_freed);
+  registry.counter(prefix + ".table_block_allocs").set(table_block_allocs);
   registry.counter(prefix + ".deep_readahead_tracks").set(deep_readahead_tracks);
   registry.gauge(prefix + ".readahead_depth")
       .set(static_cast<double>(last_readahead_depth));
@@ -54,20 +69,18 @@ EfsCore::EfsCore(disk::SimDisk& dev, EfsConfig config)
 void EfsCore::format() {
   sb_ = Superblock{};
   sb_.capacity_blocks = dev_.geometry().capacity_blocks();
-  sb_.data_start = sb_.dir_start + sb_.dir_blocks;
+  sb_.bitmap_start = sb_.dir_start + sb_.dir_blocks;
+  sb_.bitmap_blocks = BlockBitmap::blocks_needed(sb_.capacity_blocks);
+  sb_.data_start = sb_.bitmap_start + sb_.bitmap_blocks;
+  sb_.clean = 1;
   dir_.assign(dir_capacity(), DirEntry{});
-  free_list_.clear();
-  BlockHeader free_header;
-  free_header.magic = kMagicFreeBlock;
-  std::vector<std::byte> image(kBlockSize);
-  for (BlockAddr a = sb_.data_start; a < sb_.capacity_blocks; ++a) {
-    free_list_.push_back(a);
-    store_header(image, free_header);
-    dev_.poke(a, image);
-  }
-  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
+  maps_.assign(dir_capacity(), FileMap{});
+  bitmap_.reset(sb_.capacity_blocks, sb_.data_start);
+  sb_.free_count = bitmap_.free_count();
+  rotor_ = sb_.data_start;
   poke_superblock();
   for (std::uint32_t b = 0; b < sb_.dir_blocks; ++b) poke_dir_block(b);
+  poke_bitmap();
   formatted_ = true;
 }
 
@@ -77,8 +90,19 @@ util::Status EfsCore::remount_from_disk() {
   util::Reader r(sb_image->subspan(0, 64));
   Superblock sb = Superblock::decode(r);
   if (sb.magic != kMagicSuperblock) return util::corrupt("bad superblock magic");
+  if (sb.layout_version != kLayoutVersion) {
+    return util::corrupt("unsupported EFS layout version " +
+                         std::to_string(sb.layout_version));
+  }
+  if (sb.capacity_blocks != dev_.geometry().capacity_blocks() ||
+      sb.data_start > sb.capacity_blocks ||
+      sb.bitmap_start + sb.bitmap_blocks != sb.data_start ||
+      sb.dir_start + sb.dir_blocks != sb.bitmap_start) {
+    return util::corrupt("superblock geometry mismatch");
+  }
   sb_ = sb;
   dir_.assign(dir_capacity(), DirEntry{});
+  maps_.assign(dir_capacity(), FileMap{});
   for (std::uint32_t b = 0; b < sb_.dir_blocks; ++b) {
     auto image = dev_.peek(sb_.dir_start + b);
     if (!image) return util::corrupt("directory block unreadable");
@@ -87,13 +111,70 @@ util::Status EfsCore::remount_from_disk() {
       dir_[b * kDirEntriesPerBlock + i] = DirEntry::decode(dr);
     }
   }
-  // Rebuild the free list by scanning block headers (ascending for locality).
-  free_list_.clear();
-  for (BlockAddr a = sb_.data_start; a < sb_.capacity_blocks; ++a) {
-    auto image = dev_.peek(a);
-    if (!image) return util::corrupt("data block unreadable");
-    if (parse_header(*image).magic == kMagicFreeBlock) free_list_.push_back(a);
+
+  // Load every file's extent tables: O(files + extents), not O(capacity).
+  for (std::uint32_t slot = 0; slot < dir_.size(); ++slot) {
+    const DirEntry& entry = dir_[slot];
+    if (entry.empty()) continue;
+    FileMap& fm = maps_[slot];
+    if (entry.size_blocks == 0) {
+      if (entry.table_head != kNilAddr) {
+        return util::corrupt("empty file with extent table; run fsck");
+      }
+      continue;
+    }
+    BlockAddr cur = entry.table_head;
+    while (cur != kNilAddr) {
+      if (cur < sb_.data_start || cur >= sb_.capacity_blocks ||
+          fm.table_blocks.size() > sb_.capacity_blocks) {
+        return util::corrupt("extent table chain invalid; run fsck");
+      }
+      auto image = dev_.peek(cur);
+      if (!image) return util::corrupt("extent table block unreadable");
+      ExtentTableBlock table = ExtentTableBlock::parse(*image);
+      if (!table.valid_for(entry.file_id)) {
+        return util::corrupt("extent table block corrupt; run fsck");
+      }
+      fm.table_blocks.push_back(cur);
+      fm.extents.insert(fm.extents.end(), table.extents.begin(),
+                        table.extents.end());
+      cur = table.next;
+    }
+    if (!extents_well_formed(fm.extents, entry.size_blocks, sb_.data_start,
+                             sb_.capacity_blocks)) {
+      return util::corrupt("extent map inconsistent; run fsck");
+    }
   }
+
+  bitmap_.reset(sb_.capacity_blocks, sb_.data_start);
+  if (sb_.clean != 0) {
+    // Fast path: trust the persisted bitmap.
+    for (std::uint32_t b = 0; b < sb_.bitmap_blocks; ++b) {
+      auto image = dev_.peek(sb_.bitmap_start + b);
+      if (!image) return util::corrupt("bitmap block unreadable");
+      bitmap_.decode_block(b, *image);
+    }
+    if (bitmap_.free_count() != sb_.free_count) {
+      return util::corrupt("bitmap free count disagrees with superblock");
+    }
+    last_mount_rebuilt_ = false;
+  } else {
+    // Dirty superblock (crash before sync): rebuild the bitmap from the
+    // extent tables, persist the repaired state and mark the disk clean.
+    for (std::uint32_t slot = 0; slot < dir_.size(); ++slot) {
+      const FileMap& fm = maps_[slot];
+      for (const Extent& e : fm.extents) {
+        for (std::uint32_t i = 0; i < e.len; ++i) bitmap_.set(e.addr + i);
+      }
+      for (BlockAddr t : fm.table_blocks) bitmap_.set(t);
+    }
+    sb_.free_count = bitmap_.free_count();
+    sb_.clean = 1;
+    poke_bitmap();
+    poke_superblock();
+    last_mount_rebuilt_ = true;
+  }
+  rotor_ = sb_.data_start;
   formatted_ = true;
   return util::ok_status();
 }
@@ -138,42 +219,43 @@ void EfsCore::poke_superblock() {
   dev_.poke(0, image);
 }
 
+void EfsCore::poke_bitmap() {
+  for (std::uint32_t b = 0; b < sb_.bitmap_blocks; ++b) {
+    dev_.poke(sb_.bitmap_start + b, bitmap_.encode_block(b));
+  }
+}
+
+void EfsCore::poke_file_tables(std::uint32_t slot) {
+  const DirEntry& entry = dir_[slot];
+  const FileMap& fm = maps_[slot];
+  for (std::size_t t = 0; t < fm.table_blocks.size(); ++t) {
+    ExtentTableBlock table;
+    table.file_id = entry.file_id;
+    table.next = t + 1 < fm.table_blocks.size() ? fm.table_blocks[t + 1]
+                                                : kNilAddr;
+    std::size_t first = t * kExtentsPerTableBlock;
+    std::size_t last = std::min(first + kExtentsPerTableBlock,
+                                fm.extents.size());
+    if (first < last) {
+      table.extents.assign(fm.extents.begin() + static_cast<std::ptrdiff_t>(first),
+                           fm.extents.begin() + static_cast<std::ptrdiff_t>(last));
+    }
+    dev_.poke(fm.table_blocks[t], table.to_image());
+  }
+}
+
 util::Status EfsCore::dir_persist(sim::Context& ctx, std::uint32_t slot,
                                   bool force) {
   std::uint32_t dir_block = slot / kDirEntriesPerBlock;
   poke_dir_block(dir_block);  // keep the on-disk image current
+  sb_.free_count = bitmap_.free_count();
+  sb_.clean = 0;  // mutations in flight until the next sync
   poke_superblock();
   ++dir_mutations_;
   if (force || dir_mutations_ % config_.dir_flush_interval == 0) {
-    // Charge the write-behind flush of the hot directory block.
+    // Charge the write-behind flush of the hot metadata blocks.
     ctx.charge(sim::msec(15.0));
   }
-  return util::ok_status();
-}
-
-util::Result<BlockAddr> EfsCore::allocate_block(sim::Context& ctx) {
-  // Allocation is an in-memory free-list pop; ctx is only for the annotation.
-  BRIDGE_RACE_WRITE(ctx, &free_list_, 0, "efs.free_list");
-  if (free_list_.empty()) return util::out_of_space("no free blocks");
-  BlockAddr addr = free_list_.front();
-  free_list_.pop_front();
-  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
-  return addr;
-}
-
-util::Status EfsCore::free_block(sim::Context& ctx, BlockAddr addr) {
-  BlockHeader header;
-  header.magic = kMagicFreeBlock;
-  std::vector<std::byte> image(kBlockSize);
-  store_header(image, header);
-  // Freed blocks are written through: EFS "includes a substantial amount of
-  // code to increase resiliency to failures" and frees each block explicitly
-  // (§4.5) — this write is what makes Delete cost ~20ms per local block.
-  if (auto st = dev_.write(ctx, addr, image); !st.is_ok()) return st;
-  cache_.invalidate(addr);
-  BRIDGE_RACE_WRITE(ctx, &free_list_, 0, "efs.free_list");
-  free_list_.push_back(addr);
-  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
   return util::ok_status();
 }
 
@@ -190,9 +272,12 @@ util::Status EfsCore::create(sim::Context& ctx, FileId id) {
   BRIDGE_RACE_WRITE(ctx, &dir_, id, "efs.file");
   dir_[static_cast<std::size_t>(slot)] =
       DirEntry{id, kNilAddr, 0, /*flags=*/0};
+  maps_[static_cast<std::size_t>(slot)] = FileMap{};
   ++stats_.creates;
-  // Creation is durable immediately: one charged directory write.
-  return dir_persist(ctx, static_cast<std::uint32_t>(slot), /*force=*/true);
+  // The directory image is poked current immediately; the flush debit
+  // amortizes through the write-behind interval like any other mutation, so
+  // a p-way fan-out create does not serialize p forced disk waits.
+  return dir_persist(ctx, static_cast<std::uint32_t>(slot), /*force=*/false);
 }
 
 util::Status EfsCore::remove(sim::Context& ctx, FileId id) {
@@ -202,21 +287,24 @@ util::Status EfsCore::remove(sim::Context& ctx, FileId id) {
   if (slot < 0) return util::not_found("file " + std::to_string(id));
   BRIDGE_RACE_WRITE(ctx, &dir_, id, "efs.file");
   DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  FileMap& fm = maps_[static_cast<std::size_t>(slot)];
 
-  // "A file deletion algorithm that traverses the file sequentially,
-  // explicitly freeing each block" (§4.5).
-  BlockAddr cur = entry.head;
-  for (std::uint32_t i = 0; i < entry.size_blocks; ++i) {
-    auto image = cache_.fetch(ctx, cur);
-    if (!image.is_ok()) return image.status();
-    BlockHeader header = parse_header(image.value());
-    if (header.file_id != id || header.magic != kMagicDataBlock) {
-      return util::corrupt("chain corruption in file " + std::to_string(id));
+  // Delete is O(extents) bitmap clears — the v2 answer to the paper's §4.5
+  // per-block explicit free that made Delete cost ~20 ms per local block.
+  BRIDGE_RACE_WRITE(ctx, &bitmap_, 0, "efs.bitmap");
+  for (const Extent& e : fm.extents) {
+    for (std::uint32_t i = 0; i < e.len; ++i) {
+      bitmap_.clear(e.addr + i);
+      cache_.invalidate(e.addr + i);
     }
-    BlockAddr next = header.next;
-    if (auto st = free_block(ctx, cur); !st.is_ok()) return st;
-    cur = next;
   }
+  stats_.extents_freed += fm.extents.size();
+  for (BlockAddr t : fm.table_blocks) {
+    bitmap_.clear(t);
+    cache_.invalidate(t);
+  }
+  fm = FileMap{};
+  poke_bitmap();
   entry = DirEntry{kInvalidFileId, kNilAddr, 0, DirEntry::kTombstone};
   seq_state_.erase(id);
   ++stats_.deletes;
@@ -229,70 +317,34 @@ util::Result<FileInfo> EfsCore::info(sim::Context& ctx, FileId id) {
   if (slot < 0) return util::not_found("file " + std::to_string(id));
   BRIDGE_RACE_READ(ctx, &dir_, id, "efs.file");
   const DirEntry& e = dir_[static_cast<std::size_t>(slot)];
-  return FileInfo{id, e.size_blocks, e.head};
+  const FileMap& fm = maps_[static_cast<std::size_t>(slot)];
+  BlockAddr head = fm.extents.empty() ? kNilAddr : fm.extents.front().addr;
+  return FileInfo{id, e.size_blocks, head};
 }
 
-util::Result<BlockAddr> EfsCore::locate(sim::Context& ctx, const DirEntry& entry,
-                                        std::uint32_t block_no, BlockAddr hint) {
-  // Candidate starting points: (address, its block number, known?).
-  std::uint32_t size = entry.size_blocks;
-  std::uint32_t dist_head = block_no;
-  std::uint32_t dist_tail = size - 1 - block_no;  // via head.prev, +1 fetch
-
-  BlockAddr start_addr = entry.head;
-  std::uint32_t start_no = 0;
-
-  if (config_.hints_enabled && hint != kNilAddr) {
-    auto image = cache_.fetch(ctx, hint);
-    if (image.is_ok()) {
-      BlockHeader h = parse_header(image.value());
-      if (h.magic == kMagicDataBlock && h.file_id == entry.file_id &&
-          h.block_no < size) {
-        std::uint32_t dist_hint = h.block_no > block_no ? h.block_no - block_no
-                                                        : block_no - h.block_no;
-        if (dist_hint <= dist_head && dist_hint <= dist_tail + 1) {
-          ++stats_.hint_uses;
-          start_addr = hint;
-          start_no = h.block_no;
-        }
-      } else {
-        ++stats_.hint_rejects;
-      }
-    }
+util::Result<BlockAddr> EfsCore::locate(sim::Context& ctx, std::uint32_t slot,
+                                        const DirEntry& entry,
+                                        std::uint32_t block_no) {
+  BRIDGE_RACE_READ(ctx, &maps_, entry.file_id, "efs.extent_map");
+  const std::vector<Extent>& extents = maps_[slot].extents;
+  ++stats_.extent_lookups;
+  auto it = std::upper_bound(
+      extents.begin(), extents.end(), block_no,
+      [](std::uint32_t b, const Extent& e) { return b < e.block_no; });
+  if (it == extents.begin()) {
+    return util::corrupt("extent map missing block " +
+                         std::to_string(block_no));
   }
-
-  if (start_no == 0 && start_addr == entry.head && dist_tail + 1 < dist_head) {
-    // Reach the tail through head.prev (one extra fetch), then walk backward.
-    auto head_image = cache_.fetch(ctx, entry.head);
-    if (!head_image.is_ok()) return head_image.status();
-    start_addr = parse_header(head_image.value()).prev;
-    start_no = size - 1;
+  --it;
+  if (block_no >= it->block_no + it->len) {
+    return util::corrupt("extent map gap at block " + std::to_string(block_no));
   }
-
-  BlockAddr cur = start_addr;
-  std::uint32_t cur_no = start_no;
-  while (cur_no != block_no) {
-    auto image = cache_.fetch(ctx, cur);
-    if (!image.is_ok()) return image.status();
-    BlockHeader h = parse_header(image.value());
-    if (h.file_id != entry.file_id) {
-      return util::corrupt("chain walk left file " +
-                           std::to_string(entry.file_id));
-    }
-    ++stats_.walk_steps;
-    if (cur_no < block_no) {
-      cur = h.next;
-      ++cur_no;
-    } else {
-      cur = h.prev;
-      --cur_no;
-    }
-  }
-  return cur;
+  return it->addr + (block_no - it->block_no);
 }
 
 util::Result<ReadResult> EfsCore::read(sim::Context& ctx, FileId id,
                                        std::uint32_t block_no, BlockAddr hint) {
+  (void)hint;  // v2: the extent map answers lookups; hints are wire-compat only
   // A dead drive takes the whole LFS out of service, even for cached blocks
   // — serving stale RAM copies of a failed device would mask the fault the
   // §6 discussion is about.
@@ -305,7 +357,8 @@ util::Result<ReadResult> EfsCore::read(sim::Context& ctx, FileId id,
   if (block_no >= entry.size_blocks) {
     return util::invalid_argument("read past EOF");
   }
-  auto located = locate(ctx, entry, block_no, hint);
+  auto located =
+      locate(ctx, static_cast<std::uint32_t>(slot), entry, block_no);
   if (!located.is_ok()) return located.status();
   auto image = cache_.fetch(ctx, located.value(), readahead_depth(id, block_no));
   if (!image.is_ok()) return image.status();
@@ -346,71 +399,79 @@ std::uint32_t EfsCore::readahead_depth(FileId id, std::uint32_t block_no) {
   return depth;
 }
 
-util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry,
+util::Result<BlockAddr> EfsCore::allocate_append_block(sim::Context& ctx,
+                                                       std::uint32_t slot,
+                                                       DirEntry& entry) {
+  FileMap& fm = maps_[slot];
+  BRIDGE_RACE_WRITE(ctx, &bitmap_, 0, "efs.bitmap");
+  BRIDGE_RACE_WRITE(ctx, &maps_, entry.file_id, "efs.extent_map");
+
+  // Fast path: the block right after the file's last extent is free, so the
+  // extent simply grows — this is what keeps sequentially written files
+  // physically contiguous (and the extent count ~1).
+  if (!fm.extents.empty()) {
+    Extent& last = fm.extents.back();
+    BlockAddr next = last.addr + last.len;
+    if (next < sb_.capacity_blocks && !bitmap_.test(next)) {
+      bitmap_.set(next);
+      last.len += 1;
+      rotor_ = next + 1 < sb_.capacity_blocks ? next + 1 : sb_.data_start;
+      return next;
+    }
+  }
+
+  // Starting a new extent may also grow the extent table; account for both
+  // before mutating anything so out-of-space fails cleanly.
+  std::uint32_t needed_tables = table_blocks_for(fm.extents.size() + 1);
+  std::uint32_t extra_tables =
+      needed_tables > fm.table_blocks.size()
+          ? needed_tables - static_cast<std::uint32_t>(fm.table_blocks.size())
+          : 0;
+  if (bitmap_.free_count() < 1 + extra_tables) {
+    return util::out_of_space("no free blocks");
+  }
+  BlockAddr goal = fm.extents.empty()
+                       ? rotor_
+                       : fm.extents.back().addr + fm.extents.back().len;
+  for (std::uint32_t t = 0; t < extra_tables; ++t) {
+    BlockBitmap::Run run = bitmap_.find_free_run(goal, 1);
+    bitmap_.set(run.addr);
+    fm.table_blocks.push_back(run.addr);
+    ++stats_.table_block_allocs;
+  }
+  entry.table_head = fm.table_blocks.front();
+  BlockBitmap::Run run = bitmap_.find_free_run(goal, 1);
+  bitmap_.set(run.addr);
+  fm.extents.push_back(Extent{entry.size_blocks, run.addr, 1});
+  ++stats_.extents_allocated;
+  rotor_ = run.addr + 1 < sb_.capacity_blocks ? run.addr + 1 : sb_.data_start;
+  return run.addr;
+}
+
+util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx,
+                                              std::uint32_t slot,
+                                              DirEntry& entry,
                                               std::span<const std::byte> data,
                                               bool defer_data) {
-  auto alloc = allocate_block(ctx);
+  auto alloc = allocate_append_block(ctx, slot, entry);
   if (!alloc.is_ok()) return alloc.status();
   BlockAddr addr = alloc.value();
-
-  auto place = [&](BlockAddr a, std::vector<std::byte> image) {
-    return defer_data ? cache_.write_back(ctx, a, image)
-                      : cache_.write_through(ctx, a, image);
-  };
 
   BlockHeader header;
   header.magic = kMagicDataBlock;
   header.file_id = entry.file_id;
   header.block_no = entry.size_blocks;
-
-  if (entry.size_blocks == 0) {
-    header.next = addr;
-    header.prev = addr;
-    if (auto st = place(addr, make_block_image(header, data)); !st.is_ok()) {
-      return st;
-    }
-    entry.head = addr;
-  } else {
-    auto head_image = cache_.fetch(ctx, entry.head);
-    if (!head_image.is_ok()) return head_image.status();
-    std::vector<std::byte> head_copy(head_image.value().begin(),
-                                     head_image.value().end());
-    BlockHeader head_header = parse_header(head_copy);
-    BlockAddr tail_addr = head_header.prev;
-
-    header.next = entry.head;
-    header.prev = tail_addr;
-    if (auto st = place(addr, make_block_image(header, data)); !st.is_ok()) {
-      return st;
-    }
-
-    if (tail_addr == entry.head) {
-      // Single-block file: head and tail are the same image.
-      head_header.next = addr;
-      head_header.prev = addr;
-      store_header(head_copy, head_header);
-      if (auto st = cache_.write_back(ctx, entry.head, head_copy); !st.is_ok()) {
-        return st;
-      }
-    } else {
-      auto tail_image = cache_.fetch(ctx, tail_addr);
-      if (!tail_image.is_ok()) return tail_image.status();
-      std::vector<std::byte> tail_copy(tail_image.value().begin(),
-                                       tail_image.value().end());
-      BlockHeader tail_header = parse_header(tail_copy);
-      tail_header.next = addr;
-      store_header(tail_copy, tail_header);
-      if (auto st = cache_.write_back(ctx, tail_addr, tail_copy); !st.is_ok()) {
-        return st;
-      }
-      head_header.prev = addr;
-      store_header(head_copy, head_header);
-      if (auto st = cache_.write_back(ctx, entry.head, head_copy); !st.is_ok()) {
-        return st;
-      }
-    }
-  }
+  // v2: no predecessor rewrite — the extent table carries the placement, so
+  // an append touches exactly one data block.
+  auto image = make_block_image(header, data);
+  auto st = defer_data ? cache_.write_back(ctx, addr, image)
+                       : cache_.write_through(ctx, addr, image);
+  if (!st.is_ok()) return st;
   entry.size_blocks += 1;
+  // Metadata write-behind: the on-disk extent table and bitmap stay current;
+  // the flush cost is amortized through dir_persist.
+  poke_file_tables(slot);
+  poke_bitmap();
   ++stats_.appends;
   return addr;
 }
@@ -418,7 +479,7 @@ util::Result<BlockAddr> EfsCore::append_block(sim::Context& ctx, DirEntry& entry
 util::Result<BlockAddr> EfsCore::write_one(sim::Context& ctx, FileId id,
                                            std::uint32_t block_no,
                                            std::span<const std::byte> data,
-                                           BlockAddr hint, bool defer_data) {
+                                           bool defer_data) {
   if (dev_.is_failed()) return util::unavailable("disk failed");
   ctx.charge(config_.request_cpu);
   if (data.size() != kEfsDataBytes) {
@@ -431,7 +492,8 @@ util::Result<BlockAddr> EfsCore::write_one(sim::Context& ctx, FileId id,
 
   ctx.charge(config_.record_cpu);
   if (block_no == entry.size_blocks) {
-    auto result = append_block(ctx, entry, data, defer_data);
+    auto result = append_block(ctx, static_cast<std::uint32_t>(slot), entry,
+                               data, defer_data);
     if (!result.is_ok()) return result;
     ++stats_.writes;
     if (auto st = dir_persist(ctx, static_cast<std::uint32_t>(slot),
@@ -444,8 +506,9 @@ util::Result<BlockAddr> EfsCore::write_one(sim::Context& ctx, FileId id,
   if (block_no > entry.size_blocks) {
     return util::invalid_argument("write would leave a gap");
   }
-  // Overwrite in place, preserving the chain header.
-  auto located = locate(ctx, entry, block_no, hint);
+  // Overwrite in place, preserving the self-describing header.
+  auto located =
+      locate(ctx, static_cast<std::uint32_t>(slot), entry, block_no);
   if (!located.is_ok()) return located.status();
   auto image = cache_.fetch(ctx, located.value());
   if (!image.is_ok()) return image.status();
@@ -462,20 +525,21 @@ util::Result<BlockAddr> EfsCore::write(sim::Context& ctx, FileId id,
                                        std::uint32_t block_no,
                                        std::span<const std::byte> data,
                                        BlockAddr hint) {
-  return write_one(ctx, id, block_no, data, hint, /*defer_data=*/false);
+  (void)hint;  // wire-compat only
+  return write_one(ctx, id, block_no, data, /*defer_data=*/false);
 }
 
 util::Result<BlockAddr> EfsCore::write_run(
     sim::Context& ctx, FileId id, std::span<const std::uint32_t> block_nos,
     std::span<const std::vector<std::byte>> blocks, BlockAddr hint) {
+  (void)hint;  // wire-compat only
   if (block_nos.size() != blocks.size()) {
     return util::invalid_argument("write_run length mismatch");
   }
   // Flush a track's worth of staged blocks as soon as the run moves past it
   // (not all at the end): staging more than the cache capacity would
   // otherwise evict dirty blocks one 15 ms write at a time, defeating the
-  // coalescing.  Chain-pointer updates dirty blocks of the same tracks the
-  // data lands on, so the per-track flush covers both.
+  // coalescing.
   constexpr std::uint32_t kNoTrack = 0xFFFFFFFFu;
   std::uint32_t staged_track = kNoTrack;
   auto flush_staged = [&]() -> util::Status {
@@ -486,24 +550,25 @@ util::Result<BlockAddr> EfsCore::write_run(
     return cache_.flush_track(ctx, addr);
   };
 
+  BlockAddr last = kNilAddr;
   for (std::size_t i = 0; i < block_nos.size(); ++i) {
     auto result =
-        write_one(ctx, id, block_nos[i], blocks[i], hint, /*defer_data=*/true);
+        write_one(ctx, id, block_nos[i], blocks[i], /*defer_data=*/true);
     if (!result.is_ok()) {
       // Land the completed prefix so the disk matches the bookkeeping the
       // caller will roll back against (truncate frees exactly these blocks).
       (void)flush_staged();
       return result;
     }
-    hint = result.value();
-    std::uint32_t t = dev_.geometry().track_of(hint);
+    last = result.value();
+    std::uint32_t t = dev_.geometry().track_of(last);
     if (staged_track != kNoTrack && t != staged_track) {
       if (auto st = flush_staged(); !st.is_ok()) return st;
     }
     staged_track = t;
   }
   if (auto st = flush_staged(); !st.is_ok()) return st;
-  return hint;
+  return last;
 }
 
 util::Status EfsCore::truncate(sim::Context& ctx, FileId id,
@@ -514,98 +579,96 @@ util::Status EfsCore::truncate(sim::Context& ctx, FileId id,
   if (slot < 0) return util::not_found("file " + std::to_string(id));
   BRIDGE_RACE_WRITE(ctx, &dir_, id, "efs.file");
   DirEntry& entry = dir_[static_cast<std::size_t>(slot)];
+  FileMap& fm = maps_[static_cast<std::size_t>(slot)];
   if (new_size_blocks > entry.size_blocks) {
     return util::invalid_argument("truncate would grow the file");
   }
   if (new_size_blocks == entry.size_blocks) return util::ok_status();
 
-  // Reach the tail through head.prev, then walk backward validating the
-  // chain and collecting the doomed tail blocks.
-  auto head_image = cache_.fetch(ctx, entry.head);
-  if (!head_image.is_ok()) return head_image.status();
-  BlockAddr cur = parse_header(head_image.value()).prev;
-  std::vector<BlockAddr> doomed;
-  doomed.reserve(entry.size_blocks - new_size_blocks);
-  for (std::uint32_t i = entry.size_blocks; i > new_size_blocks; --i) {
-    auto image = cache_.fetch(ctx, cur);
-    if (!image.is_ok()) return image.status();
-    BlockHeader header = parse_header(image.value());
-    if (header.file_id != id || header.magic != kMagicDataBlock ||
-        header.block_no != i - 1) {
-      return util::corrupt("chain corruption in file " + std::to_string(id));
+  // O(extents) bitmap clears: trim the run list at the new size and release
+  // every dropped block (plus surplus extent-table blocks).
+  BRIDGE_RACE_WRITE(ctx, &bitmap_, 0, "efs.bitmap");
+  BRIDGE_RACE_WRITE(ctx, &maps_, id, "efs.extent_map");
+  std::vector<Extent> kept;
+  kept.reserve(fm.extents.size());
+  for (const Extent& e : fm.extents) {
+    if (e.block_no + e.len <= new_size_blocks) {
+      kept.push_back(e);
+      continue;
     }
-    doomed.push_back(cur);
-    cur = header.prev;
-  }
-
-  // Every freed block still gets its explicit free marker (§4.5 resiliency),
-  // but truncate is a bulk compensation/recovery op, so the markers land
-  // track-coalesced: one positioning per touched track instead of one per
-  // block.  remove() keeps the paper's per-block Delete cost.
-  BlockHeader free_header;
-  free_header.magic = kMagicFreeBlock;
-  std::vector<std::byte> marker(kBlockSize);
-  store_header(marker, free_header);
-  std::vector<BlockAddr> by_addr = doomed;
-  std::sort(by_addr.begin(), by_addr.end());
-  for (std::size_t i = 0; i < by_addr.size();) {
-    std::uint32_t track = dev_.geometry().track_of(by_addr[i]);
-    std::vector<disk::WriteOp> ops;
-    while (i < by_addr.size() &&
-           dev_.geometry().track_of(by_addr[i]) == track) {
-      ops.push_back({by_addr[i], marker});
-      ++i;
+    std::uint32_t keep_len =
+        e.block_no < new_size_blocks ? new_size_blocks - e.block_no : 0;
+    for (std::uint32_t i = keep_len; i < e.len; ++i) {
+      bitmap_.clear(e.addr + i);
+      cache_.invalidate(e.addr + i);
     }
-    if (auto st = dev_.write_run(ctx, ops); !st.is_ok()) return st;
+    if (keep_len > 0) kept.push_back(Extent{e.block_no, e.addr, keep_len});
   }
-  for (BlockAddr a : doomed) {
-    cache_.invalidate(a);
-    free_list_.push_back(a);
+  stats_.extents_freed += fm.extents.size() - kept.size();
+  fm.extents = std::move(kept);
+  std::uint32_t needed_tables = table_blocks_for(fm.extents.size());
+  while (fm.table_blocks.size() > needed_tables) {
+    bitmap_.clear(fm.table_blocks.back());
+    cache_.invalidate(fm.table_blocks.back());
+    fm.table_blocks.pop_back();
   }
-  sb_.free_count = static_cast<std::uint32_t>(free_list_.size());
-
-  if (new_size_blocks == 0) {
-    entry.head = kNilAddr;
-  } else {
-    // `cur` is now the new tail (block new_size_blocks - 1).  Re-close the
-    // circle: tail.next = head, head.prev = tail (one image if they're the
-    // same block).
-    auto tail_image = cache_.fetch(ctx, cur);
-    if (!tail_image.is_ok()) return tail_image.status();
-    std::vector<std::byte> tail_copy(tail_image.value().begin(),
-                                     tail_image.value().end());
-    BlockHeader tail_header = parse_header(tail_copy);
-    tail_header.next = entry.head;
-    if (cur == entry.head) tail_header.prev = cur;
-    store_header(tail_copy, tail_header);
-    if (auto st = cache_.write_back(ctx, cur, tail_copy); !st.is_ok()) {
-      return st;
-    }
-    if (cur != entry.head) {
-      auto new_head = cache_.fetch(ctx, entry.head);
-      if (!new_head.is_ok()) return new_head.status();
-      std::vector<std::byte> head_copy(new_head.value().begin(),
-                                       new_head.value().end());
-      BlockHeader head_header = parse_header(head_copy);
-      head_header.prev = cur;
-      store_header(head_copy, head_header);
-      if (auto st = cache_.write_back(ctx, entry.head, head_copy);
-          !st.is_ok()) {
-        return st;
-      }
-    }
-  }
+  entry.table_head =
+      fm.table_blocks.empty() ? kNilAddr : fm.table_blocks.front();
   entry.size_blocks = new_size_blocks;
+  poke_file_tables(static_cast<std::uint32_t>(slot));
+  poke_bitmap();
   ++stats_.truncates;
   return dir_persist(ctx, static_cast<std::uint32_t>(slot), /*force=*/true);
 }
 
 util::Status EfsCore::sync(sim::Context& ctx) {
   if (auto st = cache_.flush_all(ctx); !st.is_ok()) return st;
-  ctx.charge(sim::msec(15.0));  // directory + superblock flush
+  ctx.charge(sim::msec(15.0));  // directory + bitmap + superblock flush
   for (std::uint32_t b = 0; b < sb_.dir_blocks; ++b) poke_dir_block(b);
+  poke_bitmap();
+  sb_.free_count = bitmap_.free_count();
+  sb_.clean = 1;
   poke_superblock();
   return util::ok_status();
+}
+
+BlockAddr EfsCore::peek_block_addr(FileId id, std::uint32_t block_no) const {
+  std::int64_t slot = dir_find(id);
+  if (slot < 0) return kNilAddr;
+  const std::vector<Extent>& extents =
+      maps_[static_cast<std::size_t>(slot)].extents;
+  auto it = std::upper_bound(
+      extents.begin(), extents.end(), block_no,
+      [](std::uint32_t b, const Extent& e) { return b < e.block_no; });
+  if (it == extents.begin()) return kNilAddr;
+  --it;
+  if (block_no >= it->block_no + it->len) return kNilAddr;
+  return it->addr + (block_no - it->block_no);
+}
+
+util::Status EfsCore::preflight_appends(FileId id, std::size_t appends) const {
+  std::int64_t slot = dir_find(id);
+  if (slot < 0) return util::not_found("file " + std::to_string(id));
+  const FileMap& fm = maps_[static_cast<std::size_t>(slot)];
+  // Worst case every appended block starts its own extent; the estimate is
+  // exact for contiguous runs of up to kExtentsPerTableBlock blocks and
+  // conservative beyond that — conservative is the right direction for a
+  // fails-whole preflight.
+  std::uint32_t needed_tables = table_blocks_for(fm.extents.size() + appends);
+  std::uint32_t extra_tables =
+      needed_tables > fm.table_blocks.size()
+          ? needed_tables - static_cast<std::uint32_t>(fm.table_blocks.size())
+          : 0;
+  if (appends + extra_tables > bitmap_.free_count()) {
+    return util::out_of_space("append run would overflow the volume");
+  }
+  return util::ok_status();
+}
+
+std::size_t EfsCore::extent_table_blocks_total() const noexcept {
+  std::size_t n = 0;
+  for (const FileMap& fm : maps_) n += fm.table_blocks.size();
+  return n;
 }
 
 std::span<const std::byte> EfsCore::cache_view(BlockAddr addr) const {
@@ -625,50 +688,92 @@ std::size_t EfsCore::file_count() const noexcept {
   return n;
 }
 
-util::Status EfsCore::verify_integrity() const {
+void EfsCore::publish_metrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) const {
+  stats_.publish(registry, prefix);
+  std::uint64_t files = 0, extents = 0, mapped_blocks = 0;
+  for (const FileMap& fm : maps_) {
+    if (fm.extents.empty()) continue;
+    ++files;
+    extents += fm.extents.size();
+    for (const Extent& e : fm.extents) mapped_blocks += e.len;
+  }
+  registry.gauge(prefix + ".file_extents_avg")
+      .set(files == 0 ? 0.0
+                      : static_cast<double>(extents) /
+                            static_cast<double>(files));
+  registry.gauge(prefix + ".extent_len_avg")
+      .set(extents == 0 ? 0.0
+                        : static_cast<double>(mapped_blocks) /
+                              static_cast<double>(extents));
+}
+
+util::Status EfsCore::verify_invariants() const {
   // NOTE: untimed — inspects the device + dirty cache state via peek.
   std::unordered_set<BlockAddr> seen;
-  for (const auto& entry : dir_) {
-    if (entry.empty()) continue;
-    if (entry.size_blocks == 0) {
-      if (entry.head != kNilAddr) {
-        return util::corrupt("empty file with non-nil head");
+  for (std::uint32_t slot = 0; slot < dir_.size(); ++slot) {
+    const DirEntry& entry = dir_[slot];
+    const FileMap& fm = maps_[slot];
+    if (entry.empty()) {
+      if (!fm.extents.empty() || !fm.table_blocks.empty()) {
+        return util::corrupt("empty slot with live extent map");
       }
       continue;
     }
-    BlockAddr cur = entry.head;
-    BlockAddr prev_expected = kNilAddr;
-    for (std::uint32_t i = 0; i < entry.size_blocks; ++i) {
-      if (seen.count(cur) != 0) {
-        return util::corrupt("block shared between files or revisited");
-      }
-      seen.insert(cur);
-      auto raw = cache_view(cur);
-      if (raw.empty()) return util::corrupt("unreadable block in chain");
-      BlockHeader h = parse_header(raw);
-      if (h.magic != kMagicDataBlock) return util::corrupt("non-data block in chain");
-      if (h.file_id != entry.file_id) return util::corrupt("wrong file id in chain");
-      if (h.block_no != i) return util::corrupt("wrong block number in chain");
-      if (i > 0 && h.prev != prev_expected) {
-        return util::corrupt("prev pointer mismatch");
-      }
-      prev_expected = cur;
-      cur = h.next;
+    if (!extents_well_formed(fm.extents, entry.size_blocks, sb_.data_start,
+                             sb_.capacity_blocks)) {
+      return util::corrupt("extent map malformed for file " +
+                           std::to_string(entry.file_id));
     }
-    if (cur != entry.head) return util::corrupt("chain not circular");
-    // Closing link: head.prev must be the tail.
-    auto head_raw = cache_view(entry.head);
-    BlockHeader head_h = parse_header(head_raw);
-    if (entry.size_blocks > 1 && head_h.prev != prev_expected) {
-      return util::corrupt("head.prev is not the tail");
+    if (fm.table_blocks.size() != table_blocks_for(fm.extents.size())) {
+      return util::corrupt("extent table block count wrong");
+    }
+    BlockAddr expected_head =
+        fm.table_blocks.empty() ? kNilAddr : fm.table_blocks.front();
+    if (entry.table_head != expected_head) {
+      return util::corrupt("directory table_head out of date");
+    }
+    for (BlockAddr t : fm.table_blocks) {
+      if (t < sb_.data_start || t >= sb_.capacity_blocks) {
+        return util::corrupt("extent table block outside data region");
+      }
+      if (!seen.insert(t).second) {
+        return util::corrupt("extent table block shared or revisited");
+      }
+      if (!bitmap_.test(t)) {
+        return util::corrupt("extent table block not marked allocated");
+      }
+    }
+    for (const Extent& e : fm.extents) {
+      for (std::uint32_t i = 0; i < e.len; ++i) {
+        BlockAddr a = e.addr + i;
+        if (!seen.insert(a).second) {
+          return util::corrupt("block shared between files or revisited");
+        }
+        if (!bitmap_.test(a)) {
+          return util::corrupt("mapped block not marked allocated in bitmap");
+        }
+        auto raw = cache_view(a);
+        if (raw.empty()) return util::corrupt("unreadable mapped block");
+        BlockHeader h = parse_header(raw);
+        if (h.magic != kMagicDataBlock) {
+          return util::corrupt("non-data block in extent map");
+        }
+        if (h.file_id != entry.file_id) {
+          return util::corrupt("wrong file id in mapped block");
+        }
+        if (h.block_no != e.block_no + i) {
+          return util::corrupt("wrong block number in mapped block");
+        }
+      }
     }
   }
   std::size_t data_blocks = sb_.capacity_blocks - sb_.data_start;
-  if (seen.size() + free_list_.size() != data_blocks) {
+  if (seen.size() + bitmap_.free_count() != data_blocks) {
     return util::corrupt("allocated + free != capacity (leak or double use)");
   }
-  for (BlockAddr a : free_list_) {
-    if (seen.count(a) != 0) return util::corrupt("free block also in a chain");
+  if (sb_.free_count != bitmap_.free_count()) {
+    return util::corrupt("superblock free count stale");
   }
   return util::ok_status();
 }

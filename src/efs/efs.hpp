@@ -1,21 +1,23 @@
 // The Elementary File System: a stateless flat-namespace local file system.
 //
-// Reimplementation of the Cronus EFS as described in §4.3:
+// Reimplementation of the Cronus EFS of §4.3, grown to the v2 extent layout:
 //  - file names are numbers hashed into a directory,
-//  - files are doubly linked circular lists of blocks,
-//  - every request can carry a disk-address hint; to find a block EFS
-//    searches the linked list from the closest of the head, the tail and the
-//    hint (provided the hint points into the correct file),
+//  - each file's placement is a sorted extent list (block_no, addr, len)
+//    persisted in extent-table blocks; locate() is an O(log extents) binary
+//    search instead of the paper's chain walk, so request hints are accepted
+//    on the wire for compatibility but no longer needed for lookup,
+//  - allocation is an FFS-style bitmap with nearest-to-goal placement:
+//    appends extend the file's last extent when the next disk block is free,
+//    keeping files contiguous and track-local,
 //  - a block cache with full-track buffering accelerates sequential access.
 //
 // One EfsCore instance manages one SimDisk and is driven by one server
 // process (EfsServer).  All timed methods charge virtual time through the
-// Context; untimed inspection methods (verify_integrity, counters) exist for
-// tests and never touch the clock.
+// Context; untimed inspection methods (verify_invariants, counters) exist
+// for tests and never touch the clock.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -48,22 +50,20 @@ struct EfsConfig {
   /// order, exactly the unscheduled seed behavior).
   disk::SchedConfig sched;
   ReadaheadConfig readahead;
-  /// Honor request hints (§4.3).  Disabled only by the hint ablation bench.
-  bool hints_enabled = true;
   /// CPU per request (decode, dispatch, directory probe).
   sim::SimTime request_cpu = sim::usec(300);
   /// CPU per block of payload handled (copying in/out of the cache).
   sim::SimTime record_cpu = sim::usec(100);
-  /// Directory mutations between charged directory write-backs.  The
-  /// directory block is kept current on disk; the amortization models
-  /// write-behind of the hot directory block.
+  /// Directory mutations between charged metadata write-backs.  The
+  /// directory, bitmap and extent-table blocks are kept current on disk;
+  /// the amortization models write-behind of the hot metadata blocks.
   std::uint32_t dir_flush_interval = 16;
 };
 
 struct FileInfo {
   FileId id = kInvalidFileId;
   std::uint32_t size_blocks = 0;
-  BlockAddr head = kNilAddr;
+  BlockAddr head = kNilAddr;  ///< disk address of local block 0
 };
 
 struct ReadResult {
@@ -78,9 +78,10 @@ struct EfsOpStats {
   std::uint64_t creates = 0;
   std::uint64_t deletes = 0;
   std::uint64_t truncates = 0;
-  std::uint64_t walk_steps = 0;        ///< chain links traversed by locate()
-  std::uint64_t hint_uses = 0;         ///< locates that started from a hint
-  std::uint64_t hint_rejects = 0;      ///< hints that pointed at a wrong block
+  std::uint64_t extent_lookups = 0;     ///< locate() binary searches
+  std::uint64_t extents_allocated = 0;  ///< new extents started
+  std::uint64_t extents_freed = 0;      ///< extents released by remove/truncate
+  std::uint64_t table_block_allocs = 0; ///< extent-table blocks allocated
   std::uint64_t deep_readahead_tracks = 0;  ///< extra tracks requested (>1)
   std::uint64_t last_readahead_depth = 1;   ///< depth of the latest read
 
@@ -98,16 +99,19 @@ class EfsCore {
   /// before the measurement interval).
   void format();
 
-  /// Rebuild the in-memory directory and free list from the on-disk image
-  /// (untimed; used by persistence tests).  Fails if no valid superblock.
+  /// Rebuild the in-memory directory, extent maps and bitmap from the
+  /// on-disk image (untimed; used by persistence tests).  A clean superblock
+  /// loads the persisted bitmap directly; a dirty one (crash before sync)
+  /// falls back to rebuilding the bitmap from the extent tables and writes
+  /// the repaired state back.  Fails if no valid v2 superblock.
   util::Status remount_from_disk();
 
   util::Status create(sim::Context& ctx, FileId id);
   util::Status remove(sim::Context& ctx, FileId id);
   util::Result<FileInfo> info(sim::Context& ctx, FileId id);
 
-  /// Read local block `block_no` of file `id`.  `hint` is the disk address
-  /// of a nearby block of the same file (kNilAddr for none).
+  /// Read local block `block_no` of file `id`.  `hint` is accepted for wire
+  /// compatibility (§4.3) but unused: the extent map answers every lookup.
   util::Result<ReadResult> read(sim::Context& ctx, FileId id,
                                 std::uint32_t block_no, BlockAddr hint);
 
@@ -133,34 +137,54 @@ class EfsCore {
                                     BlockAddr hint);
 
   /// Truncate file `id` to `new_size_blocks` (<= current size; equal is a
-  /// no-op).  Tail blocks get the same explicit free markers remove() writes,
-  /// but track-coalesced (one positioning per touched track — truncate is a
-  /// bulk compensation/recovery primitive, not the paper's per-block Delete);
-  /// the chain is re-closed around the new tail and the directory entry is
-  /// durably persisted.  Used to roll back partial multi-LFS appends and to
-  /// reset constituents before a rebuild (ROADMAP "EFS truncate op").
+  /// no-op).  Dropped tail blocks are O(extents) bitmap clears; a truncate
+  /// to zero also releases the file's extent-table blocks.  Used to roll
+  /// back partial multi-LFS appends and to reset constituents before a
+  /// rebuild (ROADMAP "EFS truncate op").
   util::Status truncate(sim::Context& ctx, FileId id,
                         std::uint32_t new_size_blocks);
 
-  /// Flush dirty cache blocks and the directory (timed).
+  /// Flush dirty cache blocks and the metadata regions (timed); marks the
+  /// superblock clean so the next mount takes the fast path.
   util::Status sync(sim::Context& ctx);
 
   // --- Untimed inspection (tests, benches, integrity checking). ---
 
-  /// Walk every structure and verify the §6 invariants: circular doubly
-  /// linked chains, block numbering 0..size-1, disjoint files, and
+  /// Walk every structure and verify the v2 invariants: sorted gap-free
+  /// extent maps covering 0..size-1, disjoint files, bitmap⟷extent-table
+  /// agreement (every mapped data and table block is marked allocated, every
+  /// allocated bit is referenced), self-describing data headers, and
   /// allocated + free == capacity.  Returns the first violation found.
-  [[nodiscard]] util::Status verify_integrity() const;
+  [[nodiscard]] util::Status verify_invariants() const;
+  /// Back-compat alias for verify_invariants().
+  [[nodiscard]] util::Status verify_integrity() const {
+    return verify_invariants();
+  }
 
   [[nodiscard]] std::size_t free_block_count() const noexcept {
-    return free_list_.size();
+    return bitmap_.free_count();
   }
-  /// Disk address of the file's head block (kNilAddr if absent or empty).
-  /// Untimed — the directory is RAM-resident; the request scheduler uses
-  /// this to estimate a request's target track without touching the disk.
+  /// Disk address of local block `block_no` of file `id` (kNilAddr if the
+  /// file or block is absent).  Untimed — the extent maps are RAM-resident;
+  /// the request scheduler uses this to estimate a request's target track
+  /// without touching the disk.
+  [[nodiscard]] BlockAddr peek_block_addr(FileId id,
+                                          std::uint32_t block_no) const;
+  /// Disk address of the file's first data block (kNilAddr if absent/empty).
   [[nodiscard]] BlockAddr peek_head(FileId id) const {
-    std::int64_t slot = dir_find(id);
-    return slot < 0 ? kNilAddr : dir_[static_cast<std::size_t>(slot)].head;
+    return peek_block_addr(id, 0);
+  }
+  /// Check whether `appends` new blocks fit, counting worst-case extent-table
+  /// growth, so an out-of-space vectored run can fail whole before any block
+  /// lands.  Untimed.
+  [[nodiscard]] util::Status preflight_appends(FileId id,
+                                               std::size_t appends) const;
+  /// Extent-table blocks currently allocated across all files (tests).
+  [[nodiscard]] std::size_t extent_table_blocks_total() const noexcept;
+  /// True if the last remount_from_disk() took the dirty-superblock
+  /// scan-and-rebuild path.
+  [[nodiscard]] bool last_mount_rebuilt() const noexcept {
+    return last_mount_rebuilt_;
   }
   [[nodiscard]] std::size_t file_count() const noexcept;
   [[nodiscard]] const EfsOpStats& op_stats() const noexcept { return stats_; }
@@ -170,9 +194,17 @@ class EfsCore {
   [[nodiscard]] const EfsConfig& config() const noexcept { return config_; }
   [[nodiscard]] disk::SimDisk& device() noexcept { return dev_; }
 
+  /// Publish op counters plus allocator/fragmentation gauges under `prefix`:
+  /// `.file_extents_avg` (extents per non-empty file) and `.extent_len_avg`
+  /// (data blocks per extent; higher = more contiguous layout).
+  void publish_metrics(obs::MetricsRegistry& registry,
+                       const std::string& prefix) const;
+
  private:
-  struct Located {
-    BlockAddr addr = kNilAddr;
+  /// Per-file placement: sorted extent list + the table blocks backing it.
+  struct FileMap {
+    std::vector<Extent> extents;
+    std::vector<BlockAddr> table_blocks;
   };
 
   [[nodiscard]] std::uint32_t dir_capacity() const noexcept {
@@ -182,20 +214,31 @@ class EfsCore {
   [[nodiscard]] std::int64_t dir_find(FileId id) const;
   /// Find a slot to insert `id` into; returns index or -1 (directory full).
   [[nodiscard]] std::int64_t dir_find_free(FileId id) const;
-  /// Persist the directory block containing slot `slot`.  Charges a disk
-  /// write every dir_flush_interval mutations (or always if `force`).
+  /// Persist the directory block containing slot `slot` plus the superblock
+  /// (marked dirty).  Charges a disk write every dir_flush_interval
+  /// mutations (or always if `force`).
   util::Status dir_persist(sim::Context& ctx, std::uint32_t slot, bool force);
   void poke_dir_block(std::uint32_t dir_block_index);
   void poke_superblock();
+  /// Keep the on-disk bitmap region current (write-behind model).
+  void poke_bitmap();
+  /// Re-encode and poke the extent-table blocks of slot `slot`.
+  void poke_file_tables(std::uint32_t slot);
 
-  util::Result<BlockAddr> allocate_block(sim::Context& ctx);
-  util::Status free_block(sim::Context& ctx, BlockAddr addr);
+  /// Grow the file's run list by one block: extend the last extent if the
+  /// next disk block is free, else start a new extent near the file's end
+  /// (or the allocation rotor for empty files), growing the extent table
+  /// first when needed.  Fails with kOutOfSpace before mutating anything.
+  util::Result<BlockAddr> allocate_append_block(sim::Context& ctx,
+                                                std::uint32_t slot,
+                                                DirEntry& entry);
 
-  /// Chain search per §4.3: start from the closest of head, tail, and hint.
-  util::Result<BlockAddr> locate(sim::Context& ctx, const DirEntry& entry,
-                                 std::uint32_t block_no, BlockAddr hint);
+  /// O(log extents) map lookup of a file-local block number.
+  util::Result<BlockAddr> locate(sim::Context& ctx, std::uint32_t slot,
+                                 const DirEntry& entry, std::uint32_t block_no);
 
-  util::Result<BlockAddr> append_block(sim::Context& ctx, DirEntry& entry,
+  util::Result<BlockAddr> append_block(sim::Context& ctx, std::uint32_t slot,
+                                       DirEntry& entry,
                                        std::span<const std::byte> data,
                                        bool defer_data);
 
@@ -205,7 +248,7 @@ class EfsCore {
   util::Result<BlockAddr> write_one(sim::Context& ctx, FileId id,
                                     std::uint32_t block_no,
                                     std::span<const std::byte> data,
-                                    BlockAddr hint, bool defer_data);
+                                    bool defer_data);
 
   /// Untimed block view preferring unflushed cache contents over the device.
   [[nodiscard]] std::span<const std::byte> cache_view(BlockAddr addr) const;
@@ -225,11 +268,14 @@ class EfsCore {
   BlockCache cache_;
   Superblock sb_;
   std::vector<DirEntry> dir_;
-  std::deque<BlockAddr> free_list_;  ///< ascending after format: locality
+  std::vector<FileMap> maps_;  ///< parallel to dir_
+  BlockBitmap bitmap_;
+  BlockAddr rotor_ = 0;  ///< next-placement goal for new files (locality)
   std::unordered_map<FileId, SeqState> seq_state_;
   std::uint32_t dir_mutations_ = 0;
   EfsOpStats stats_;
   bool formatted_ = false;
+  bool last_mount_rebuilt_ = false;
 };
 
 }  // namespace bridge::efs

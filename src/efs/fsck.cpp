@@ -1,5 +1,8 @@
 #include "src/efs/fsck.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -10,19 +13,62 @@ namespace bridge::efs {
 
 namespace {
 
-/// In-memory image of the whole device, streamed in track order.
-struct DiskImage {
-  Superblock sb;
-  std::vector<DirEntry> dir;
-  std::vector<BlockHeader> headers;  ///< indexed by BlockAddr
+/// Expand a sorted gap-free extent list into one disk address per file-local
+/// block (at most `cap` of them).  Returns nullopt if the list is unsorted
+/// or has gaps — such a map carries no positional information worth trusting
+/// and the caller falls back to salvaging from the data headers.
+std::optional<std::vector<BlockAddr>> expand_extents(
+    const std::vector<Extent>& extents, std::uint32_t cap) {
+  std::vector<BlockAddr> addrs;
+  std::uint32_t expected = 0;
+  for (const Extent& e : extents) {
+    if (e.block_no != expected || e.len == 0) return std::nullopt;
+    for (std::uint32_t i = 0; i < e.len && addrs.size() < cap; ++i) {
+      addrs.push_back(e.addr + i);
+    }
+    expected += e.len;
+  }
+  return addrs;
+}
+
+/// Coalesce per-block addresses back into a minimal sorted run list.
+std::vector<Extent> coalesce(const std::vector<BlockAddr>& addrs) {
+  std::vector<Extent> extents;
+  for (std::uint32_t i = 0; i < addrs.size(); ++i) {
+    if (!extents.empty() &&
+        extents.back().addr + extents.back().len == addrs[i]) {
+      extents.back().len += 1;
+    } else {
+      extents.push_back(Extent{i, addrs[i], 1});
+    }
+  }
+  return extents;
+}
+
+std::vector<std::byte> full_block(std::span<const std::byte> prefix) {
+  std::vector<std::byte> image(kBlockSize);
+  std::copy(prefix.begin(), prefix.end(), image.begin());
+  return image;
+}
+
+/// Per-file repair plan accumulated in pass 1 and executed in pass 3.
+struct FilePlan {
+  std::size_t slot = 0;
+  FileId file_id = kInvalidFileId;
+  std::vector<Extent> extents;       ///< final (possibly truncated) run list
+  std::vector<BlockAddr> data_claims;
+  std::vector<BlockAddr> tables;     ///< reused table blocks (may be short)
+  bool need_table_alloc = false;     ///< tables must come from free space
+  bool was_salvaged = false;         ///< tables rebuilt (vs map truncated)
 };
 
-util::Result<DiskImage> stream_disk(sim::Context& ctx, disk::SimDisk& dev,
-                                    FsckReport& report) {
-  DiskImage image;
-  std::uint32_t capacity = dev.geometry().capacity_blocks();
-  image.headers.resize(capacity);
+}  // namespace
 
+util::Result<FsckReport> fsck(sim::Context& ctx, disk::SimDisk& dev) {
+  FsckReport report;
+  std::uint32_t capacity = dev.geometry().capacity_blocks();
+
+  // Stream the whole disk once, track-at-a-time.
   std::vector<std::vector<std::byte>> raw(capacity);
   for (BlockAddr addr = 0; addr < capacity;
        addr += dev.geometry().blocks_per_track) {
@@ -35,152 +81,295 @@ util::Result<DiskImage> stream_disk(sim::Context& ctx, disk::SimDisk& dev,
     }
   }
 
+  Superblock sb;
   {
     util::Reader r(std::span<const std::byte>(raw[0]).subspan(0, 64));
-    image.sb = Superblock::decode(r);
+    sb = Superblock::decode(r);
   }
-  if (image.sb.magic != kMagicSuperblock ||
-      image.sb.capacity_blocks != capacity ||
-      image.sb.dir_start + image.sb.dir_blocks > capacity) {
+  if (sb.magic != kMagicSuperblock || sb.layout_version != kLayoutVersion ||
+      sb.capacity_blocks != capacity ||
+      sb.dir_start + sb.dir_blocks != sb.bitmap_start ||
+      sb.bitmap_start + sb.bitmap_blocks != sb.data_start ||
+      sb.data_start > capacity) {
     return util::corrupt("superblock unusable; reformat required");
   }
-  for (std::uint32_t b = 0; b < image.sb.dir_blocks; ++b) {
-    util::Reader r(raw[image.sb.dir_start + b]);
+
+  std::vector<DirEntry> dir;
+  for (std::uint32_t b = 0; b < sb.dir_blocks; ++b) {
+    util::Reader r(raw[sb.dir_start + b]);
     for (std::uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
-      image.dir.push_back(DirEntry::decode(r));
+      dir.push_back(DirEntry::decode(r));
     }
   }
-  for (BlockAddr a = image.sb.data_start; a < capacity; ++a) {
-    image.headers[a] = parse_header(raw[a]);
+
+  std::vector<BlockHeader> headers(capacity);
+  for (BlockAddr a = sb.data_start; a < capacity; ++a) {
+    headers[a] = parse_header(raw[a]);
   }
-  return image;
-}
 
-/// Rewrite just the 24-byte header of a block (read-modify-write the image).
-util::Status rewrite_header(sim::Context& ctx, disk::SimDisk& dev,
-                            BlockAddr addr, const BlockHeader& header) {
-  auto current = dev.peek(addr);
-  if (!current) return util::invalid_argument("bad block address");
-  std::vector<std::byte> image(current->begin(), current->end());
-  store_header(image, header);
-  return dev.write(ctx, addr, image);
-}
-
-}  // namespace
-
-util::Result<FsckReport> fsck(sim::Context& ctx, disk::SimDisk& dev) {
-  FsckReport report;
-  auto streamed = stream_disk(ctx, dev, report);
-  if (!streamed.is_ok()) return streamed.status();
-  DiskImage image = std::move(streamed).value();
-  std::uint32_t capacity = dev.geometry().capacity_blocks();
-
-  auto valid_data_addr = [&](BlockAddr a) {
-    return a >= image.sb.data_start && a < capacity;
+  auto valid_addr = [&](BlockAddr a) {
+    return a >= sb.data_start && a < capacity;
   };
 
-  std::unordered_set<BlockAddr> reachable;
+  // claimed[a] = some surviving file owns block a (data or extent table).
+  std::vector<char> claimed(capacity, 0);
+  std::vector<FilePlan> repairs;
   bool dir_dirty = false;
 
-  for (auto& entry : image.dir) {
+  // --- Pass 1: validate every file, claiming blocks in slot order. ---
+  for (std::size_t slot = 0; slot < dir.size(); ++slot) {
+    DirEntry& entry = dir[slot];
     if (entry.empty()) continue;
     ++report.files_checked;
+
     if (entry.size_blocks == 0) {
-      if (entry.head != kNilAddr) {
-        entry.head = kNilAddr;
+      // An empty file owns nothing; a stray table head is repaired in place
+      // (the table blocks it pointed at become orphan bits).
+      if (entry.table_head != kNilAddr) {
+        entry.table_head = kNilAddr;
         dir_dirty = true;
         report.clean = false;
       }
       continue;
     }
-    // Walk the chain, validating each link against the self-describing
-    // headers; stop at the first inconsistency.
-    std::vector<BlockAddr> chain;
-    BlockAddr cur = entry.head;
-    for (std::uint32_t i = 0; i < entry.size_blocks; ++i) {
-      if (!valid_data_addr(cur) || reachable.count(cur) != 0) break;
-      const BlockHeader& h = image.headers[cur];
-      if (h.magic != kMagicDataBlock || h.file_id != entry.file_id ||
-          h.block_no != i) {
+
+    // Decode the extent-table chain.
+    bool chain_ok = true;
+    std::vector<BlockAddr> tables;
+    std::vector<Extent> extents;
+    std::unordered_set<BlockAddr> seen_tables;
+    for (BlockAddr cur = entry.table_head; cur != kNilAddr;) {
+      if (!valid_addr(cur) || claimed[cur] != 0 ||
+          seen_tables.count(cur) != 0) {
+        chain_ok = false;
         break;
       }
-      chain.push_back(cur);
-      cur = h.next;
+      ExtentTableBlock t = ExtentTableBlock::parse(raw[cur]);
+      if (!t.valid_for(entry.file_id)) {
+        chain_ok = false;
+        break;
+      }
+      seen_tables.insert(cur);
+      tables.push_back(cur);
+      extents.insert(extents.end(), t.extents.begin(), t.extents.end());
+      cur = t.next;
     }
-    bool chain_ok = chain.size() == entry.size_blocks && cur == entry.head;
 
+    // Walk a candidate address list, accepting blocks while the
+    // self-describing headers agree; the file survives as the prefix
+    // [0, result.size()).  Nothing is claimed yet — the caller picks the
+    // winning candidate list first.
+    auto walk_prefix = [&](const std::vector<BlockAddr>& cand) {
+      std::vector<BlockAddr> ok;
+      std::unordered_set<BlockAddr> local;
+      for (std::uint32_t i = 0; i < cand.size() && i < entry.size_blocks;
+           ++i) {
+        BlockAddr a = cand[i];
+        if (!valid_addr(a) || claimed[a] != 0 || local.count(a) != 0) break;
+        const BlockHeader& h = headers[a];
+        if (h.magic != kMagicDataBlock || h.file_id != entry.file_id ||
+            h.block_no != i) {
+          break;
+        }
+        local.insert(a);
+        ok.push_back(a);
+      }
+      return ok;
+    };
+
+    // First choice: the decoded map (when structurally sound).  A map that
+    // locates even one block is trusted and the file truncated at the first
+    // inconsistency; a map that locates nothing falls through to salvage.
+    std::vector<BlockAddr> data_claims;
+    std::uint32_t covered = 0;
+    bool salvaging = true;
     if (chain_ok) {
-      for (BlockAddr a : chain) reachable.insert(a);
+      if (auto decoded = expand_extents(extents, entry.size_blocks)) {
+        data_claims = walk_prefix(*decoded);
+        for (const Extent& e : extents) covered += e.len;
+        salvaging = data_claims.empty() && entry.size_blocks > 0;
+      }
+    }
+    if (salvaging) {
+      // Rebuild candidates from the data headers themselves: lowest matching
+      // address per block number wins, so the choice is deterministic.
+      std::unordered_map<std::uint32_t, BlockAddr> best;
+      for (BlockAddr a = sb.data_start; a < capacity; ++a) {
+        if (claimed[a] != 0) continue;
+        const BlockHeader& h = headers[a];
+        if (h.magic != kMagicDataBlock || h.file_id != entry.file_id ||
+            h.block_no >= entry.size_blocks) {
+          continue;
+        }
+        auto [it, inserted] = best.emplace(h.block_no, a);
+        if (!inserted && a < it->second) it->second = a;
+      }
+      std::vector<BlockAddr> rebuilt;
+      for (std::uint32_t i = 0; i < entry.size_blocks; ++i) {
+        auto it = best.find(i);
+        if (it == best.end()) break;
+        rebuilt.push_back(it->second);
+      }
+      data_claims = walk_prefix(rebuilt);
+    }
+    for (BlockAddr a : data_claims) claimed[a] = 1;
+    auto valid_len = static_cast<std::uint32_t>(data_claims.size());
+
+    // Intact means remount + verify_invariants would accept the file as is:
+    // sorted gap-free map covering exactly size_blocks (no unreferenced
+    // mapped tail), every header agreeing, and the right table-block count.
+    bool intact = chain_ok && !salvaging && covered == entry.size_blocks &&
+                  valid_len == entry.size_blocks &&
+                  tables.size() == table_blocks_for(extents.size());
+    if (intact) {
+      for (BlockAddr t : tables) claimed[t] = 1;
       continue;
     }
+
     report.clean = false;
-    if (chain.empty()) {
+    if (valid_len == 0) {
       // Nothing salvageable: drop the entry (tombstone keeps probing valid).
       entry = DirEntry{kInvalidFileId, kNilAddr, 0, DirEntry::kTombstone};
       ++report.entries_dropped;
       dir_dirty = true;
       continue;
     }
-    // Truncate to the valid prefix and re-close the circular list.
-    ++report.chains_truncated;
-    entry.size_blocks = static_cast<std::uint32_t>(chain.size());
-    dir_dirty = true;
-    BlockAddr head = chain.front();
-    BlockAddr tail = chain.back();
-    BlockHeader tail_header = image.headers[tail];
-    tail_header.next = head;
-    if (auto st = rewrite_header(ctx, dev, tail, tail_header); !st.is_ok()) {
-      return st;
+
+    FilePlan plan;
+    plan.slot = slot;
+    plan.file_id = entry.file_id;
+    plan.extents = coalesce(data_claims);
+    plan.data_claims = std::move(data_claims);
+    plan.was_salvaged = salvaging;
+    std::uint32_t needed = table_blocks_for(plan.extents.size());
+    if (chain_ok && tables.size() >= needed) {
+      plan.tables.assign(tables.begin(), tables.begin() + needed);
+      for (BlockAddr t : plan.tables) claimed[t] = 1;
+    } else {
+      plan.need_table_alloc = true;
     }
-    image.headers[tail] = tail_header;
-    BlockHeader head_header = image.headers[head];
-    head_header.prev = tail;
-    if (auto st = rewrite_header(ctx, dev, head, head_header); !st.is_ok()) {
-      return st;
-    }
-    image.headers[head] = head_header;
-    for (BlockAddr a : chain) reachable.insert(a);
+    repairs.push_back(std::move(plan));
   }
 
-  // Reclaim every unreachable data block (orphans from crashes, garbage
-  // headers, blocks of dropped files).
-  std::uint32_t free_count = 0;
-  for (BlockAddr a = image.sb.data_start; a < capacity; ++a) {
-    if (reachable.count(a) != 0) continue;
-    if (image.headers[a].magic == kMagicFreeBlock) {
-      ++free_count;
+  // --- Pass 2: allocate table blocks for salvaged files, now that every
+  // surviving claim is known (ascending from data_start, deterministic). ---
+  BlockAddr cursor = sb.data_start;
+  for (FilePlan& plan : repairs) {
+    if (!plan.need_table_alloc) continue;
+    std::uint32_t needed = table_blocks_for(plan.extents.size());
+    while (plan.tables.size() < needed && cursor < capacity) {
+      if (claimed[cursor] == 0) {
+        claimed[cursor] = 1;
+        plan.tables.push_back(cursor);
+      }
+      ++cursor;
+    }
+    if (plan.tables.size() < needed) {
+      // Disk too full of claims to even hold the tables: drop the file.
+      for (BlockAddr a : plan.data_claims) claimed[a] = 0;
+      for (BlockAddr t : plan.tables) claimed[t] = 0;
+      dir[plan.slot] =
+          DirEntry{kInvalidFileId, kNilAddr, 0, DirEntry::kTombstone};
+      ++report.entries_dropped;
+      dir_dirty = true;
+      plan.extents.clear();
+      plan.tables.clear();
       continue;
     }
-    report.clean = false;
-    ++report.orphans_freed;
-    BlockHeader free_header;
-    free_header.magic = kMagicFreeBlock;
-    if (auto st = rewrite_header(ctx, dev, a, free_header); !st.is_ok()) {
-      return st;
-    }
-    ++free_count;
   }
 
-  // Persist the repaired directory and superblock.
-  if (dir_dirty || !report.clean) {
-    for (std::uint32_t b = 0; b < image.sb.dir_blocks; ++b) {
-      util::Writer w(kBlockSize);
-      for (std::uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
-        image.dir[b * kDirEntriesPerBlock + i].encode(w);
-      }
-      std::vector<std::byte> block_image(kBlockSize);
-      std::copy(w.buffer().begin(), w.buffer().end(), block_image.begin());
-      if (auto st = dev.write(ctx, image.sb.dir_start + b, block_image);
+  // --- Pass 3: write back repaired tables, directory, bitmap, superblock. --
+  for (const FilePlan& plan : repairs) {
+    if (plan.extents.empty()) continue;  // dropped in pass 2
+    if (plan.was_salvaged) {
+      ++report.entries_salvaged;
+    } else {
+      ++report.files_truncated;
+    }
+    for (std::size_t t = 0; t < plan.tables.size(); ++t) {
+      ExtentTableBlock table;
+      table.file_id = plan.file_id;
+      table.next = t + 1 < plan.tables.size() ? plan.tables[t + 1] : kNilAddr;
+      std::size_t first = t * kExtentsPerTableBlock;
+      std::size_t last =
+          std::min(first + kExtentsPerTableBlock, plan.extents.size());
+      table.extents.assign(
+          plan.extents.begin() + static_cast<std::ptrdiff_t>(first),
+          plan.extents.begin() + static_cast<std::ptrdiff_t>(last));
+      if (auto st = dev.write(ctx, plan.tables[t], table.to_image());
           !st.is_ok()) {
         return st;
       }
     }
-    image.sb.free_count = free_count;
+    DirEntry& entry = dir[plan.slot];
+    std::uint32_t total = 0;
+    for (const Extent& e : plan.extents) total += e.len;
+    entry.size_blocks = total;
+    entry.table_head = plan.tables.empty() ? kNilAddr : plan.tables.front();
+    dir_dirty = true;
+  }
+
+  if (dir_dirty) {
+    for (std::uint32_t b = 0; b < sb.dir_blocks; ++b) {
+      util::Writer w(kBlockSize);
+      for (std::uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
+        dir[b * kDirEntriesPerBlock + i].encode(w);
+      }
+      if (auto st = dev.write(ctx, sb.dir_start + b, full_block(w.buffer()));
+          !st.is_ok()) {
+        return st;
+      }
+    }
+  }
+
+  // Rebuild the bitmap the live allocator would hold and diff it against the
+  // persisted region bit by bit.
+  BlockBitmap expected;
+  expected.reset(capacity, sb.data_start);
+  for (BlockAddr a = sb.data_start; a < capacity; ++a) {
+    if (claimed[a] != 0) expected.set(a);
+  }
+  BlockBitmap persisted;
+  persisted.reset(capacity, sb.data_start);
+  for (std::uint32_t b = 0; b < sb.bitmap_blocks; ++b) {
+    persisted.decode_block(b, raw[sb.bitmap_start + b]);
+  }
+  bool bitmap_dirty = false;
+  for (BlockAddr a = 0; a < capacity; ++a) {
+    if (expected.test(a) == persisted.test(a)) continue;
+    bitmap_dirty = true;
+    report.clean = false;
+    if (persisted.test(a)) {
+      ++report.orphans_freed;  // allocated on disk, owned by nobody
+    } else {
+      ++report.bits_repaired;  // owned by a file, marked free on disk
+    }
+  }
+  if (bitmap_dirty) {
+    for (std::uint32_t b = 0; b < sb.bitmap_blocks; ++b) {
+      auto image = expected.encode_block(b);
+      if (std::equal(image.begin(), image.end(),
+                     raw[sb.bitmap_start + b].begin())) {
+        continue;
+      }
+      if (auto st = dev.write(ctx, sb.bitmap_start + b, image); !st.is_ok()) {
+        return st;
+      }
+    }
+  }
+
+  // Superblock: repaired free count, and always leave the volume clean.  A
+  // dirty flag with nothing else wrong (crash after a completed write-behind)
+  // is not counted as a repair.
+  if (!report.clean || sb.clean == 0 ||
+      sb.free_count != expected.free_count()) {
+    sb.free_count = expected.free_count();
+    sb.clean = 1;
     util::Writer w(kBlockSize);
-    image.sb.encode(w);
-    std::vector<std::byte> sb_image(kBlockSize);
-    std::copy(w.buffer().begin(), w.buffer().end(), sb_image.begin());
-    if (auto st = dev.write(ctx, 0, sb_image); !st.is_ok()) return st;
+    sb.encode(w);
+    if (auto st = dev.write(ctx, 0, full_block(w.buffer())); !st.is_ok()) {
+      return st;
+    }
   }
   return report;
 }

@@ -1,14 +1,17 @@
-// Offline file-system check and repair for EFS.
+// Offline file-system check and repair for EFS layout v2.
 //
 // The Cronus EFS that Bridge builds on "included a substantial amount of
-// code to increase resiliency to failures" (§4.5) — its doubly linked,
-// self-describing block headers exist precisely so a checker can rebuild
-// consistent state.  This module is that checker: it streams the disk once
-// (track-at-a-time), validates every directory entry's chain against the
-// block headers, truncates chains at the first inconsistency (repairing the
-// circular links), frees orphaned data blocks, and rewrites the directory
-// and free state.  After fsck, EfsCore::remount_from_disk is guaranteed to
-// succeed and verify_integrity to pass.
+// code to increase resiliency to failures" (§4.5) — its self-describing
+// block headers exist precisely so a checker can rebuild consistent state.
+// This module is that checker for the extent layout: it streams the disk
+// once (track-at-a-time), validates every directory entry's extent-table
+// chain against the data-block headers, truncates extent maps at the first
+// bad block, salvages files whose tables were destroyed by rebuilding the
+// run list from the surviving data headers, reclaims orphaned allocation
+// bits, and rewrites the bitmap region so it is bit-identical to what the
+// live allocator would hold.  After fsck, EfsCore::remount_from_disk is
+// guaranteed to succeed and verify_invariants to pass; a second fsck pass
+// over the repaired image reports clean and writes nothing.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +23,13 @@
 namespace bridge::efs {
 
 struct FsckReport {
-  bool clean = true;                   ///< no repairs were needed
+  bool clean = true;                    ///< no repairs were needed
   std::uint32_t files_checked = 0;
-  std::uint32_t chains_truncated = 0;  ///< files cut at a broken link
-  std::uint32_t entries_dropped = 0;   ///< directory entries beyond repair
-  std::uint32_t orphans_freed = 0;     ///< unreachable data blocks reclaimed
+  std::uint32_t files_truncated = 0;    ///< extent maps cut at a bad block
+  std::uint32_t entries_salvaged = 0;   ///< tables rebuilt from data headers
+  std::uint32_t entries_dropped = 0;    ///< directory entries beyond repair
+  std::uint32_t orphans_freed = 0;      ///< allocated bits with no owner
+  std::uint32_t bits_repaired = 0;      ///< owned blocks re-marked allocated
   std::uint32_t blocks_scanned = 0;
 };
 

@@ -186,7 +186,8 @@ struct ReadManyResponse {
 };
 
 /// Vectored write: apply (block_nos[i], blocks[i]) pairs in order.  Appends
-/// are preflighted against the free list so an out-of-space run fails whole,
+/// are preflighted against the allocation bitmap (including any extent-table
+/// growth they would force) so an out-of-space run fails whole,
 /// leaving the constituent file untouched (no partial tail for the Bridge
 /// Server to roll back).
 struct WriteManyRequest {

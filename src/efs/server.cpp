@@ -75,36 +75,40 @@ void EfsServer::serve(sim::Context& ctx) {
 
 std::uint32_t EfsServer::estimate_track(const sim::Envelope& env) const {
   const auto& geom = disk_->geometry();
-  auto track_of_hint = [&](FileId file_id, BlockAddr hint) -> std::uint32_t {
-    if (hint != kNilAddr && hint < geom.capacity_blocks()) {
-      return geom.track_of(hint);
-    }
-    BlockAddr head = core_->peek_head(file_id);
-    if (head != kNilAddr && head < geom.capacity_blocks()) {
-      return geom.track_of(head);
+  // The RAM-resident extent maps answer "which track will this request
+  // seek to" exactly, for free — the scheduler no longer depends on the
+  // client's (possibly stale) hint.  Requests for appends or unknown files
+  // fall back to the file's first block, then to "no preference".
+  auto track_of_block = [&](FileId file_id,
+                            std::uint32_t block_no) -> std::uint32_t {
+    BlockAddr addr = core_->peek_block_addr(file_id, block_no);
+    if (addr == kNilAddr) addr = core_->peek_head(file_id);
+    if (addr != kNilAddr && addr < geom.capacity_blocks()) {
+      return geom.track_of(addr);
     }
     return disk_->current_track();
   };
-  // Cheap partial decode: every data request encodes file_id first, and the
-  // hint right after whatever fixed fields precede it.  A malformed payload
-  // falls through to "no preference" and is rejected later by handle().
+  // Cheap partial decode: every data request encodes file_id first.  A
+  // malformed payload falls through to "no preference" and is rejected
+  // later by handle().
   try {
     util::Reader r(env.payload);
     switch (static_cast<MsgType>(env.type)) {
       case MsgType::kRead:
       case MsgType::kWrite: {
         FileId file_id = r.u32();
-        r.u32();  // block_no
-        return track_of_hint(file_id, r.u32());
+        return track_of_block(file_id, r.u32());
       }
       case MsgType::kReadMany:
       case MsgType::kWriteMany: {
         FileId file_id = r.u32();
-        return track_of_hint(file_id, r.u32());
+        r.u32();  // hint (wire-compat, unused)
+        std::uint32_t count = r.u32();
+        return track_of_block(file_id, count > 0 ? r.u32() : 0);
       }
       case MsgType::kDelete:
       case MsgType::kTruncate:
-        return track_of_hint(r.u32(), kNilAddr);
+        return track_of_block(r.u32(), 0);
       default:
         break;
     }
@@ -200,9 +204,10 @@ void EfsServer::handle(sim::Context& ctx, const sim::Envelope& env) {
                           util::invalid_argument("WriteMany length mismatch"));
           return;
         }
-        // Preflight appends against the free list so an out-of-space run
-        // fails whole: the caller's bookkeeping rollback then matches the
-        // on-disk state exactly (no orphaned tail blocks).
+        // Preflight appends against the allocation bitmap (counting
+        // worst-case extent-table growth) so an out-of-space run fails
+        // whole: the caller's bookkeeping rollback then matches the on-disk
+        // state exactly (no orphaned tail blocks).
         auto info = core_->info(ctx, req.file_id);
         if (!info.is_ok()) {
           sim::send_reply(ctx, env, info.status());
@@ -212,9 +217,9 @@ void EfsServer::handle(sim::Context& ctx, const sim::Envelope& env) {
         for (auto block_no : req.block_nos) {
           if (block_no >= info.value().size_blocks) ++appends;
         }
-        if (appends > core_->free_block_count()) {
-          sim::send_reply(ctx, env,
-                          util::out_of_space("WriteMany run would overflow"));
+        if (auto st = core_->preflight_appends(req.file_id, appends);
+            !st.is_ok()) {
+          sim::send_reply(ctx, env, st);
           return;
         }
         auto result = core_->write_run(ctx, req.file_id, req.block_nos,

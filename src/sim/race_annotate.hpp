@@ -1,7 +1,7 @@
 // Access annotations for the happens-before race detector.
 //
 // Sprinkle BRIDGE_RACE_READ / BRIDGE_RACE_WRITE on code that touches
-// logically-shared state (a Bridge file's placement, an LFS free list, a
+// logically-shared state (a Bridge file's placement, an LFS allocation bitmap, a
 // cache entry, a disk-request queue).  An object is identified by a stable
 // base pointer plus a caller-chosen sub-key (0 for whole-object granularity,
 // a block address or file id for per-entry granularity).  `label` must be a

@@ -21,7 +21,7 @@ enum class ErrorCode : std::uint8_t {
   kNotFound,         ///< file / block / directory entry does not exist
   kAlreadyExists,    ///< create of an existing file id
   kInvalidArgument,  ///< malformed request, bad block number, bad width
-  kOutOfSpace,       ///< disk or free list exhausted
+  kOutOfSpace,       ///< disk or allocation bitmap exhausted
   kCorrupt,          ///< on-disk structure failed validation
   kUnavailable,      ///< node or service down (fault injection)
   kInternal,         ///< bug or protocol violation

@@ -1,5 +1,5 @@
 // EfsCore: the local file system's behaviour and invariants — creation,
-// append/overwrite, chain structure, hints, deletion, persistence, errors.
+// append/overwrite, extent maps, allocation, deletion, persistence, errors.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -48,7 +48,7 @@ TEST(EfsCore, CreateWriteReadRoundTrip) {
   });
 }
 
-TEST(EfsCore, SequentialAppendBuildsCorrectChain) {
+TEST(EfsCore, SequentialAppendBuildsContiguousExtents) {
   with_efs([](sim::Context& ctx, EfsCore& efs) {
     ASSERT_TRUE(efs.create(ctx, 7).is_ok());
     for (std::uint32_t i = 0; i < 20; ++i) {
@@ -62,11 +62,17 @@ TEST(EfsCore, SequentialAppendBuildsCorrectChain) {
       ASSERT_TRUE(r.is_ok()) << "block " << i;
       EXPECT_EQ(r.value().data, payload(i));
     }
-    EXPECT_TRUE(efs.verify_integrity().is_ok());
+    // An uncontended sequential append never starts a second extent: the
+    // file is one physically contiguous run.
+    EXPECT_EQ(efs.op_stats().extents_allocated, 1u);
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      EXPECT_EQ(efs.peek_block_addr(7, i), efs.peek_head(7) + i);
+    }
+    EXPECT_TRUE(efs.verify_invariants().is_ok());
   });
 }
 
-TEST(EfsCore, OverwriteReplacesDataPreservingChain) {
+TEST(EfsCore, OverwriteReplacesDataPreservingExtents) {
   with_efs([](sim::Context& ctx, EfsCore& efs) {
     ASSERT_TRUE(efs.create(ctx, 3).is_ok());
     for (std::uint32_t i = 0; i < 5; ++i) {
@@ -128,7 +134,8 @@ TEST(EfsCore, DeleteFreesEveryBlock) {
     for (std::uint32_t i = 0; i < 30; ++i) {
       ASSERT_TRUE(efs.write(ctx, 11, i, payload(i), kNilAddr).is_ok());
     }
-    EXPECT_EQ(efs.free_block_count(), free_before - 30);
+    // 30 data blocks plus the file's one extent-table block.
+    EXPECT_EQ(efs.free_block_count(), free_before - 31);
     ASSERT_TRUE(efs.remove(ctx, 11).is_ok());
     EXPECT_EQ(efs.free_block_count(), free_before);
     EXPECT_EQ(efs.file_count(), 0u);
@@ -155,7 +162,8 @@ TEST(EfsCore, DeletedBlocksAreReusable) {
 }
 
 TEST(EfsCore, OutOfSpaceSurfaces) {
-  // Tiny disk: 8 tracks * 4 = 32 blocks, 9 reserved -> 23 data blocks.
+  // Tiny disk: 8 tracks * 4 = 32 blocks, 10 reserved for metadata -> 22
+  // allocatable, one of which goes to the file's extent table.
   with_efs(
       [](sim::Context& ctx, EfsCore& efs) {
         ASSERT_TRUE(efs.create(ctx, 1).is_ok());
@@ -169,81 +177,107 @@ TEST(EfsCore, OutOfSpaceSurfaces) {
           ++written;
           ASSERT_LT(written, 100u);
         }
-        EXPECT_EQ(written, 23u);
+        EXPECT_EQ(written, 21u);
         EXPECT_TRUE(efs.verify_integrity().is_ok());
       },
       EfsConfig{}, /*tracks=*/8);
 }
 
-TEST(EfsCore, HintAcceleratesSequentialRead) {
-  EfsConfig cfg;
+TEST(EfsCore, ExtentLookupsStayFlatWithoutHints) {
+  // The chain era needed client hints to keep sequential reads O(1); the
+  // extent map answers every lookup in one binary search regardless.
   with_efs([](sim::Context& ctx, EfsCore& efs) {
     ASSERT_TRUE(efs.create(ctx, 4).is_ok());
     for (std::uint32_t i = 0; i < 200; ++i) {
       ASSERT_TRUE(efs.write(ctx, 4, i, payload(i), kNilAddr).is_ok());
     }
-    // Sequential scan passing last address as hint: walk steps stay ~1/block.
-    std::uint64_t walk_before = efs.op_stats().walk_steps;
-    BlockAddr hint = kNilAddr;
+    std::uint64_t lookups_before = efs.op_stats().extent_lookups;
     for (std::uint32_t i = 0; i < 200; ++i) {
-      auto r = efs.read(ctx, 4, i, hint);
+      auto r = efs.read(ctx, 4, i, kNilAddr);
       ASSERT_TRUE(r.is_ok());
-      hint = r.value().addr;
     }
-    std::uint64_t hinted_walk = efs.op_stats().walk_steps - walk_before;
-    EXPECT_LE(hinted_walk, 210u);
-    EXPECT_GT(efs.op_stats().hint_uses, 150u);
+    // Exactly one map lookup per read — no walking, no hint dependence.
+    EXPECT_EQ(efs.op_stats().extent_lookups - lookups_before, 200u);
   });
 }
 
-TEST(EfsCore, NoHintReadsWalkFromNearestEnd) {
+TEST(EfsCore, RandomReadCostsOneLookupNotAWalk) {
   with_efs([](sim::Context& ctx, EfsCore& efs) {
     ASSERT_TRUE(efs.create(ctx, 4).is_ok());
     for (std::uint32_t i = 0; i < 100; ++i) {
       ASSERT_TRUE(efs.write(ctx, 4, i, payload(i), kNilAddr).is_ok());
     }
-    std::uint64_t walk_before = efs.op_stats().walk_steps;
-    // Block 97 is closest to the tail: walking from head would cost 97 steps,
-    // from the tail only 2.
-    ASSERT_TRUE(efs.read(ctx, 4, 97, kNilAddr).is_ok());
-    EXPECT_LE(efs.op_stats().walk_steps - walk_before, 3u);
+    std::uint64_t lookups_before = efs.op_stats().extent_lookups;
+    // Deep into the file: the chain era walked ~97 pointer blocks to get
+    // here without a hint; the extent map resolves it in one lookup.
+    auto r = efs.read(ctx, 4, 97, kNilAddr);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().data, payload(97));
+    EXPECT_EQ(efs.op_stats().extent_lookups - lookups_before, 1u);
   });
 }
 
-TEST(EfsCore, HintFromWrongFileRejected) {
+TEST(EfsCore, StaleHintFromWrongFileIsHarmless) {
   with_efs([](sim::Context& ctx, EfsCore& efs) {
     ASSERT_TRUE(efs.create(ctx, 1).is_ok());
     ASSERT_TRUE(efs.create(ctx, 2).is_ok());
     ASSERT_TRUE(efs.write(ctx, 1, 0, payload(1), kNilAddr).is_ok());
     auto w2 = efs.write(ctx, 2, 0, payload(2), kNilAddr);
     ASSERT_TRUE(w2.is_ok());
-    // Pass file 2's block as a hint for file 1: must still find the right
-    // block (and count a hint reject).
+    // Hints remain on the wire for protocol compatibility but are ignored:
+    // a hint pointing into another file cannot misdirect the lookup.
     auto r = efs.read(ctx, 1, 0, w2.value());
     ASSERT_TRUE(r.is_ok());
     EXPECT_EQ(r.value().data, payload(1));
-    EXPECT_GE(efs.op_stats().hint_rejects, 1u);
   });
 }
 
-TEST(EfsCore, HintsCanBeDisabled) {
-  EfsConfig cfg;
-  cfg.hints_enabled = false;
-  with_efs(
-      [](sim::Context& ctx, EfsCore& efs) {
-        ASSERT_TRUE(efs.create(ctx, 4).is_ok());
-        for (std::uint32_t i = 0; i < 50; ++i) {
-          ASSERT_TRUE(efs.write(ctx, 4, i, payload(i), kNilAddr).is_ok());
-        }
-        BlockAddr hint = kNilAddr;
-        for (std::uint32_t i = 0; i < 50; ++i) {
-          auto r = efs.read(ctx, 4, i, hint);
-          ASSERT_TRUE(r.is_ok());
-          hint = r.value().addr;
-        }
-        EXPECT_EQ(efs.op_stats().hint_uses, 0u);
-      },
-      cfg);
+TEST(EfsCore, DeleteCostIsFlatInFileSize) {
+  // §4.5: the chain-era Delete explicitly freed every local block at ~20 ms
+  // per block.  With the bitmap allocator a delete is RAM bit-clears plus
+  // one forced metadata flush, so cost no longer scales with file size.
+  with_efs([](sim::Context& ctx, EfsCore& efs) {
+    ASSERT_TRUE(efs.create(ctx, 1).is_ok());
+    for (std::uint32_t i = 0; i < 60; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 1, i, payload(i), kNilAddr).is_ok());
+    }
+    auto before = ctx.now();
+    ASSERT_TRUE(efs.remove(ctx, 1).is_ok());
+    double delete_ms = (ctx.now() - before).ms();
+    // Chain era: 60 blocks * 20 ms = ~1200 ms.  Extent era: ~15 ms flat.
+    EXPECT_LT(delete_ms, 40.0);
+    EXPECT_TRUE(efs.verify_invariants().is_ok());
+  });
+}
+
+TEST(EfsCore, DirtyMountRebuildsBitmapFromExtentTables) {
+  disk::SimDisk dev(geo(), disk::LatencyModel{});
+  sim::Runtime rt(1);
+  EfsCore efs(dev, {});
+  efs.format();
+  rt.spawn(0, "t", [&](sim::Context& ctx) {
+    ASSERT_TRUE(efs.create(ctx, 5).is_ok());
+    for (std::uint32_t i = 0; i < 17; ++i) {
+      ASSERT_TRUE(efs.write(ctx, 5, i, payload(i), kNilAddr).is_ok());
+    }
+    // No sync: the superblock stays dirty.
+  });
+  rt.run();
+
+  // A crashed mount must take the scan-and-rebuild fallback...
+  EfsCore dirty(dev, {});
+  ASSERT_TRUE(dirty.remount_from_disk().is_ok());
+  EXPECT_TRUE(dirty.last_mount_rebuilt());
+  EXPECT_EQ(dirty.free_block_count(), efs.free_block_count());
+  EXPECT_TRUE(dirty.verify_invariants().is_ok());
+
+  // ...and leave the disk clean, so the next mount loads the persisted
+  // bitmap directly instead of rebuilding.
+  EfsCore clean(dev, {});
+  ASSERT_TRUE(clean.remount_from_disk().is_ok());
+  EXPECT_FALSE(clean.last_mount_rebuilt());
+  EXPECT_EQ(clean.free_block_count(), dirty.free_block_count());
+  EXPECT_TRUE(clean.verify_invariants().is_ok());
 }
 
 TEST(EfsCore, ManyFilesStayDisjoint) {
@@ -313,7 +347,7 @@ TEST(EfsCore, WrongPayloadSizeRejected) {
 
 TEST(EfsCore, AppendCostMatchesPaperWriteRegime) {
   // Steady-state sequential append should cost roughly the paper's 31 ms
-  // Write figure (one data write + amortized pointer flushes).
+  // Write figure (one data write + amortized metadata flushes).
   with_efs([](sim::Context& ctx, EfsCore& efs) {
     ASSERT_TRUE(efs.create(ctx, 8).is_ok());
     // Warm up.
@@ -436,7 +470,8 @@ TEST(EfsCore, TruncateFreesTailAndKeepsPrefix) {
     auto info = efs.info(ctx, 11);
     ASSERT_TRUE(info.is_ok());
     EXPECT_EQ(info.value().size_blocks, 5u);
-    EXPECT_EQ(efs.free_block_count(), free_before - 5);
+    // 5 surviving data blocks plus the file's extent-table block.
+    EXPECT_EQ(efs.free_block_count(), free_before - 6);
     for (std::uint32_t i = 0; i < 5; ++i) {
       auto r = efs.read(ctx, 11, i, kNilAddr);
       ASSERT_TRUE(r.is_ok()) << "block " << i;
@@ -459,7 +494,7 @@ TEST(EfsCore, TruncateToZeroThenReappend) {
     ASSERT_TRUE(efs.truncate(ctx, 4, 0).is_ok());
     EXPECT_EQ(efs.free_block_count(), free_before);
     EXPECT_EQ(efs.info(ctx, 4).value().size_blocks, 0u);
-    // The chain must be re-growable from empty.
+    // The extent map must be re-growable from empty.
     for (std::uint32_t i = 0; i < 3; ++i) {
       ASSERT_TRUE(efs.write(ctx, 4, i, payload(40 + i), kNilAddr).is_ok());
     }
@@ -477,7 +512,7 @@ TEST(EfsCore, TruncateAfterTruncateAppendsAtBoundary) {
       ASSERT_TRUE(efs.write(ctx, 6, i, payload(i), kNilAddr).is_ok());
     }
     ASSERT_TRUE(efs.truncate(ctx, 6, 3).is_ok());
-    // Appending at the new boundary continues the chain; one past rejects.
+    // Appending at the new boundary continues the file; one past rejects.
     EXPECT_EQ(efs.write(ctx, 6, 4, payload(0), kNilAddr).status().code(),
               util::ErrorCode::kInvalidArgument);
     ASSERT_TRUE(efs.write(ctx, 6, 3, payload(33), kNilAddr).is_ok());

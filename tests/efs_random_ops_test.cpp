@@ -83,6 +83,14 @@ TEST_P(EfsRandomOps, MatchesReferenceModel) {
         } else {
           EXPECT_EQ(result.status().code(), util::ErrorCode::kOutOfSpace);
         }
+      } else if (action < 68 && !model.empty()) {
+        // Truncate a random file to a random smaller size.
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng.next_below(model.size())));
+        auto new_size = static_cast<std::uint32_t>(
+            rng.next_below(it->second.size() + 1));
+        ASSERT_TRUE(fs.truncate(ctx, it->first, new_size).is_ok());
+        it->second.resize(new_size);
       } else if (action < 75 && !model.empty()) {
         // Overwrite a random existing block.
         auto it = model.begin();
@@ -128,7 +136,10 @@ TEST_P(EfsRandomOps, MatchesReferenceModel) {
         EXPECT_EQ(result.value().data, payload_for(blocks[b]));
       }
     }
-    EXPECT_EQ(fs.free_block_count(), initial_free - allocated);
+    // Allocated space = model data blocks + the extent-table blocks backing
+    // the surviving files (exactly accounted, no leaks either way).
+    EXPECT_EQ(fs.free_block_count(),
+              initial_free - allocated - fs.extent_table_blocks_total());
     EXPECT_EQ(fs.file_count(), model.size());
   });
   rt.run();

@@ -1,6 +1,6 @@
 // EFS server + client over the RPC layer: end-to-end local file system
-// behaviour as seen across the interconnect, including hint plumbing and
-// several clients sharing one server.
+// behaviour as seen across the interconnect, including extent-map lookups
+// and several clients sharing one server.
 #include <gtest/gtest.h>
 
 #include "src/efs/client.hpp"
@@ -53,7 +53,7 @@ TEST(EfsServer, RemoteCreateWriteReadDelete) {
   EXPECT_TRUE(server.core().verify_integrity().is_ok());
 }
 
-TEST(EfsServer, ClientHintTableKeepsWalksShort) {
+TEST(EfsServer, ExtentMapKeepsLookupsFlat) {
   sim::Runtime rt(2);
   EfsServer server(rt, 0, geo(), disk::LatencyModel{}, EfsConfig{});
   server.start();
@@ -69,10 +69,11 @@ TEST(EfsServer, ClientHintTableKeepsWalksShort) {
     }
   });
   rt.run();
-  // The sequential scan should have used hints nearly every time.
-  EXPECT_GT(server.core().op_stats().hint_uses, 100u);
-  // Walks should be ~1 step per access, not O(n^2)/2 total.
-  EXPECT_LT(server.core().op_stats().walk_steps, 400u);
+  // One map lookup per read, none per append: no chain walking, no hint
+  // table needed on either side of the wire.
+  EXPECT_EQ(server.core().op_stats().extent_lookups, 120u);
+  // A contiguous sequential file stays one extent.
+  EXPECT_EQ(server.core().op_stats().extents_allocated, 1u);
 }
 
 TEST(EfsServer, ErrorsCrossTheWire) {

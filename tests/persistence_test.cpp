@@ -88,9 +88,10 @@ TEST(DiskImage, MissingAndCorruptFiles) {
 }
 
 TEST(CrashRecovery, UnsyncedCacheLossIsRepairedByFsck) {
-  // Write WITHOUT sync: write-back pointer updates are lost with the "power
-  // cut" (a fresh EfsCore sees only the on-disk state).  fsck must bring the
-  // disk back to a mountable, consistent state.
+  // Write WITHOUT sync: staged cache blocks are lost with the "power cut"
+  // and the superblock is still marked dirty (a fresh EfsCore sees only the
+  // on-disk state).  fsck must bring the disk back to a mountable,
+  // consistent state.
   disk::SimDisk dev(geo(), disk::LatencyModel{});
   {
     sim::Runtime rt(1);
@@ -101,7 +102,8 @@ TEST(CrashRecovery, UnsyncedCacheLossIsRepairedByFsck) {
       for (std::uint32_t i = 0; i < 20; ++i) {
         ASSERT_TRUE(fs.write(ctx, 5, i, payload(i), disk::kNilAddr).is_ok());
       }
-      // NO sync: dirty chain pointers remain only in the dying cache.
+      // NO sync: the superblock stays dirty, so the next mount must go
+      // through fsck / rebuild rather than trusting the on-disk tables.
     });
     rt.run();
   }

@@ -88,13 +88,13 @@ TEST(CopyTool, CopyTrafficStaysLocal) {
 }
 
 TEST(CopyTool, NearLinearSpeedup) {
-  // Large enough that per-block work dominates the fixed startup cost and the
-  // write-back debt make_file leaves in the p=2 cache: with track-coalesced
-  // vectored writes the copy itself is cheap, so small files under-report the
-  // scaling.
-  constexpr std::uint32_t kBlocks = 192;
+  // Large enough that per-block work dominates the fixed startup cost (the
+  // paper's sequential create initiation plus two directory opens, ~400 ms
+  // regardless of file size): the extent layout roughly halved the p=2
+  // per-block cost, so small files under-report the scaling.
+  constexpr std::uint32_t kBlocks = 1024;
   auto time_for = [&](std::uint32_t p) {
-    BridgeInstance inst(cfg(p, 256));
+    BridgeInstance inst(cfg(p, 1280));
     make_file(inst, "src", kBlocks);
     sim::SimTime elapsed{};
     inst.run_client("tool", [&](sim::Context& ctx, BridgeClient& client) {
