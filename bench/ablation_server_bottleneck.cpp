@@ -183,6 +183,111 @@ double routed_aggregate_rec_per_sec(std::uint32_t p, std::uint32_t servers,
                             static_cast<double>(records_each) / seconds;
 }
 
+/// Write-heavy namespace workload through k routed servers: each client
+/// creates its own files and streams a few records into each.  create/open
+/// carry the big server CPU charges (136 ms / 77 ms), so with one server the
+/// aggregate serializes behind its CPU and with k servers it scales nearly
+/// k-fold — the name hash spreads the files across homes.
+double routed_write_heavy_files_per_sec(std::uint32_t p, std::uint32_t servers,
+                                        std::uint32_t clients,
+                                        std::uint32_t files_each,
+                                        std::uint64_t records_each) {
+  auto cfg = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(
+             2 * clients * files_each * records_each / p + 64));
+  cfg.efs.cache.capacity_blocks = 512;
+  cfg.num_bridge_servers = servers;
+  core::BridgeInstance inst(cfg);
+  std::vector<sim::SimTime> started(clients), done(clients);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    inst.run_routed_client(
+        "writer" + std::to_string(c),
+        [&, c](sim::Context& ctx, core::RoutedBridgeClient& client) {
+          started[c] = ctx.now();
+          for (std::uint32_t f = 0; f < files_each; ++f) {
+            std::string name =
+                "w" + std::to_string(c) + "_" + std::to_string(f);
+            if (!client.create(name).is_ok()) return;
+            auto open = client.open(name);
+            if (!open.is_ok()) return;
+            for (std::uint64_t i = 0; i < records_each; ++i) {
+              if (!client.seq_write(open.value().session, keyed_record(i))
+                       .is_ok()) {
+                return;
+              }
+            }
+          }
+          done[c] = ctx.now();
+        });
+  }
+  inst.run();
+  sim::SimTime start_min = started[0], end_max{0};
+  for (auto t : started) start_min = std::min(start_min, t);
+  for (auto t : done) end_max = std::max(end_max, t);
+  double seconds = (end_max - start_min).sec();
+  return seconds <= 0 ? 0
+                      : static_cast<double>(clients) *
+                            static_cast<double>(files_each) / seconds;
+}
+
+/// Mixed namespace workload: create, write, rename (local and cross-server),
+/// random read, periodic global listing, remove — the distributed-directory
+/// write path end to end.  Returns aggregate namespace+data ops per second.
+double routed_mixed_ops_per_sec(std::uint32_t p, std::uint32_t servers,
+                                std::uint32_t clients,
+                                std::uint32_t iterations) {
+  auto cfg = core::SystemConfig::paper_profile(
+      p, static_cast<std::uint32_t>(4 * clients * iterations / p + 64));
+  cfg.efs.cache.capacity_blocks = 512;
+  cfg.num_bridge_servers = servers;
+  core::BridgeInstance inst(cfg);
+  std::vector<sim::SimTime> started(clients), done(clients);
+  std::vector<std::uint64_t> ops(clients, 0);
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    inst.run_routed_client(
+        "mixed" + std::to_string(c),
+        [&, c](sim::Context& ctx, core::RoutedBridgeClient& client) {
+          started[c] = ctx.now();
+          for (std::uint32_t i = 0; i < iterations; ++i) {
+            std::string tmp =
+                "tmp" + std::to_string(c) + "_" + std::to_string(i);
+            std::string fin =
+                "fin" + std::to_string(c) + "_" + std::to_string(i);
+            if (!client.create(tmp).is_ok()) return;
+            auto open = client.open(tmp);
+            if (!open.is_ok()) return;
+            for (std::uint64_t b = 0; b < 2; ++b) {
+              if (!client.seq_write(open.value().session, keyed_record(b))
+                       .is_ok()) {
+                return;
+              }
+            }
+            auto renamed = client.rename(tmp, fin);
+            if (!renamed.is_ok()) return;
+            if (!client.random_read(renamed.value(), 0).is_ok()) return;
+            ops[c] += 6;  // create + open + 2 writes + rename + read
+            if (i % 4 == 3) {
+              if (!client.list("fin" + std::to_string(c)).is_ok()) return;
+              ++ops[c];
+            }
+            if (i % 2 == 1) {
+              if (!client.remove(fin).is_ok()) return;
+              ++ops[c];
+            }
+          }
+          done[c] = ctx.now();
+        });
+  }
+  inst.run();
+  sim::SimTime start_min = started[0], end_max{0};
+  for (auto t : started) start_min = std::min(start_min, t);
+  for (auto t : done) end_max = std::max(end_max, t);
+  double seconds = (end_max - start_min).sec();
+  std::uint64_t total = 0;
+  for (auto o : ops) total += o;
+  return seconds <= 0 ? 0 : static_cast<double>(total) / seconds;
+}
+
 }  // namespace
 }  // namespace bridge::bench
 
@@ -227,6 +332,27 @@ int main(int argc, char** argv) {
                {"clients", 8},
                {"records", static_cast<double>(records)},
                {"naive_rec_per_sec", rate}});
+  }
+  std::printf("\nwrite-heavy and mixed namespace workloads (8 clients,\n"
+              "k servers, RoutedBridgeClient):\n");
+  std::printf("%8s | %18s | %18s\n", "servers", "write-heavy",
+              "mixed namespace");
+  std::printf("---------+--------------------+-------------------\n");
+  for (std::uint32_t servers : {1u, 2u, 4u}) {
+    double write_heavy = routed_write_heavy_files_per_sec(p, servers, 8, 6, 4);
+    double mixed = routed_mixed_ops_per_sec(p, servers, 8, 6);
+    std::printf("%8u | %11.1f file/s | %12.1f op/s\n", servers, write_heavy,
+                mixed);
+    json.emit("ablation_server_bottleneck_routed_write",
+              {{"p", p},
+               {"servers", servers},
+               {"clients", 8},
+               {"files_per_sec", write_heavy}});
+    json.emit("ablation_server_bottleneck_routed_mixed",
+              {{"p", p},
+               {"servers", servers},
+               {"clients", 8},
+               {"ops_per_sec", mixed}});
   }
   std::printf(
       "\nshape checks: naive aggregate throughput flattens as clients are\n"

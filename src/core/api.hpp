@@ -73,6 +73,21 @@ class BridgeApi {
   virtual util::Result<ParallelWriteResponse> parallel_write(
       std::uint64_t job) = 0;
 
+  /// Rename `from` to `to` (target must not exist; members of a
+  /// mirrored/parity group are rejected).  Returns the file's id after the
+  /// rename: under a routed directory the file may move to the home server
+  /// of the new name, in which case a NEW id (tagged with the new home) is
+  /// returned and the old id stops resolving.  Open sessions on the old
+  /// server do not follow a cross-server move.
+  virtual util::Result<BridgeFileId> rename(const std::string& from,
+                                            const std::string& to) = 0;
+
+  /// List directory entries whose name starts with `prefix` (empty = all),
+  /// sorted by name.  Under a routed directory the listing fans out to every
+  /// server concurrently and merges the sorted partitions deterministically.
+  virtual util::Result<std::vector<ListEntry>> list(
+      const std::string& prefix) = 0;
+
   virtual util::Result<GetInfoResponse> get_info() = 0;
 
   /// Resolve `count` placements starting at global block `first` of file

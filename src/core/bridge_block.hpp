@@ -22,6 +22,10 @@ using BridgeFileId = std::uint32_t;
 
 struct BridgeBlockHeader {
   std::uint32_t magic = kMagic;
+  /// The file's CONSTITUENT (LFS) id, not its Bridge directory id.  The two
+  /// are equal when a file is created, but a cross-server rename mints a new
+  /// directory id while the constituent id — and therefore every header
+  /// already on disk — stays fixed for the file's lifetime.
   BridgeFileId file_id = 0;
   std::uint64_t global_block_no = 0;
   std::uint32_t width = 1;       ///< interleaving breadth of the file

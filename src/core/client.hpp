@@ -157,6 +157,22 @@ class BridgeClient final : public BridgeApi {
     return util::decode_from_bytes<ParallelWriteResponse>(reply.value());
   }
 
+  util::Result<BridgeFileId> rename(const std::string& from,
+                                    const std::string& to) override {
+    RenameRequest req{from, to};
+    auto reply = call(BridgeMsg::kRename, util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<RenameResponse>(reply.value()).id;
+  }
+
+  util::Result<std::vector<ListEntry>> list(
+      const std::string& prefix) override {
+    ListRequest req{prefix};
+    auto reply = call(BridgeMsg::kList, util::encode_to_bytes(req));
+    if (!reply.is_ok()) return reply.status();
+    return util::decode_from_bytes<ListResponse>(reply.value()).entries;
+  }
+
   util::Result<GetInfoResponse> get_info() override {
     auto reply = call(BridgeMsg::kGetInfo, {});
     if (!reply.is_ok()) return reply.status();

@@ -16,9 +16,20 @@ BridgeInstance::BridgeInstance(SystemConfig config) : config_(config) {
     nodes.push_back(i);
   }
   for (std::uint32_t s = 0; s < std::max(1u, config_.num_bridge_servers); ++s) {
+    // Server s mints Bridge file ids from slice s: the id's top byte IS its
+    // home, so routed clients resolve a file's server from the id alone.
     bridges_.push_back(std::make_unique<BridgeServer>(
         *rt_, config_.bridge_node(s), config_.bridge, services, nodes,
-        /*file_id_base=*/1000 + s * 0x01000000u));
+        /*file_id_base=*/make_file_id_base(s)));
+  }
+  // Wire the routed group for cross-server namespace ops (rename handoff).
+  if (bridges_.size() > 1) {
+    std::vector<sim::Address> peers;
+    peers.reserve(bridges_.size());
+    for (auto& server : bridges_) peers.push_back(server->address());
+    for (std::uint32_t s = 0; s < bridges_.size(); ++s) {
+      bridges_[s]->set_peers(peers, s);
+    }
   }
 }
 

@@ -9,15 +9,54 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/distribution.hpp"
 #include "src/sim/rpc.hpp"
+#include "src/util/hash.hpp"
 #include "src/util/serde.hpp"
 
 namespace bridge::core {
 
 using BridgeFileId = std::uint32_t;
+
+// --- Distributed-directory addressing ---------------------------------------
+//
+// When the directory is partitioned across k Bridge Servers, every durable
+// identifier must be routable WITHOUT consulting any client-side map (a map
+// keyed by raw per-server ids clobbers whenever two servers mint the same
+// id, and it goes stale on delete).  The top byte of a BridgeFileId is its
+// home server index — each server mints ids from its own 2^24-wide slice —
+// so the id itself says where the file's directory entry lives, exactly as
+// session/job ids carry their home in the top byte of the 64-bit handle.
+
+/// Top byte of a BridgeFileId carries the minting server's home index.
+inline constexpr std::uint32_t kFileIdHomeShift = 24;
+inline constexpr BridgeFileId kFileIdLocalMask =
+    (BridgeFileId{1} << kFileIdHomeShift) - 1;
+
+/// Home server index encoded in a file id.
+constexpr std::uint32_t file_id_home(BridgeFileId id) noexcept {
+  return id >> kFileIdHomeShift;
+}
+
+/// First id of server `home`'s slice (offset past the reserved low ids so a
+/// single-server machine keeps the historical 1000-based id space).
+constexpr BridgeFileId make_file_id_base(std::uint32_t home) noexcept {
+  return (home << kFileIdHomeShift) | BridgeFileId{1000};
+}
+
+/// Which server owns directory entry `name` in a k-server partition.  Shared
+/// by RoutedBridgeClient (request routing) and BridgeServer (cross-server
+/// rename: the source computes the destination of the new name), so the two
+/// sides can never disagree about a name's home.
+inline std::uint32_t directory_home(std::string_view name,
+                                    std::size_t num_servers) {
+  auto bytes = std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(name.data()), name.size());
+  return num_servers <= 1 ? 0 : util::fnv1a_32(bytes) % num_servers;
+}
 
 /// Upper bound on the blocks one vectored request may move.  Bounds server
 /// memory per request and keeps a single client from parking the server on
@@ -60,6 +99,27 @@ enum class BridgeMsg : std::uint32_t {
   /// the file size).  Lets window-buffered readers (BufferedFileStream)
   /// serve random-access programs without reopening the file.
   kSeqSeek = 0x211,
+  /// Extension: rename a directory entry.  Local when both names hash to the
+  /// same home; otherwise the source server coordinates a PVFS-style
+  /// prepare/commit handoff with the destination (kRenameInstall/kRenameAck
+  /// below) — the entry is detached from the source before the record ships,
+  /// so exactly one server can ever mutate the file's placement.
+  kRename = 0x212,
+  /// Extension: list directory entries (optionally under a name prefix),
+  /// sorted by name.  A routed client fans this out to every server and
+  /// merges the sorted partitions deterministically — the "Scalable Unix
+  /// Commands" global-listing pattern.
+  kList = 0x213,
+  // Server -> server messages for the cross-server rename handoff:
+  /// Coordinator -> destination: install the detached record under its new
+  /// name (the prepare).  Carries the whole directory record; no file data
+  /// moves — constituent LFS files are untouched by rename.
+  kRenameInstall = 0x282,
+  /// Destination -> coordinator: commit (new id minted at the destination)
+  /// or abort (e.g. the new name already exists).  Posted straight to the
+  /// coordinator's service mailbox so neither server ever blocks on the
+  /// other — ordering comes from these message edges alone.
+  kRenameAck = 0x283,
   // Server -> worker messages for parallel jobs:
   kWorkerData = 0x280,  ///< one-way block delivery (parallel read)
   kWorkerGive = 0x281,  ///< request/reply block solicitation (parallel write)
@@ -86,6 +146,10 @@ constexpr const char* bridge_msg_name(BridgeMsg type) noexcept {
     case BridgeMsg::kRandomReadMany: return "bridge.RandomReadMany";
     case BridgeMsg::kTruncate: return "bridge.Truncate";
     case BridgeMsg::kSeqSeek: return "bridge.SeqSeek";
+    case BridgeMsg::kRename: return "bridge.Rename";
+    case BridgeMsg::kList: return "bridge.List";
+    case BridgeMsg::kRenameInstall: return "bridge.RenameInstall";
+    case BridgeMsg::kRenameAck: return "bridge.RenameAck";
     case BridgeMsg::kWorkerData: return "bridge.WorkerData";
     case BridgeMsg::kWorkerGive: return "bridge.WorkerGive";
   }
@@ -381,6 +445,129 @@ struct SeqSeekResponse {
   std::uint64_t block_no = 0;  ///< cursor position after the (clamped) seek
   void encode(util::Writer& w) const { w.u64(block_no); }
   static SeqSeekResponse decode(util::Reader& r) { return {r.u64()}; }
+};
+
+/// Rename `from` to `to`.  Sent to the server that homes `from`.
+struct RenameRequest {
+  std::string from;
+  std::string to;
+  void encode(util::Writer& w) const {
+    w.str(from);
+    w.str(to);
+  }
+  static RenameRequest decode(util::Reader& r) {
+    RenameRequest req;
+    req.from = r.str();
+    req.to = r.str();
+    return req;
+  }
+};
+
+struct RenameResponse {
+  /// The file's id after the rename.  Unchanged for a local rename; freshly
+  /// minted from the destination's slice for a cross-server move, so the
+  /// top byte routes to the entry's new home (stale pre-rename ids resolve
+  /// to not_found at the old home, never to another file's data).
+  BridgeFileId id = 0;
+  void encode(util::Writer& w) const { w.u32(id); }
+  static RenameResponse decode(util::Reader& r) { return {r.u32()}; }
+};
+
+/// Coordinator -> destination: install this detached directory record under
+/// `to` (cross-server rename prepare).  `seq` keys the coordinator's pending
+/// table and is echoed in the ack.
+struct RenameInstallRequest {
+  std::uint64_t seq = 0;
+  std::string to;
+  std::uint32_t lfs_file_id = 0;
+  PlacementMap placement;
+  void encode(util::Writer& w) const {
+    w.u64(seq);
+    w.str(to);
+    w.u32(lfs_file_id);
+    placement.encode(w);
+  }
+  static RenameInstallRequest decode(util::Reader& r) {
+    RenameInstallRequest req;
+    req.seq = r.u64();
+    req.to = r.str();
+    req.lfs_file_id = r.u32();
+    req.placement = PlacementMap::decode(r);
+    return req;
+  }
+};
+
+/// Destination -> coordinator: commit (code=kOk, `new_id` minted from the
+/// destination's slice) or abort (code + reason, e.g. kAlreadyExists).
+struct RenameAck {
+  std::uint64_t seq = 0;
+  std::uint8_t code = 0;  ///< util::ErrorCode value; 0 = committed
+  BridgeFileId new_id = 0;
+  std::string error;
+  void encode(util::Writer& w) const {
+    w.u64(seq);
+    w.u8(code);
+    w.u32(new_id);
+    w.str(error);
+  }
+  static RenameAck decode(util::Reader& r) {
+    RenameAck ack;
+    ack.seq = r.u64();
+    ack.code = r.u8();
+    ack.new_id = r.u32();
+    ack.error = r.str();
+    return ack;
+  }
+};
+
+/// List directory entries whose names start with `prefix` ("" = all).
+struct ListRequest {
+  std::string prefix;
+  void encode(util::Writer& w) const { w.str(prefix); }
+  static ListRequest decode(util::Reader& r) { return {r.str()}; }
+};
+
+/// One directory entry in a listing.  `size_blocks` is the directory's
+/// bookkeeping size (refreshed on Open, not here — a listing is a cheap
+/// in-memory sweep, the metadata-storm survival property).
+struct ListEntry {
+  std::string name;
+  BridgeFileId id = 0;
+  std::uint64_t size_blocks = 0;
+  std::uint8_t distribution = 0;
+  void encode(util::Writer& w) const {
+    w.str(name);
+    w.u32(id);
+    w.u64(size_blocks);
+    w.u8(distribution);
+  }
+  static ListEntry decode(util::Reader& r) {
+    ListEntry e;
+    e.name = r.str();
+    e.id = r.u32();
+    e.size_blocks = r.u64();
+    e.distribution = r.u8();
+    return e;
+  }
+};
+
+/// Entries sorted by name (each server sorts its partition; the routed
+/// client's k-way merge then yields one globally sorted listing).
+struct ListResponse {
+  std::vector<ListEntry> entries;
+  void encode(util::Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& e : entries) e.encode(w);
+  }
+  static ListResponse decode(util::Reader& r) {
+    ListResponse resp;
+    std::uint32_t n = r.u32();
+    resp.entries.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      resp.entries.push_back(ListEntry::decode(r));
+    }
+    return resp;
+  }
 };
 
 /// Random read of `count` consecutive blocks starting at `first_block`.

@@ -43,7 +43,7 @@ util::Result<std::vector<std::byte>> wrap_for(const FileMeta& meta,
                                               std::uint32_t reserved0 = 0,
                                               std::uint32_t reserved1 = 0) {
   BridgeBlockHeader header;
-  header.file_id = meta.id;
+  header.file_id = meta.lfs_file_id;
   header.global_block_no = global_no;
   header.width = meta.width;
   header.start_lfs = meta.start_lfs;

@@ -23,6 +23,11 @@ void BridgeServerStats::publish(obs::MetricsRegistry& registry,
   registry.counter(prefix + ".parallel_rounds").set(parallel_rounds);
   registry.counter(prefix + ".vectored_batches").set(vectored_batches);
   registry.counter(prefix + ".vectored_blocks").set(vectored_blocks);
+  registry.counter(prefix + ".renames_local").set(renames_local);
+  registry.counter(prefix + ".renames_out").set(renames_out);
+  registry.counter(prefix + ".renames_in").set(renames_in);
+  registry.counter(prefix + ".rename_aborts").set(rename_aborts);
+  registry.counter(prefix + ".lists").set(lists);
 }
 
 BridgeServer::BridgeServer(sim::Runtime& rt, sim::NodeId node,
@@ -36,6 +41,7 @@ BridgeServer::BridgeServer(sim::Runtime& rt, sim::NodeId node,
       lfs_services_(std::move(lfs_services)),
       lfs_nodes_(std::move(lfs_nodes)) {
   next_file_id_ = file_id_base;
+  home_ = file_id_home(file_id_base);
   mailbox_ = std::make_unique<sim::Mailbox>(rt.scheduler(), node);
 }
 
@@ -104,12 +110,20 @@ void BridgeServer::handle(Wire& wire, const sim::Envelope& env) {
         return handle_random_read_many(wire, env);
       case BridgeMsg::kTruncate: return handle_truncate(wire, env);
       case BridgeMsg::kSeqSeek: return handle_seq_seek(wire, env);
+      case BridgeMsg::kRename: return handle_rename(wire, env);
+      case BridgeMsg::kList: return handle_list(wire, env);
+      case BridgeMsg::kRenameInstall: return handle_rename_install(wire, env);
+      case BridgeMsg::kRenameAck: return handle_rename_ack(wire, env);
       default: break;
     }
-    sim::send_reply(wire.ctx, env,
-                    util::invalid_argument("unknown Bridge message type"));
+    if (env.reply_to.valid()) {
+      sim::send_reply(wire.ctx, env,
+                      util::invalid_argument("unknown Bridge message type"));
+    }
   } catch (const util::StatusError& e) {
-    sim::send_reply(wire.ctx, env, e.status());
+    // Posted notifications (peer acks) carry no reply address; a decode
+    // failure on one has nobody to answer.
+    if (env.reply_to.valid()) sim::send_reply(wire.ctx, env, e.status());
   }
 }
 
@@ -145,6 +159,19 @@ void BridgeServer::handle_create(Wire& wire, const sim::Envelope& env) {
   if (find_by_name(req.name) != nullptr) {
     return sim::send_reply(wire.ctx, env,
                            util::already_exists("file " + req.name));
+  }
+  if (pending_from_.count(req.name) != 0) {
+    // The name is detached by an in-flight outbound rename; creating it now
+    // would collide with the reinstated record if the peer aborts.
+    return sim::send_reply(
+        wire.ctx, env,
+        util::unavailable("file " + req.name + " has a rename in flight"));
+  }
+  if (file_id_home(next_file_id_) != home_) {
+    return sim::send_reply(
+        wire.ctx, env,
+        util::out_of_space("bridge file-id slice exhausted on home " +
+                           std::to_string(home_)));
   }
   std::uint32_t p = num_lfs();
   std::uint32_t width = (req.width == 0 || req.width > p) ? p : req.width;
@@ -284,7 +311,8 @@ util::Status BridgeServer::refresh_size(Wire& wire, FileRecord& record) {
     if (!reply.is_ok()) return reply.status();
     total += util::decode_from_bytes<efs::InfoResponse>(reply.value()).size_blocks;
   }
-  BRIDGE_RACE_WRITE(wire.ctx, &record.placement, 0, "bridge.placement");
+  BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor, record.lfs_file_id,
+                    "bridge.placement");
   record.placement.set_size_closed_form(total);
   return util::ok_status();
 }
@@ -316,7 +344,8 @@ void BridgeServer::handle_open(Wire& wire, const sim::Envelope& env) {
 
 util::Result<std::vector<std::vector<std::byte>>> BridgeServer::read_run(
     Wire& wire, FileRecord& record, std::uint64_t first, std::uint32_t count) {
-  BRIDGE_RACE_READ(wire.ctx, &record.placement, 0, "bridge.placement");
+  BRIDGE_RACE_READ(wire.ctx, &kPlacementRaceAnchor, record.lfs_file_id,
+                   "bridge.placement");
   // Place the whole run before any I/O so a bad range costs nothing.
   struct LfsGroup {
     std::vector<std::uint32_t> run_pos;       ///< index within the run
@@ -395,7 +424,7 @@ util::Result<std::vector<std::vector<std::byte>>> BridgeServer::read_run(
         continue;
       }
       if (unwrapped.value().header.global_block_no != n ||
-          unwrapped.value().header.file_id != record.id) {
+          unwrapped.value().header.file_id != record.lfs_file_id) {
         if (first_error.is_ok()) {
           first_error =
               util::corrupt("Bridge header does not match requested block");
@@ -414,7 +443,8 @@ util::Result<std::vector<std::vector<std::byte>>> BridgeServer::read_run(
 util::Status BridgeServer::write_run(
     Wire& wire, FileRecord& record, std::uint64_t first,
     std::span<const std::vector<std::byte>> user_blocks) {
-  BRIDGE_RACE_WRITE(wire.ctx, &record.placement, 0, "bridge.placement");
+  BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor, record.lfs_file_id,
+                    "bridge.placement");
   std::uint64_t original_size = record.placement.size_blocks();
   auto rollback = [&] {
     if (record.placement.size_blocks() > original_size) {
@@ -459,7 +489,7 @@ util::Status BridgeServer::write_run(
     }
 
     BridgeBlockHeader header;
-    header.file_id = record.id;
+    header.file_id = record.lfs_file_id;
     header.global_block_no = n;
     header.width = record.placement.width();
     header.start_lfs = record.placement.start_lfs();
@@ -855,7 +885,8 @@ void BridgeServer::handle_truncate(Wire& wire, const sim::Envelope& env) {
   // now point at freed blocks), and session cursors — write_run appends at
   // the file size, so a cursor past the new end must be pulled back or the
   // next sequential write would land far beyond EOF.
-  BRIDGE_RACE_WRITE(wire.ctx, &record->placement, 0, "bridge.placement");
+  BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor, record->lfs_file_id,
+                    "bridge.placement");
   record->placement.truncate(req.new_size_blocks);
   for (std::uint32_t i : involved) {
     lfs_clients_[i]->forget_hint(record->lfs_file_id);
@@ -904,7 +935,8 @@ void BridgeServer::handle_parallel_read(Wire& wire, const sim::Envelope& env) {
   if (record == nullptr) {
     return sim::send_reply(wire.ctx, env, util::not_found("file deleted"));
   }
-  BRIDGE_RACE_READ(wire.ctx, &record->placement, 0, "bridge.placement");
+  BRIDGE_RACE_READ(wire.ctx, &kPlacementRaceAnchor, record->lfs_file_id,
+                   "bridge.placement");
   std::uint64_t size = record->placement.size_blocks();
   std::uint32_t t = static_cast<std::uint32_t>(job.workers.size());
   std::uint32_t p = num_lfs();
@@ -991,7 +1023,8 @@ void BridgeServer::handle_parallel_write(Wire& wire, const sim::Envelope& env) {
   if (record == nullptr) {
     return sim::send_reply(wire.ctx, env, util::not_found("file deleted"));
   }
-  BRIDGE_RACE_WRITE(wire.ctx, &record->placement, 0, "bridge.placement");
+  BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor, record->lfs_file_id,
+                    "bridge.placement");
   std::uint32_t t = static_cast<std::uint32_t>(job.workers.size());
   std::uint32_t p = num_lfs();
   std::uint32_t written = 0;
@@ -1035,7 +1068,7 @@ void BridgeServer::handle_parallel_write(Wire& wire, const sim::Envelope& env) {
       auto placed = record->placement.append();
       if (!placed.is_ok()) return sim::send_reply(wire.ctx, env, placed.status());
       BridgeBlockHeader header;
-      header.file_id = record->id;
+      header.file_id = record->lfs_file_id;
       header.global_block_no = n;
       header.width = record->placement.width();
       header.start_lfs = record->placement.start_lfs();
@@ -1074,7 +1107,8 @@ void BridgeServer::handle_resolve(Wire& wire, const sim::Envelope& env) {
   if (record == nullptr) {
     return sim::send_reply(wire.ctx, env, util::not_found("no such file id"));
   }
-  BRIDGE_RACE_READ(wire.ctx, &record->placement, 0, "bridge.placement");
+  BRIDGE_RACE_READ(wire.ctx, &kPlacementRaceAnchor, record->lfs_file_id,
+                   "bridge.placement");
   ResolveResponse resp;
   resp.placements.reserve(req.count);
   for (std::uint32_t i = 0; i < req.count; ++i) {
@@ -1084,6 +1118,190 @@ void BridgeServer::handle_resolve(Wire& wire, const sim::Envelope& env) {
   }
   // Directory lookups are in-memory table reads: cheap per entry.
   wire.ctx.charge(sim::usec(2) * static_cast<std::int64_t>(req.count));
+  sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
+}
+
+void BridgeServer::handle_rename(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = RenameRequest::decode(r);
+  if (req.to.empty()) {
+    return sim::send_reply(wire.ctx, env,
+                           util::invalid_argument("empty target name"));
+  }
+  BRIDGE_RACE_READ(wire.ctx, &directory_, 0, "bridge.directory");
+  FileRecord* record = find_by_name(req.from);
+  if (record == nullptr) {
+    return sim::send_reply(wire.ctx, env, util::not_found("file " + req.from));
+  }
+  if (req.to == req.from) {
+    RenameResponse resp{record->id};
+    return sim::send_reply(wire.ctx, env, util::ok_status(),
+                           util::encode_to_bytes(resp));
+  }
+  // Replica constituents are paired by name convention; renaming one out of
+  // its group would orphan the sibling.  Same guard as truncate.
+  if (req.from.ends_with("!mirror") || req.from.ends_with("!parity") ||
+      directory_.count(req.from + "!mirror") != 0 ||
+      directory_.count(req.from + "!parity") != 0) {
+    return sim::send_reply(
+        wire.ctx, env,
+        util::invalid_argument("rename: " + req.from +
+                               " belongs to a mirrored/parity group"));
+  }
+  std::uint32_t dst =
+      peers_.empty() ? home_ : directory_home(req.to, peers_.size());
+  if (dst == home_) {
+    if (find_by_name(req.to) != nullptr || pending_from_.count(req.to) != 0) {
+      return sim::send_reply(wire.ctx, env,
+                             util::already_exists("file " + req.to));
+    }
+    BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
+    FileRecord moved = std::move(*record);
+    directory_.erase(req.from);
+    moved.name = req.to;
+    id_index_[moved.id] = req.to;
+    BridgeFileId id = moved.id;
+    directory_[req.to] = std::move(moved);
+    // Open sessions and parallel jobs follow the file to its new name.
+    // NOLINT(bridge-unordered-iter): per-session rewrite, order-insensitive
+    for (auto& [sid, session] : sessions_) {
+      if (session.name == req.from) session.name = req.to;
+    }
+    // NOLINT(bridge-unordered-iter): per-job rewrite, order-insensitive
+    for (auto& [jid, job] : jobs_) {
+      if (job.name == req.from) job.name = req.to;
+    }
+    ++stats_.renames_local;
+    RenameResponse resp{id};
+    return sim::send_reply(wire.ctx, env, util::ok_status(),
+                           util::encode_to_bytes(resp));
+  }
+
+  // Cross-server: PVFS-style prepare/commit.  Prepare DETACHES the record
+  // from this directory — from here on exactly one server holds a mutable
+  // copy of the placement — and parks the client reply in pending_renames_.
+  // The serve loop keeps draining requests while the peer installs, so
+  // opposing concurrent renames (A->B on s1, B->A on s2) cannot deadlock.
+  BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
+  BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor, record->lfs_file_id,
+                    "bridge.placement");
+  PendingRename pending;
+  pending.client_env = env;
+  pending.record = std::move(*record);
+  pending.from = req.from;
+  pending.to = req.to;
+  id_index_.erase(pending.record.id);
+  directory_.erase(req.from);
+  pending_from_.insert(req.from);
+
+  std::uint64_t seq = next_rename_seq_++;
+  RenameInstallRequest install;
+  install.seq = seq;
+  install.to = req.to;
+  install.lfs_file_id = pending.record.lfs_file_id;
+  install.placement = pending.record.placement;
+  sim::Envelope note;
+  note.type = msg(BridgeMsg::kRenameInstall);
+  note.reply_to = mailbox_->address();  // acks return through the serve loop
+  note.payload = util::encode_to_bytes(install);
+  sim::post(wire.ctx, peers_[dst], std::move(note));
+  pending_renames_[seq] = std::move(pending);
+  ++stats_.renames_out;
+  // No reply yet: handle_rename_ack answers the client on commit or abort.
+}
+
+void BridgeServer::handle_rename_install(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = RenameInstallRequest::decode(r);
+  RenameAck ack;
+  ack.seq = req.seq;
+  BRIDGE_RACE_READ(wire.ctx, &directory_, 0, "bridge.directory");
+  if (find_by_name(req.to) != nullptr || pending_from_.count(req.to) != 0) {
+    ack.code = static_cast<std::uint8_t>(util::ErrorCode::kAlreadyExists);
+    ack.error = "file " + req.to;
+  } else if (file_id_home(next_file_id_) != home_) {
+    ack.code = static_cast<std::uint8_t>(util::ErrorCode::kOutOfSpace);
+    ack.error = "bridge file-id slice exhausted on home " +
+                std::to_string(home_);
+  } else {
+    BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
+    BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor, req.lfs_file_id,
+                      "bridge.placement");
+    FileRecord record;
+    record.id = next_file_id_++;
+    record.name = req.to;
+    record.lfs_file_id = req.lfs_file_id;
+    record.placement = std::move(req.placement);
+    ack.new_id = record.id;
+    id_index_[record.id] = record.name;
+    directory_[req.to] = std::move(record);
+    ++stats_.renames_in;
+  }
+  sim::Envelope note;
+  note.type = msg(BridgeMsg::kRenameAck);
+  note.payload = util::encode_to_bytes(ack);
+  sim::post(wire.ctx, env.reply_to, std::move(note));
+}
+
+void BridgeServer::handle_rename_ack(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto ack = RenameAck::decode(r);
+  auto it = pending_renames_.find(ack.seq);
+  if (it == pending_renames_.end()) return;  // duplicate or stale ack
+  PendingRename pending = std::move(it->second);
+  pending_renames_.erase(it);
+  pending_from_.erase(pending.from);
+  if (ack.code == static_cast<std::uint8_t>(util::ErrorCode::kOk)) {
+    // Commit: the destination owns the record now; the old id is dead
+    // (routed clients re-derive the home from the new id's tag).
+    RenameResponse resp{ack.new_id};
+    return sim::send_reply(wire.ctx, pending.client_env, util::ok_status(),
+                           util::encode_to_bytes(resp));
+  }
+  // Abort: reinstate under the original name.  Safe because create/install
+  // into `from` was refused via pending_from_ while the record was detached.
+  ++stats_.rename_aborts;
+  BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
+  BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor,
+                    pending.record.lfs_file_id, "bridge.placement");
+  id_index_[pending.record.id] = pending.from;
+  directory_[pending.from] = std::move(pending.record);
+  sim::send_reply(wire.ctx, pending.client_env,
+                  util::Status(static_cast<util::ErrorCode>(ack.code),
+                               "rename " + pending.from + " -> " + pending.to +
+                                   ": " + ack.error));
+}
+
+void BridgeServer::handle_list(Wire& wire, const sim::Envelope& env) {
+  util::Reader r(env.payload);
+  auto req = ListRequest::decode(r);
+  BRIDGE_RACE_READ(wire.ctx, &directory_, 0, "bridge.directory");
+  std::vector<const FileRecord*> records;
+  records.reserve(directory_.size());
+  // NOLINT(bridge-unordered-iter): order-insensitive collection, sorted below
+  for (const auto& [name, record] : directory_) {
+    if (name.compare(0, req.prefix.size(), req.prefix) != 0) continue;
+    records.push_back(&record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const FileRecord* a, const FileRecord* b) {
+              return a->name < b->name;
+            });
+  ListResponse resp;
+  resp.entries.reserve(records.size());
+  for (const FileRecord* record : records) {
+    ListEntry entry;
+    entry.name = record->name;
+    entry.id = record->id;
+    entry.size_blocks = record->placement.size_blocks();
+    entry.distribution =
+        static_cast<std::uint8_t>(record->placement.distribution());
+    resp.entries.push_back(std::move(entry));
+  }
+  // Directory scans are in-memory table reads: cheap per entry.
+  wire.ctx.charge(sim::usec(2) *
+                  static_cast<std::int64_t>(resp.entries.size() + 1));
+  ++stats_.lists;
   sim::send_reply(wire.ctx, env, util::ok_status(), util::encode_to_bytes(resp));
 }
 
@@ -1122,6 +1340,8 @@ util::Status BridgeServer::decode_state(util::Reader& r) {
   id_index_.clear();
   sessions_.clear();
   jobs_.clear();
+  pending_renames_.clear();
+  pending_from_.clear();
   for (std::uint32_t i = 0; i < count; ++i) {
     FileRecord record;
     record.name = r.str();

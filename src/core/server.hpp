@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/config.hpp"
@@ -27,12 +28,27 @@
 
 namespace bridge::core {
 
+/// Race-detector anchor for per-file placement state.  Placement accesses are
+/// keyed by (&kPlacementRaceAnchor, lfs_file_id) rather than the FileRecord's
+/// own address so the pre- and post-rename copies of one file's placement —
+/// which live in different BridgeServer directories — name the SAME logical
+/// object.  The kRenameInstall/kRenameAck message edges are then exactly what
+/// makes the ownership handoff race-free, and the detector verifies that
+/// mechanically.  lfs_file_id works as the sub-key because servers mint from
+/// disjoint id slices (it is unique machine-wide) and it survives rename.
+inline constexpr char kPlacementRaceAnchor = 0;
+
 struct BridgeServerStats {
   std::uint64_t requests = 0;
   std::uint64_t blocks_forwarded = 0;
   std::uint64_t parallel_rounds = 0;
   std::uint64_t vectored_batches = 0;  ///< multi-block runs served
   std::uint64_t vectored_blocks = 0;   ///< blocks moved by those runs
+  std::uint64_t renames_local = 0;     ///< renames resolved within one home
+  std::uint64_t renames_out = 0;       ///< cross-server renames coordinated
+  std::uint64_t renames_in = 0;        ///< records installed for a peer
+  std::uint64_t rename_aborts = 0;     ///< cross-server renames rolled back
+  std::uint64_t lists = 0;             ///< directory listings served
 
   void reset() noexcept { *this = BridgeServerStats{}; }
 
@@ -47,6 +63,11 @@ struct BridgeServerStats {
     a.parallel_rounds -= b.parallel_rounds;
     a.vectored_batches -= b.vectored_batches;
     a.vectored_blocks -= b.vectored_blocks;
+    a.renames_local -= b.renames_local;
+    a.renames_out -= b.renames_out;
+    a.renames_in -= b.renames_in;
+    a.rename_aborts -= b.rename_aborts;
+    a.lists -= b.lists;
     return a;
   }
 };
@@ -74,6 +95,15 @@ class BridgeServer {
   /// Zero the counters (phase measurement without rebuilding the instance).
   void reset_stats() noexcept { stats_.reset(); }
   [[nodiscard]] sim::NodeId node() const noexcept { return node_; }
+  /// Wire this server into a routed group: `peers[i]` is the service address
+  /// of the Bridge Server homed at directory index i (`peers[home]` is this
+  /// server).  Enables the cross-server rename path.  Call before start().
+  void set_peers(std::vector<sim::Address> peers, std::uint32_t home) {
+    peers_ = std::move(peers);
+    home_ = home;
+  }
+  /// This server's home index within its routed group (0 when standalone).
+  [[nodiscard]] std::uint32_t home() const noexcept { return home_; }
   /// Number of Bridge files currently in the directory (tests).
   [[nodiscard]] std::size_t directory_size() const noexcept {
     return directory_.size();
@@ -107,6 +137,17 @@ class BridgeServer {
     std::vector<disk::BlockAddr> lfs_hints;  ///< per LFS, for async rounds
     bool writers_drained = false;
   };
+  /// A cross-server rename parked between prepare and ack.  The record is
+  /// DETACHED from directory_/id_index_ while parked, so at every instant
+  /// exactly one server owns a mutable placement for the file; the serve
+  /// loop keeps draining other requests while the peer installs (no
+  /// blocking, so opposing concurrent renames cannot deadlock).
+  struct PendingRename {
+    sim::Envelope client_env;  ///< reply target once the peer acks
+    FileRecord record;
+    std::string from;
+    std::string to;
+  };
 
   /// Per-serve-loop resources (RPC client lives on the server process stack).
   struct Wire {
@@ -135,6 +176,10 @@ class BridgeServer {
   void handle_parallel_write(Wire& wire, const sim::Envelope& env);
   void handle_get_info(Wire& wire, const sim::Envelope& env);
   void handle_resolve(Wire& wire, const sim::Envelope& env);
+  void handle_rename(Wire& wire, const sim::Envelope& env);
+  void handle_rename_install(Wire& wire, const sim::Envelope& env);
+  void handle_rename_ack(Wire& wire, const sim::Envelope& env);
+  void handle_list(Wire& wire, const sim::Envelope& env);
 
   /// Scatter-gather read engine: place global blocks `first..first+count-1`,
   /// fan one vectored request out to every involved LFS concurrently, and
@@ -177,6 +222,17 @@ class BridgeServer {
   std::unordered_map<std::uint64_t, Job> jobs_;
   /// Per-LFS hint tables for the synchronous (naive-view) data path.
   std::vector<std::unique_ptr<efs::EfsClient>> lfs_clients_;
+
+  /// Routed group, indexed by home.  Empty = standalone (single server).
+  std::vector<sim::Address> peers_;
+  std::uint32_t home_ = 0;
+  /// Outbound renames parked between prepare and ack, keyed by seq.
+  std::unordered_map<std::uint64_t, PendingRename> pending_renames_;
+  /// Names detached by an in-flight outbound rename: create/install into
+  /// these is refused until the ack commits or reinstates the record (never
+  /// iterated, so hash order is unobservable).
+  std::unordered_set<std::string> pending_from_;
+  std::uint64_t next_rename_seq_ = 1;
 
   BridgeFileId next_file_id_ = 1000;
   std::uint64_t next_session_ = 1;

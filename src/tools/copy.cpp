@@ -69,7 +69,7 @@ EcopyResult ecopy(sim::Context& ctx, const EcopyTask& task,
       auto output = filter.apply(unwrapped.value().user_data, global_no);
       if (task.dst.id != 0) {
         core::BridgeBlockHeader header;
-        header.file_id = task.dst.id;
+        header.file_id = task.dst.lfs_file_id;
         header.global_block_no = global_no;
         header.width = task.dst.width;
         header.start_lfs = task.dst.start_lfs;

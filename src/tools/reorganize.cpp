@@ -118,7 +118,7 @@ util::Result<ReorganizeReport> run_reorganize_tool(sim::Context& ctx,
               return result;
             }
             core::BridgeBlockHeader header;
-            header.file_id = dst_meta.id;
+            header.file_id = dst_meta.lfs_file_id;
             header.global_block_no = task.global_no;
             header.width = dst_meta.width;
             header.start_lfs = dst_meta.start_lfs;

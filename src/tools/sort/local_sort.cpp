@@ -126,7 +126,7 @@ LocalSortResult run_local_sort(sim::Context& ctx, const LocalSortTask& task) {
     if (single_run) {
       // Small portion: write the sorted records straight into the run file.
       sink.file = task.run.lfs_file_id;
-      sink.header_file_id = task.run.id;
+      sink.header_file_id = task.run.lfs_file_id;
       sink.header_width = task.run.width;
       sink.header_start = task.run.start_lfs;
     } else {
@@ -171,7 +171,7 @@ LocalSortResult run_local_sort(sim::Context& ctx, const LocalSortTask& task) {
       Sink sink;
       if (is_final) {
         sink.file = task.run.lfs_file_id;
-        sink.header_file_id = task.run.id;
+        sink.header_file_id = task.run.lfs_file_id;
         sink.header_width = task.run.width;
         sink.header_start = task.run.start_lfs;
       } else {

@@ -224,7 +224,7 @@ void TokenMerge::launch(WorkerGroup<MergeWorkerResult>& group) {
             while (!pending.empty() && pending.begin()->first == next_local) {
               auto node = pending.extract(pending.begin());
               core::BridgeBlockHeader header;
-              header.file_id = dst.id;
+              header.file_id = dst.lfs_file_id;
               header.global_block_no = next_local * t + wdx;
               header.width = t;
               header.start_lfs = dst.start_lfs;
