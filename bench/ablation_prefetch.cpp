@@ -36,7 +36,7 @@ struct ArmResult {
 };
 
 ArmResult run_arm(std::uint32_t p, bool adaptive, bool scan,
-                  std::uint64_t records, TraceOption* trace) {
+                  std::uint64_t records, ObsOptions* trace) {
   const std::uint32_t scanners = 3;
   const std::uint32_t randoms = 4;
   auto cfg = core::SystemConfig::paper_profile(
@@ -168,7 +168,7 @@ int main(int argc, char** argv) {
   std::uint64_t records = flag_value(argc, argv, "records", 96);
   std::uint64_t max_p = flag_value(argc, argv, "max-p", 16);
   JsonReporter json(argc, argv);
-  TraceOption trace(argc, argv);
+  ObsOptions trace(argc, argv);
 
   print_header("Ablation A11: adaptive prefetch + SCAN disk scheduling");
   std::printf(

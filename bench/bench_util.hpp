@@ -96,9 +96,12 @@ class JsonReporter {
   /// values (a bench shape with no valid measurement) are written as null.
   /// `metrics_json`, when non-empty, must be a complete JSON object (from
   /// BridgeInstance::metrics_summary_json) and is appended as "metrics".
+  /// `timeseries_json`, when non-empty, is a complete JSON value (from
+  /// ObsOptions::timeseries_json) appended as "timeseries".
   void emit(const std::string& bench,
             std::initializer_list<std::pair<const char*, double>> fields,
-            const std::string& metrics_json = "") {
+            const std::string& metrics_json = "",
+            const std::string& timeseries_json = "") {
     if (path_.empty()) return;
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
@@ -116,6 +119,9 @@ class JsonReporter {
     if (!metrics_json.empty()) {
       std::fprintf(f, ",\"metrics\":%s", metrics_json.c_str());
     }
+    if (!timeseries_json.empty()) {
+      std::fprintf(f, ",\"timeseries\":%s", timeseries_json.c_str());
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
   }
@@ -124,44 +130,88 @@ class JsonReporter {
   std::string path_;
 };
 
-/// --trace=<path>: capture a Chrome trace_event file (virtual-time spans,
-/// one lane per node/process; open in Perfetto).  Only the FIRST instance
-/// passed to arm() is traced — benches sweep many configurations, and one
-/// machine's trace is what you inspect, while arming a single run bounds
-/// the event buffer.  Tracing never charges virtual time, so measured
-/// costs are identical with or without the flag.
-class TraceOption {
+/// The shared observability flags every bench accepts:
+///
+///   --trace=<path>       Chrome trace_event file (virtual-time spans, one
+///                        lane per node/process; open in Perfetto).
+///   --timeseries=<us>    arm the time-series sampler at this virtual-time
+///                        interval; the captured block rides in the bench's
+///                        --json row and in the --obs document.
+///   --obs=<path>         write the full bridge.obs.v1 document (metrics
+///                        with buckets, slowest requests, timeseries,
+///                        flight recorder) for tools/obs_report.
+///
+/// Only the FIRST instance passed to arm() is observed — benches sweep many
+/// configurations, and one machine's capture is what you inspect, while
+/// arming a single run bounds the buffers.  None of this charges virtual
+/// time, so measured costs are identical with or without the flags.
+class ObsOptions {
  public:
-  TraceOption(int argc, char** argv)
-      : path_(flag_string(argc, argv, "trace")) {}
+  ObsOptions(int argc, char** argv)
+      : trace_path_(flag_string(argc, argv, "trace")),
+        obs_path_(flag_string(argc, argv, "obs")),
+        interval_us_(static_cast<std::int64_t>(
+            flag_value(argc, argv, "timeseries", 0))) {}
 
-  [[nodiscard]] bool active() const noexcept { return !path_.empty(); }
-
-  /// Enable the tracer on `inst` if --trace was given and no earlier
-  /// instance claimed it.  Call right after constructing the instance.
-  void arm(core::BridgeInstance& inst) {
-    if (path_.empty() || armed_) return;
-    armed_ = true;
-    inst.runtime().tracer().enable();
-    target_ = &inst;
+  [[nodiscard]] bool active() const noexcept {
+    return !trace_path_.empty() || !obs_path_.empty() || interval_us_ > 0;
   }
 
-  /// Write the armed instance's trace.  Call after run(), while the
+  /// Claim `inst` if any obs flag was given and no earlier instance claimed
+  /// it.  Call right after constructing the instance, before run().
+  void arm(core::BridgeInstance& inst) {
+    if (!active() || armed_) return;
+    armed_ = true;
+    target_ = &inst;
+    if (!trace_path_.empty()) inst.runtime().tracer().enable();
+    if (interval_us_ > 0) inst.enable_timeseries(interval_us_);
+  }
+
+  /// Write the armed instance's trace and obs document, and stash the
+  /// timeseries block for the --json row.  Call after run(), while the
   /// instance is still alive; no-op otherwise.
   void capture() {
     if (target_ == nullptr) return;
-    obs::Tracer& tracer = target_->runtime().tracer();
-    if (auto st = tracer.write_chrome_trace(path_); !st.is_ok()) {
-      std::fprintf(stderr, "TraceOption: %s\n", st.to_string().c_str());
-    } else {
-      std::printf("trace: %zu events -> %s\n", tracer.event_count(),
-                  path_.c_str());
+    if (!trace_path_.empty()) {
+      obs::Tracer& tracer = target_->runtime().tracer();
+      if (auto st = tracer.write_chrome_trace(trace_path_); !st.is_ok()) {
+        std::fprintf(stderr, "ObsOptions: %s\n", st.to_string().c_str());
+      } else {
+        std::printf("trace: %zu events -> %s\n", tracer.event_count(),
+                    trace_path_.c_str());
+      }
+    }
+    if (interval_us_ > 0) {
+      timeseries_json_ = target_->runtime().timeseries().json();
+    }
+    if (!obs_path_.empty()) {
+      std::string doc = target_->obs_json();
+      std::FILE* f = std::fopen(obs_path_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "ObsOptions: cannot open %s\n",
+                     obs_path_.c_str());
+      } else {
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("obs: %zu bytes -> %s\n", doc.size(), obs_path_.c_str());
+      }
     }
     target_ = nullptr;
   }
 
+  /// The captured timeseries block ("null" if sampling never armed, empty
+  /// if --timeseries was absent or capture() has not run).  Feed straight
+  /// to JsonReporter::emit.
+  [[nodiscard]] const std::string& timeseries_json() const noexcept {
+    return timeseries_json_;
+  }
+
  private:
-  std::string path_;
+  std::string trace_path_;
+  std::string obs_path_;
+  std::int64_t interval_us_ = 0;
+  std::string timeseries_json_;
   core::BridgeInstance* target_ = nullptr;
   bool armed_ = false;
 };

@@ -17,7 +17,7 @@
 namespace bridge::bench {
 namespace {
 
-double run_copy(std::uint32_t p, std::uint64_t records, TraceOption& trace,
+double run_copy(std::uint32_t p, std::uint64_t records, ObsOptions& trace,
                 std::string& metrics) {
   auto cfg = core::SystemConfig::paper_profile(
       p, static_cast<std::uint32_t>(2 * records / p + 128));
@@ -36,7 +36,7 @@ double run_copy(std::uint32_t p, std::uint64_t records, TraceOption& trace,
 }
 
 double run_sort(std::uint32_t p, std::uint64_t records, std::uint32_t c,
-                TraceOption& trace, std::string& metrics) {
+                ObsOptions& trace, std::string& metrics) {
   auto cfg = core::SystemConfig::paper_profile(
       p, static_cast<std::uint32_t>(4 * records / p + 256));
   core::BridgeInstance inst(cfg);
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   auto c = static_cast<std::uint32_t>(
       flag_value(argc, argv, "in-core", records / 20 + 16));
   JsonReporter json(argc, argv);
-  TraceOption trace(argc, argv);
+  ObsOptions trace(argc, argv);
 
   CostModel model;  // defaults match the paper profile's Table 2 regime
 
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
                {"copy_sec", sec},
                {"speedup", copy_base / sec},
                {"model_speedup", copy_model_base / model_sec}},
-              metrics);
+              metrics, trace.timeseries_json());
   }
 
   print_header("Figure: sort tool records/second vs processors");
@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
                {"sort_sec", sec},
                {"speedup", sort_base / sec},
                {"model_speedup", sort_model_base / model_sec}},
-              metrics);
+              metrics, trace.timeseries_json());
   }
   std::printf(
       "\nshape checks: copy speedup near-linear; sort speedup rises to a\n"

@@ -24,7 +24,7 @@ struct Row {
   std::string metrics;
 };
 
-Row measure(std::uint32_t p, std::uint64_t filesize, TraceOption& trace) {
+Row measure(std::uint32_t p, std::uint64_t filesize, ObsOptions& trace) {
   auto cfg = core::SystemConfig::paper_profile(
       p, static_cast<std::uint32_t>(2 * filesize / p + 64));
   core::BridgeInstance inst(cfg);
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   using namespace bridge::bench;
   std::uint64_t filesize = flag_value(argc, argv, "filesize", 1024);
   JsonReporter json(argc, argv);
-  TraceOption trace(argc, argv);
+  ObsOptions trace(argc, argv);
 
   print_header("Table 2: Bridge basic operations (naive interface)");
   std::printf("file size: %llu blocks (%.1f MB of user data)\n\n",

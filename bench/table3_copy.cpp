@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   using namespace bridge::bench;
   std::uint64_t records = flag_value(argc, argv, "records", 10240);
   JsonReporter json(argc, argv);
-  TraceOption trace(argc, argv);
+  ObsOptions trace(argc, argv);
 
   print_header("Table 3: Copy tool performance (10 Mbyte file)");
   std::printf("file: %llu one-block records\n\n",

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   std::uint64_t in_core = flag_value(argc, argv, "in-core", 512);
   std::uint64_t min_p = flag_value(argc, argv, "min-p", 2);
   JsonReporter json(argc, argv);
-  TraceOption trace(argc, argv);
+  ObsOptions trace(argc, argv);
 
   print_header("Table 4: Merge sort tool performance (10 Mbyte file)");
   std::printf("file: %llu one-block records, in-core buffer c = %llu records\n\n",

@@ -195,6 +195,13 @@ class BridgeClient final : public BridgeApi {
  private:
   util::Result<std::vector<std::byte>> call(BridgeMsg type,
                                             std::span<const std::byte> payload) {
+    // Every client operation is one end-to-end request in the stage ledger;
+    // the op class is the message name without its "bridge." prefix
+    // ("Create", "SeqRead", ...).  Nested calls (a composite op re-entering
+    // call) fold into the outer request automatically.
+    std::string_view op = bridge_msg_name(type);
+    if (op.rfind("bridge.", 0) == 0) op.remove_prefix(7);
+    sim::ScopedRequest request(rpc_.context(), op);
     return rpc_.call(server_, static_cast<std::uint32_t>(type), payload);
   }
 

@@ -137,12 +137,19 @@ std::string BridgeInstance::metrics_summary_json() {
     out += obs::json_number(util);
   }
   out += "]";
-  const obs::Histogram* service = rt_->metrics().find_histogram(
-      "bridge.n" + std::to_string(bridges_[0]->node()) + ".service_us");
-  if (service != nullptr && service->count() > 0) {
-    out += ",\"req_p50_us\":" + obs::json_number(service->p50());
-    out += ",\"req_p95_us\":" + obs::json_number(service->p95());
-    out += ",\"req_p99_us\":" + obs::json_number(service->p99());
+  // Cluster-level request percentiles: fold every Bridge server's service
+  // histogram (bucket-wise merge, deterministic) so routed configurations
+  // report the distribution of ALL requests, not just server 0's.
+  obs::Histogram cluster = obs::Histogram::from_buckets({}, 0, 0);
+  for (auto& server : bridges_) {
+    const obs::Histogram* service = rt_->metrics().find_histogram(
+        "bridge.n" + std::to_string(server->node()) + ".service_us");
+    if (service != nullptr) cluster.merge(*service);
+  }
+  if (cluster.count() > 0) {
+    out += ",\"req_p50_us\":" + obs::json_number(cluster.p50());
+    out += ",\"req_p95_us\":" + obs::json_number(cluster.p95());
+    out += ",\"req_p99_us\":" + obs::json_number(cluster.p99());
   }
   std::uint64_t hits = 0, misses = 0;
   for (auto& server : lfs_servers_) {
@@ -154,6 +161,48 @@ std::string BridgeInstance::metrics_summary_json() {
            obs::json_number(static_cast<double>(hits) /
                             static_cast<double>(hits + misses));
   }
+  out += "}";
+  return out;
+}
+
+void BridgeInstance::enable_timeseries(std::int64_t interval_us) {
+  if (obs::globally_disabled() || interval_us <= 0) return;
+  rt_->enable_timeseries(interval_us);
+  obs::TimeSeriesSampler& sampler = rt_->timeseries();
+  // Probes read plain fields only (they run under the scheduler lock).
+  for (std::size_t i = 0; i < lfs_servers_.size(); ++i) {
+    efs::EfsServer* lfs = lfs_servers_[i].get();
+    std::string n = ".n" + std::to_string(i);
+    sampler.add_probe("disk" + n + ".busy_us", [lfs] {
+      return static_cast<double>(lfs->core().device().stats().busy_time.us());
+    });
+    sampler.add_probe("sched" + n + ".depth", [lfs] {
+      return static_cast<double>(lfs->sched_depth());
+    });
+  }
+  for (auto& server : bridges_) {
+    BridgeServer* bridge = server.get();
+    sampler.add_probe(
+        "bridge.n" + std::to_string(bridge->node()) + ".requests",
+        [bridge] { return static_cast<double>(bridge->stats().requests); });
+  }
+  sim::Runtime* rt = rt_.get();
+  sampler.add_probe("net.remote_bytes", [rt] {
+    return static_cast<double>(rt->message_stats().remote_bytes);
+  });
+  sampler.add_probe("inflight_requests", [rt] {
+    return static_cast<double>(rt->stages().inflight());
+  });
+}
+
+std::string BridgeInstance::obs_json() {
+  publish_metrics();
+  std::string out = "{\"schema\":\"bridge.obs.v1\"";
+  out += ",\"elapsed_us\":" + std::to_string(rt_->now().us());
+  out += ",\"metrics\":" + rt_->metrics().snapshot_json(/*with_buckets=*/true);
+  out += ",\"top_requests\":" + rt_->stages().top_requests_json();
+  out += ",\"timeseries\":" + rt_->timeseries().json();
+  out += ",\"flight\":" + rt_->flight().json();
   out += "}";
   return out;
 }

@@ -85,8 +85,21 @@ class BridgeInstance {
   [[nodiscard]] std::string metrics_json();
 
   /// Compact summary for bench result rows: per-disk utilization, Bridge
-  /// request service-time percentiles, aggregate cache hit rate.
+  /// request service-time percentiles (merged across every Bridge server),
+  /// aggregate cache hit rate.
   [[nodiscard]] std::string metrics_summary_json();
+
+  /// Arm time-series telemetry: sample the standard probe set (per-disk
+  /// busy time, per-LFS scheduler depth, per-server request counts, remote
+  /// traffic, in-flight requests) every `interval_us` of virtual time.
+  /// Call before run(); no-op under BRIDGE_OBS_DISABLED.
+  void enable_timeseries(std::int64_t interval_us);
+
+  /// publish_metrics() + the full observability document for offline
+  /// analysis (tools/obs_report): metrics with histogram buckets, the
+  /// slowest requests with stage breakdowns, the timeseries block, and the
+  /// flight recorder state.  Schema "bridge.obs.v1"; deterministic.
+  [[nodiscard]] std::string obs_json();
 
   /// Persist the whole machine to `directory_path` (one image per LFS disk
   /// plus a Bridge directory snapshot per server).  Call while the

@@ -73,17 +73,25 @@ void BridgeServer::serve(sim::Context& ctx) {
     // requests; dequeue -> reply is this server's own service time.
     sim::SimTime queued = ctx.now() - env.sent_at;
     queue_us.record(static_cast<std::uint64_t>(queued.us()));
+    rt_.stages().charge(env.trace.request_id, obs::Stage::kBridgeQueue,
+                        queued.us());
     if (tracer.enabled()) {
       tracer.complete(node_, ctx.pid(), "bridge.queue", env.sent_at.us(),
                       queued.us(), env.trace);
     }
     sim::SimTime t0 = ctx.now();
     {
+      // Adopt the originating request for the handler's duration so every
+      // downstream RPC and disk access charges the right ledger row.
+      sim::AdoptedRequest adopted(ctx, env.trace.request_id);
       sim::ScopedSpan span(
           ctx, bridge_msg_name(static_cast<BridgeMsg>(env.type)), env.trace);
       handle(wire, env);
     }
-    service_us.record(static_cast<std::uint64_t>((ctx.now() - t0).us()));
+    sim::SimTime serviced = ctx.now() - t0;
+    service_us.record(static_cast<std::uint64_t>(serviced.us()));
+    rt_.stages().charge(env.trace.request_id, obs::Stage::kBridgeSvc,
+                        serviced.us());
   }
 }
 
@@ -1190,6 +1198,7 @@ void BridgeServer::handle_rename(Wire& wire, const sim::Envelope& env) {
   pending.record = std::move(*record);
   pending.from = req.from;
   pending.to = req.to;
+  pending.parked_at = wire.ctx.now();
   id_index_.erase(pending.record.id);
   directory_.erase(req.from);
   pending_from_.insert(req.from);
@@ -1251,6 +1260,21 @@ void BridgeServer::handle_rename_ack(Wire& wire, const sim::Envelope& env) {
   PendingRename pending = std::move(it->second);
   pending_renames_.erase(it);
   pending_from_.erase(pending.from);
+  // The handoff leg — prepare detach to ack arrival — is time the client's
+  // rename spent parked with NO server actively working on it; without this
+  // span and charge it is invisible in both traces and the ledger.
+  sim::SimTime handoff = wire.ctx.now() - pending.parked_at;
+  rt_.metrics()
+      .histogram("rename.handoff_us")
+      .record(static_cast<std::uint64_t>(handoff.us()));
+  rt_.stages().charge(pending.client_env.trace.request_id,
+                      obs::Stage::kRenameHandoff, handoff.us());
+  obs::Tracer& tracer = rt_.tracer();
+  if (tracer.enabled()) {
+    tracer.complete(node_, wire.ctx.pid(), "rename.handoff",
+                    pending.parked_at.us(), handoff.us(),
+                    pending.client_env.trace);
+  }
   if (ack.code == static_cast<std::uint8_t>(util::ErrorCode::kOk)) {
     // Commit: the destination owns the record now; the old id is dead
     // (routed clients re-derive the home from the new id's tag).
@@ -1261,6 +1285,8 @@ void BridgeServer::handle_rename_ack(Wire& wire, const sim::Envelope& env) {
   // Abort: reinstate under the original name.  Safe because create/install
   // into `from` was refused via pending_from_ while the record was detached.
   ++stats_.rename_aborts;
+  rt_.flight().record(wire.ctx.now().us(), node_, "rename.abort",
+                      pending.from + " -> " + pending.to + ": " + ack.error);
   BRIDGE_RACE_WRITE(wire.ctx, &directory_, 0, "bridge.directory");
   BRIDGE_RACE_WRITE(wire.ctx, &kPlacementRaceAnchor,
                     pending.record.lfs_file_id, "bridge.placement");

@@ -147,6 +147,7 @@ class BridgeServer {
     FileRecord record;
     std::string from;
     std::string to;
+    sim::SimTime parked_at{0};  ///< prepare time, for handoff attribution
   };
 
   /// Per-serve-loop resources (RPC client lives on the server process stack).

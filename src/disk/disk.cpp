@@ -15,6 +15,18 @@ void trace_access(sim::Context& ctx, const char* name, sim::SimTime t0) {
   tracer.complete(ctx.node(), ctx.pid(), name, t0.us(), (ctx.now() - t0).us(),
                   tracer.current_context(ctx.pid()));
 }
+
+/// Attribute one access's positioning vs transfer split to whatever request
+/// the calling (server) process is working on.  The split is the ledger's
+/// finest-grained pair of stages: it is what separates "the disk is slow
+/// because of head travel" from "the disk is slow because of payload size".
+void charge_stage_split(sim::Context& ctx, sim::SimTime pos,
+                        sim::SimTime xfer) {
+  obs::StageLedger& stages = ctx.runtime().stages();
+  if (!stages.enabled()) return;
+  stages.charge_active(ctx.pid(), obs::Stage::kDiskPos, pos.us());
+  stages.charge_active(ctx.pid(), obs::Stage::kDiskXfer, xfer.us());
+}
 }  // namespace
 
 void DiskStats::publish(obs::MetricsRegistry& registry,
@@ -59,14 +71,16 @@ void SimDisk::charge_positioning(sim::Context& ctx, BlockAddr addr) {
   bool sequential = latency_.sequential_discount && last_addr_ != kNilAddr &&
                     addr == last_addr_ + 1 &&
                     geometry_.track_of(addr) == geometry_.track_of(last_addr_);
+  sim::SimTime seek{0};
   if (!sequential) {
-    sim::SimTime seek = positioning_cost(addr);
+    seek = positioning_cost(addr);
     ++stats_.positioning_ops;
     stats_.busy_time += seek;
     ctx.charge(seek);
   }
   stats_.busy_time += latency_.transfer_per_block;
   ctx.charge(latency_.transfer_per_block);
+  charge_stage_split(ctx, seek, latency_.transfer_per_block);
   last_addr_ = addr;
 }
 
@@ -107,12 +121,14 @@ util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_track(
   // One positioning op, then the whole track streams past the head.
   ++stats_.positioning_ops;
   ++stats_.track_reads;
-  sim::SimTime cost = positioning_cost(addr) +
-                      latency_.transfer_per_block *
-                          static_cast<std::int64_t>(geometry_.blocks_per_track);
+  sim::SimTime pos = positioning_cost(addr);
+  sim::SimTime xfer = latency_.transfer_per_block *
+                      static_cast<std::int64_t>(geometry_.blocks_per_track);
+  sim::SimTime cost = pos + xfer;
   stats_.busy_time += cost;
   sim::SimTime t0 = ctx.now();
   ctx.charge(cost);
+  charge_stage_split(ctx, pos, xfer);
   trace_access(ctx, "disk.read_track", t0);
   last_addr_ = first + geometry_.blocks_per_track - 1;
 
@@ -138,15 +154,19 @@ util::Result<std::vector<std::vector<std::byte>>> SimDisk::read_tracks(
   if (track_start != nullptr) *track_start = first;
 
   std::uint32_t total_blocks = num_tracks * geometry_.blocks_per_track;
-  sim::SimTime cost =
+  // Track switches are head movement: part of positioning, not transfer.
+  sim::SimTime pos =
       positioning_cost(addr) +
-      latency_.transfer_per_block * static_cast<std::int64_t>(total_blocks) +
       latency_.track_switch * static_cast<std::int64_t>(num_tracks - 1);
+  sim::SimTime xfer =
+      latency_.transfer_per_block * static_cast<std::int64_t>(total_blocks);
+  sim::SimTime cost = pos + xfer;
   ++stats_.positioning_ops;
   stats_.track_reads += num_tracks;
   stats_.busy_time += cost;
   sim::SimTime t0 = ctx.now();
   ctx.charge(cost);
+  charge_stage_split(ctx, pos, xfer);
   trace_access(ctx, "disk.read_tracks", t0);
   last_addr_ = first + total_blocks - 1;
 
@@ -178,12 +198,14 @@ util::Status SimDisk::write_run(sim::Context& ctx,
   // One positioning op, then every block lands as the track streams past.
   ++stats_.positioning_ops;
   ++stats_.track_writes;
-  sim::SimTime cost = positioning_cost(ops.front().addr) +
-                      latency_.transfer_per_block *
-                          static_cast<std::int64_t>(ops.size());
+  sim::SimTime pos = positioning_cost(ops.front().addr);
+  sim::SimTime xfer =
+      latency_.transfer_per_block * static_cast<std::int64_t>(ops.size());
+  sim::SimTime cost = pos + xfer;
   stats_.busy_time += cost;
   sim::SimTime t0 = ctx.now();
   ctx.charge(cost);
+  charge_stage_split(ctx, pos, xfer);
   trace_access(ctx, "disk.write_run", t0);
   for (const auto& op : ops) {
     ++stats_.block_writes;

@@ -102,6 +102,15 @@ class SimDisk {
   SimDisk(Geometry geometry, LatencyModel latency);
 
   [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }
+  [[nodiscard]] const LatencyModel& latency() const noexcept {
+    return latency_;
+  }
+  /// Untimed reconfiguration of the latency model — bottleneck injection for
+  /// tests/benches ("inflate this one disk's seek cost 10x").  Takes effect
+  /// on the next access; past charges are unaffected.
+  void set_latency(const LatencyModel& latency) noexcept {
+    latency_ = latency;
+  }
   [[nodiscard]] const DiskStats& stats() const noexcept { return stats_; }
   /// Zero the counters (phase measurement without rebuilding the instance).
   void reset_stats() noexcept { stats_.reset(); }

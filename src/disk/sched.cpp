@@ -89,7 +89,11 @@ RequestScheduler::Popped RequestScheduler::pop(std::uint32_t head_track) {
   if (last_track_ && *last_track_ == item.track) ++stats_.coalesced;
   last_track_ = item.track;
 
-  return Popped{std::move(item.env), item.track, item.enqueued_at};
+  // Exactly the pick_scan aging condition: an over-bypassed item is only
+  // ever chosen by the bounded-wait rule, and that rule never picks others.
+  bool aged = config_.policy == SchedPolicy::kScan &&
+              item.bypassed >= config_.max_bypass;
+  return Popped{std::move(item.env), item.track, item.enqueued_at, aged};
 }
 
 }  // namespace bridge::disk

@@ -71,6 +71,7 @@ class RequestScheduler {
     sim::Envelope env;
     std::uint32_t track = 0;
     sim::SimTime enqueued_at{0};
+    bool aged = false;  ///< forced pick from the bounded-wait rule
   };
 
   /// Remove and return the next request to serve.  `head_track` is where

@@ -163,6 +163,10 @@ util::Status BlockCache::evict_one(sim::Context& ctx) {
   disk::BlockAddr victim = lru_.back();
   BRIDGE_RACE_WRITE(ctx, &entries_, victim, "efs.cache");
   auto it = entries_.find(victim);
+  ctx.runtime().flight().record(
+      ctx.now().us(), ctx.node(),
+      it->second.dirty ? "cache.evict_dirty" : "cache.evict_clean",
+      "block " + std::to_string(victim));
   if (it->second.dirty) {
     ++stats_.dirty_evictions;
     if (auto st = dev_.write(ctx, victim, it->second.data); !st.is_ok()) {

@@ -54,22 +54,34 @@ void EfsServer::serve(sim::Context& ctx) {
     auto popped = sched_.pop(disk_->current_track());
     sched_wait_us.record(
         static_cast<std::uint64_t>((ctx.now() - popped.enqueued_at).us()));
+    if (popped.aged) {
+      rt_.flight().record(ctx.now().us(), node_, "sched.aged",
+                          "track " + std::to_string(popped.track));
+    }
     sim::Envelope env = std::move(popped.env);
-    // Queue wait: wire latency + time the request sat behind earlier ones.
+    // Queue wait: wire latency + time the request sat behind earlier ones
+    // (including its wait inside the disk scheduler).
     sim::SimTime queued = ctx.now() - env.sent_at;
     queue_us.record(static_cast<std::uint64_t>(queued.us()));
+    rt_.stages().charge(env.trace.request_id, obs::Stage::kLfsQueue,
+                        queued.us());
     if (tracer.enabled()) {
       tracer.complete(node_, ctx.pid(), "efs.queue", env.sent_at.us(),
                       queued.us(), env.trace);
     }
     sim::SimTime t0 = ctx.now();
     {
+      // Adopt the originating request so disk stage charges attribute to it.
+      sim::AdoptedRequest adopted(ctx, env.trace.request_id);
       // Service span parented under the caller's span via the envelope.
       sim::ScopedSpan span(ctx, efs_msg_name(static_cast<MsgType>(env.type)),
                            env.trace);
       handle(ctx, env);
     }
-    service_us.record(static_cast<std::uint64_t>((ctx.now() - t0).us()));
+    sim::SimTime serviced = ctx.now() - t0;
+    service_us.record(static_cast<std::uint64_t>(serviced.us()));
+    rt_.stages().charge(env.trace.request_id, obs::Stage::kLfsSvc,
+                        serviced.us());
   }
 }
 

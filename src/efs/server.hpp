@@ -35,6 +35,10 @@ class EfsServer {
   [[nodiscard]] const disk::SchedStats& sched_stats() const noexcept {
     return sched_.stats();
   }
+  /// Current disk-scheduler queue depth (time-series probe).
+  [[nodiscard]] std::size_t sched_depth() const noexcept {
+    return sched_.depth();
+  }
 
  private:
   void serve(sim::Context& ctx);

@@ -1,0 +1,83 @@
+#include "src/obs/flight.hpp"
+
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+
+namespace bridge::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : enabled_(!globally_disabled()),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(std::int64_t ts_us, std::uint32_t node,
+                            std::string_view kind, std::string detail) {
+  if (!enabled_) return;
+  FlightEvent ev;
+  ev.seq = next_seq_++;
+  ev.ts_us = ts_us;
+  ev.node = node;
+  ev.kind.assign(kind.data(), kind.size());
+  ev.detail = std::move(detail);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void FlightRecorder::mark_dump(std::string reason) {
+  if (!enabled_ || dump_requested_) return;
+  dump_requested_ = true;
+  dump_reason_ = std::move(reason);
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::json() const {
+  std::string out = "{\"capacity\":" + std::to_string(capacity_);
+  out += ",\"recorded\":" + std::to_string(recorded());
+  out += ",\"dropped\":" + std::to_string(dropped_);
+  out += ",\"dump_requested\":";
+  out += dump_requested_ ? "true" : "false";
+  out += ",\"dump_reason\":";
+  append_json_quoted(out, dump_reason_);
+  out += ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& ev : events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(ev.seq);
+    out += ",\"ts_us\":" + std::to_string(ev.ts_us);
+    out += ",\"node\":" + std::to_string(ev.node);
+    out += ",\"kind\":";
+    append_json_quoted(out, ev.kind);
+    out += ",\"detail\":";
+    append_json_quoted(out, ev.detail);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void FlightRecorder::clear() {
+  next_seq_ = 1;
+  dropped_ = 0;
+  head_ = 0;
+  ring_.clear();
+  dump_requested_ = false;
+  dump_reason_.clear();
+}
+
+}  // namespace bridge::obs

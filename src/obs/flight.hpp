@@ -1,0 +1,74 @@
+// Flight recorder: a bounded ring of recent structured events.
+//
+// Unlike the tracer (everything, opt-in, unbounded) the flight recorder is
+// always on and always cheap: a fixed-capacity ring of the last N interesting
+// events — op begin/end, cross-server rename aborts, cache evictions,
+// scheduler aging promotions, RPC error replies, SLO breaches.  It exists for
+// the post-mortem case: when a request breaches its SLO or a run hits a fatal
+// error, the recorder is asked to dump and the last moments before the
+// problem are available without having re-run with tracing armed.
+//
+// Deterministic like the rest of the obs layer: sequence numbers advance in
+// scheduler dispatch order, timestamps are virtual, json() is byte-identical
+// across same-seed runs.  Under BRIDGE_OBS_DISABLED record() is a no-op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bridge::obs {
+
+struct FlightEvent {
+  std::uint64_t seq = 0;     ///< global order (1-based, never reused)
+  std::int64_t ts_us = 0;    ///< virtual time
+  std::uint32_t node = 0;    ///< originating node (0 when not node-specific)
+  std::string kind;          ///< "op.end", "rename.abort", "cache.evict", ...
+  std::string detail;        ///< free-form, deterministic content only
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void record(std::int64_t ts_us, std::uint32_t node, std::string_view kind,
+              std::string detail);
+
+  /// Ask for the ring to be dumped at the next reporting point (SLO breach,
+  /// fatal error).  Idempotent; the first reason wins.
+  void mark_dump(std::string reason);
+  [[nodiscard]] bool dump_requested() const noexcept { return dump_requested_; }
+  [[nodiscard]] const std::string& dump_reason() const noexcept {
+    return dump_reason_;
+  }
+
+  /// Events currently in the ring, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// {"capacity":..,"recorded":..,"dropped":..,"dump_requested":..,
+  ///  "dump_reason":"...","events":[{"seq":..,"ts_us":..,"node":..,
+  ///  "kind":"...","detail":"..."},...]}  Oldest event first; deterministic.
+  [[nodiscard]] std::string json() const;
+
+  void clear();
+
+ private:
+  bool enabled_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::size_t head_ = 0;  ///< index of the oldest event once the ring is full
+  std::vector<FlightEvent> ring_;
+  bool dump_requested_ = false;
+  std::string dump_reason_;
+};
+
+}  // namespace bridge::obs

@@ -71,6 +71,29 @@ void Histogram::reset() noexcept {
   max_ = 0;
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+Histogram Histogram::from_buckets(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& sparse,
+    std::uint64_t sum, std::uint64_t max) {
+  Histogram h;
+  for (const auto& [index, count] : sparse) {
+    if (index >= kBucketCount) continue;
+    h.buckets_[index] += count;
+    h.count_ += count;
+  }
+  h.sum_ = sum;
+  h.max_ = max;
+  return h;
+}
+
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
@@ -97,33 +120,42 @@ std::string json_number(double v) {
   return buf;
 }
 
-namespace {
-void append_quoted(std::string& out, const std::string& s) {
+void append_json_quoted(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters (stray newlines in an error message) must not
+      // break the JSON framing.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
   }
   out += '"';
 }
-}  // namespace
 
-std::string MetricsRegistry::snapshot_json() const {
+std::string MetricsRegistry::snapshot_json(bool with_buckets) const {
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     if (!first) out += ',';
     first = false;
-    append_quoted(out, name);
+    append_json_quoted(out, name);
     out += ':';
     out += std::to_string(c.value());
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges_) {
+    if (!g.present()) continue;  // never set: a stale zero, not a value
     if (!first) out += ',';
     first = false;
-    append_quoted(out, name);
+    append_json_quoted(out, name);
     out += ':';
     out += json_number(g.value());
   }
@@ -132,13 +164,24 @@ std::string MetricsRegistry::snapshot_json() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) out += ',';
     first = false;
-    append_quoted(out, name);
+    append_json_quoted(out, name);
     out += ":{\"count\":" + std::to_string(h.count());
     out += ",\"sum_us\":" + std::to_string(h.sum());
     out += ",\"p50_us\":" + std::to_string(h.p50());
     out += ",\"p95_us\":" + std::to_string(h.p95());
     out += ",\"p99_us\":" + std::to_string(h.p99());
     out += ",\"max_us\":" + std::to_string(h.max());
+    if (with_buckets) {
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+        if (h.bucket(i) == 0) continue;
+        if (!first_bucket) out += ',';
+        first_bucket = false;
+        out += '[' + std::to_string(i) + ',' + std::to_string(h.bucket(i)) + ']';
+      }
+      out += ']';
+    }
     out += '}';
   }
   out += "}}";

@@ -24,6 +24,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace bridge::obs {
 
@@ -43,13 +45,24 @@ class Counter {
 };
 
 /// Last-write-wins instantaneous value (utilization, hit rate, ...).
+///
+/// A gauge knows whether it was ever set: a registered-but-never-written
+/// gauge would otherwise appear in snapshots as a stale zero that is
+/// indistinguishable from a real measured zero.  snapshot_json skips unset
+/// gauges entirely.
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
+  void set(double v) noexcept {
+    value_ = v;
+    set_ = true;
+  }
   [[nodiscard]] double value() const noexcept { return value_; }
+  /// True once set() has been called at least once.
+  [[nodiscard]] bool present() const noexcept { return set_; }
 
  private:
   double value_ = 0.0;
+  bool set_ = false;
 };
 
 /// Fixed log-scale latency histogram over non-negative integer values
@@ -78,6 +91,26 @@ class Histogram {
   [[nodiscard]] std::uint64_t p99() const noexcept { return percentile(0.99); }
 
   void reset() noexcept;
+
+  /// Bucket-wise accumulate `other` into this histogram: counts add per
+  /// bucket, sums add, max takes the larger.  Deterministic and associative
+  /// (bucket layout is fixed), so per-server histograms can be folded into
+  /// cluster-level percentiles in any grouping order.  Works regardless of
+  /// BRIDGE_OBS_DISABLED — merging is offline aggregation, not recording.
+  void merge(const Histogram& other) noexcept;
+
+  /// Raw count of bucket `i` (for sparse export / offline aggregation).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return i < kBucketCount ? buckets_[i] : 0;
+  }
+
+  /// Rebuild a histogram from sparse (bucket index, count) pairs plus the
+  /// recorded sum and max — the inverse of the sparse "buckets" export in
+  /// MetricsRegistry::snapshot_json(true).  Ignores BRIDGE_OBS_DISABLED so
+  /// the offline report tool can aggregate on any machine.
+  [[nodiscard]] static Histogram from_buckets(
+      const std::vector<std::pair<std::size_t, std::uint64_t>>& sparse,
+      std::uint64_t sum, std::uint64_t max);
 
   /// Bucket index for `value` (exposed for tests).
   [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
@@ -109,7 +142,13 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
   ///  "sum_us":..,"p50_us":..,"p95_us":..,"p99_us":..,"max_us":..},...}}
   /// Deterministic: same instruments + same values => identical bytes.
-  [[nodiscard]] std::string snapshot_json() const;
+  /// Gauges that were never set are skipped (see Gauge::present) — a stale
+  /// zero is not a measurement.  With `with_buckets`, every histogram also
+  /// carries its sparse bucket array ("buckets":[[index,count],...]) so an
+  /// offline consumer can rebuild and merge exact distributions
+  /// (Histogram::from_buckets / merge).
+  [[nodiscard]] std::string snapshot_json(bool with_buckets) const;
+  [[nodiscard]] std::string snapshot_json() const { return snapshot_json(false); }
 
   void clear();
 
@@ -122,5 +161,9 @@ class MetricsRegistry {
 /// Format a double for JSON output deterministically ("%.6g", with bare
 /// integers kept integral).  Shared by snapshot_json and the bench emitters.
 std::string json_number(double v);
+
+/// Append `s` to `out` as a JSON string literal (quoted, with ", \ and
+/// control characters escaped).  Shared by every obs JSON emitter.
+void append_json_quoted(std::string& out, std::string_view s);
 
 }  // namespace bridge::obs

@@ -1,0 +1,237 @@
+#include "src/obs/obs_json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace bridge::obs {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find_path(
+    std::initializer_list<std::string_view> keys) const {
+  const JsonValue* cur = this;
+  for (std::string_view key : keys) {
+    if (cur == nullptr) return nullptr;
+    cur = cur->find(key);
+  }
+  return cur;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Status parse(JsonValue& out) {
+    util::Status st = value(out);
+    if (!st.is_ok()) return st;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing data");
+    return util::ok_status();
+  }
+
+ private:
+  util::Status fail(const std::string& what) const {
+    return util::invalid_argument("json: " + what + " at offset " +
+                                  std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Status value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      }
+      case 't':
+      case 'f': return boolean(out);
+      case 'n': return null(out);
+      default: return number(out);
+    }
+  }
+
+  util::Status object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return util::ok_status();
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      util::Status st = string(key);
+      if (!st.is_ok()) return st;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      JsonValue member;
+      st = value(member);
+      if (!st.is_ok()) return st;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return util::ok_status();
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  util::Status array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return util::ok_status();
+    while (true) {
+      JsonValue element;
+      util::Status st = value(element);
+      if (!st.is_ok()) return st;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return util::ok_status();
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  util::Status string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return util::ok_status();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4U;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // Our emitters only \u-escape control characters; anything wider
+          // is folded to UTF-8 for completeness.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0U | (cp >> 6U));
+            out += static_cast<char>(0x80U | (cp & 0x3FU));
+          } else {
+            out += static_cast<char>(0xE0U | (cp >> 12U));
+            out += static_cast<char>(0x80U | ((cp >> 6U) & 0x3FU));
+            out += static_cast<char>(0x80U | (cp & 0x3FU));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  util::Status boolean(JsonValue& out) {
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      out.boolean = true;
+      pos_ += 4;
+      return util::ok_status();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out.boolean = false;
+      pos_ += 5;
+      return util::ok_status();
+    }
+    return fail("bad literal");
+  }
+
+  util::Status null(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNull;
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return util::ok_status();
+    }
+    return fail("bad literal");
+  }
+
+  util::Status number(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNumber;
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("bad number");
+    return util::ok_status();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Status parse_json(std::string_view text, JsonValue& out) {
+  Parser p(text);
+  return p.parse(out);
+}
+
+}  // namespace bridge::obs

@@ -1,0 +1,62 @@
+// Minimal JSON reader for the offline obs tooling.
+//
+// tools/obs_report ingests the JSON this repo's own emitters produce (obs
+// documents, bench --json rows, Chrome traces).  That closed world lets the
+// parser stay small: a recursive-descent reader into a single variant-like
+// JsonValue.  Object members preserve insertion order (vector of pairs, not
+// a map) so round-tripping observations keeps the emitters' deterministic
+// ordering.  Not a general-purpose validator — malformed input fails with a
+// position, not a recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.hpp"
+
+namespace bridge::obs {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// find() chained through nested objects; nullptr when any hop is absent.
+  [[nodiscard]] const JsonValue* find_path(
+      std::initializer_list<std::string_view> keys) const;
+
+  /// number when kNumber, else `fallback`.
+  [[nodiscard]] double num_or(double fallback) const noexcept {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+};
+
+/// Parse `text` into `out`.  On failure returns InvalidArgument with the
+/// byte offset of the problem.
+util::Status parse_json(std::string_view text, JsonValue& out);
+
+}  // namespace bridge::obs

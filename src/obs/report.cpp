@@ -1,0 +1,453 @@
+#include "src/obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/stages.hpp"
+
+namespace bridge::obs {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+// ---- metric lookups over the parsed document ------------------------------
+
+double counter_or(const JsonValue& metrics, std::string_view name,
+                  double fallback) {
+  const JsonValue* c = metrics.find("counters");
+  const JsonValue* v = c == nullptr ? nullptr : c->find(name);
+  return v == nullptr ? fallback : v->num_or(fallback);
+}
+
+const JsonValue* hist(const JsonValue& metrics, std::string_view name) {
+  const JsonValue* h = metrics.find("histograms");
+  return h == nullptr ? nullptr : h->find(name);
+}
+
+double hist_field(const JsonValue& metrics, std::string_view name,
+                  std::string_view field) {
+  const JsonValue* h = hist(metrics, name);
+  const JsonValue* v = h == nullptr ? nullptr : h->find(field);
+  return v == nullptr ? 0.0 : v->num_or(0.0);
+}
+
+/// Rebuild an exact Histogram from the sparse "buckets" array a
+/// snapshot_json(true) document carries; empty histogram when absent.
+Histogram rebuild(const JsonValue* h) {
+  if (h == nullptr) return Histogram::from_buckets({}, 0, 0);
+  std::vector<std::pair<std::size_t, std::uint64_t>> sparse;
+  if (const JsonValue* buckets = h->find("buckets")) {
+    for (const JsonValue& pair : buckets->array) {
+      if (pair.array.size() != 2) continue;
+      sparse.emplace_back(static_cast<std::size_t>(pair.array[0].num_or(0)),
+                          static_cast<std::uint64_t>(pair.array[1].num_or(0)));
+    }
+  }
+  auto sum = static_cast<std::uint64_t>(
+      h->find("sum_us") != nullptr ? h->find("sum_us")->num_or(0) : 0);
+  auto max = static_cast<std::uint64_t>(
+      h->find("max_us") != nullptr ? h->find("max_us")->num_or(0) : 0);
+  return Histogram::from_buckets(sparse, sum, max);
+}
+
+struct UseRow {
+  std::string component;
+  std::string util;     // rendered (may be "-")
+  std::string sat;      // rendered p95 queue wait
+  std::string errors;   // rendered count
+  double score = -1.0;  // exclusive busy share; <0 = not a candidate
+};
+
+// "lfs.n3.service_us" with prefix "lfs.n" and suffix ".service_us" -> "3".
+bool middle_index(std::string_view name, std::string_view prefix,
+                  std::string_view suffix, std::string& index_out) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(name.size() - suffix.size()) != suffix) return false;
+  std::string_view mid =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  for (char c : mid) {
+    if (c < '0' || c > '9') return false;
+  }
+  index_out.assign(mid.data(), mid.size());
+  return true;
+}
+
+}  // namespace
+
+std::string render_report(const JsonValue& obs_doc,
+                          const ReportOptions& opts) {
+  std::string out;
+  const JsonValue* metrics_ptr = obs_doc.find("metrics");
+  static const JsonValue kEmpty;
+  const JsonValue& metrics = metrics_ptr != nullptr ? *metrics_ptr : kEmpty;
+  double elapsed_us = 0;
+  if (const JsonValue* e = obs_doc.find("elapsed_us")) {
+    elapsed_us = e->num_or(0);
+  }
+
+  out += "== bridge obs report ==\n";
+  out += "elapsed: " + fmt("%.0f", elapsed_us) + " us\n\n";
+
+  // ---- USE table ----------------------------------------------------------
+  std::vector<UseRow> rows;
+  const JsonValue* histograms = metrics.find("histograms");
+  const JsonValue* gauges = metrics.find("gauges");
+  // Disks: one per disk.n<i>.utilization gauge.
+  if (gauges != nullptr) {
+    for (const auto& [name, value] : gauges->object) {
+      std::string idx;
+      if (!middle_index(name, "disk.n", ".utilization", idx)) continue;
+      UseRow row;
+      row.component = "disk.n" + idx;
+      double util = value.num_or(0);
+      row.util = fmt("%5.1f%%", 100.0 * util);
+      row.sat =
+          fmt("%.0f", hist_field(metrics, "lfs.n" + idx + ".sched_wait_us",
+                                 "p95_us")) +
+          " us";
+      row.errors = "0";
+      row.score = util;
+      rows.push_back(std::move(row));
+    }
+  }
+  // LFS and Bridge servers: one per <layer>.n<k>.service_us histogram.
+  if (histograms != nullptr) {
+    for (const auto& [name, value] : histograms->object) {
+      (void)value;
+      std::string idx;
+      if (middle_index(name, "lfs.n", ".service_us", idx)) {
+        UseRow row;
+        row.component = "lfs.n" + idx;
+        double svc = hist_field(metrics, name, "sum_us");
+        double util = elapsed_us > 0 ? svc / elapsed_us : 0;
+        row.util = fmt("%5.1f%%", 100.0 * util);
+        row.sat = fmt("%.0f", hist_field(metrics, "lfs.n" + idx + ".queue_us",
+                                         "p95_us")) +
+                  " us";
+        double errors =
+            counter_or(metrics, "rpc.n" + idx + ".error_replies", 0);
+        row.errors = fmt("%.0f", errors);
+        // Exclusive share: the LFS handler's own time is its service time
+        // minus the disk busy time it spent blocked on the device.
+        double busy = counter_or(metrics, "disk.n" + idx + ".busy_us", 0);
+        row.score = elapsed_us > 0 ? std::max(0.0, svc - busy) / elapsed_us : 0;
+        rows.push_back(std::move(row));
+      } else if (middle_index(name, "bridge.n", ".service_us", idx)) {
+        UseRow row;
+        row.component = "bridge.n" + idx;
+        double svc = hist_field(metrics, name, "sum_us");
+        double util = elapsed_us > 0 ? svc / elapsed_us : 0;
+        row.util = fmt("%5.1f%%", 100.0 * util);
+        row.sat = fmt("%.0f", hist_field(metrics,
+                                         "bridge.n" + idx + ".queue_us",
+                                         "p95_us")) +
+                  " us";
+        double errors =
+            counter_or(metrics, "rpc.n" + idx + ".error_replies", 0);
+        row.errors = fmt("%.0f", errors);
+        // Exclusive share: subtract the time the handler spent blocked
+        // waiting for LFS replies (rpc.n<j>.wait_us).
+        double wait =
+            hist_field(metrics, "rpc.n" + idx + ".wait_us", "sum_us");
+        row.score = elapsed_us > 0 ? std::max(0.0, svc - wait) / elapsed_us : 0;
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  {
+    UseRow net;
+    net.component = "net";
+    net.util = "    -";
+    net.sat = fmt("%.0f", counter_or(metrics, "net.remote_messages", 0)) +
+              " rmsg";
+    net.errors = "0";
+    rows.push_back(std::move(net));
+  }
+  std::sort(rows.begin(), rows.end(), [](const UseRow& a, const UseRow& b) {
+    return a.component < b.component;
+  });
+
+  out += "USE table (utilization / saturation=p95 wait / errors):\n";
+  out += "  component    util     saturation      errors\n";
+  for (const UseRow& row : rows) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-12s %-8s %-15s %s\n",
+                  row.component.c_str(), row.util.c_str(), row.sat.c_str(),
+                  row.errors.c_str());
+    out += line;
+  }
+
+  // Verdict: highest exclusive busy share; ties go to the smaller name.
+  const UseRow* top = nullptr;
+  for (const UseRow& row : rows) {
+    if (row.score < 0) continue;
+    if (top == nullptr || row.score > top->score ||
+        (row.score == top->score && row.component < top->component)) {
+      top = &row;
+    }
+  }
+  if (top != nullptr) {
+    out += "top saturated component: " + top->component + " (busy share " +
+           fmt("%.3f", top->score) + ")\n";
+  }
+  out += '\n';
+
+  // ---- per-stage attribution ---------------------------------------------
+  // Aggregate op.<class>.<stage>_us across op classes, then derive the
+  // exclusive time per stage (see header comment).
+  if (histograms != nullptr) {
+    double stage_sum[kStageCount] = {};
+    double total_sum = 0;
+    bool any = false;
+    for (const auto& [name, value] : histograms->object) {
+      if (name.rfind("op.", 0) != 0) continue;
+      const JsonValue* sum = value.find("sum_us");
+      double s = sum == nullptr ? 0 : sum->num_or(0);
+      std::string_view n = name;
+      if (n.size() > 9 && n.substr(n.size() - 9) == ".total_us") {
+        total_sum += s;
+        any = true;
+        continue;
+      }
+      for (std::size_t i = 0; i < kStageCount; ++i) {
+        std::string suffix =
+            std::string(".") + stage_name(static_cast<Stage>(i)) + "_us";
+        if (n.size() > suffix.size() &&
+            n.substr(n.size() - suffix.size()) == suffix) {
+          stage_sum[i] += s;
+          any = true;
+          break;
+        }
+      }
+    }
+    if (any) {
+      auto inc = [&](Stage s) {
+        return stage_sum[static_cast<std::size_t>(s)];
+      };
+      // Inclusive totals -> exclusive: peel each layer's callees off.
+      std::vector<std::pair<std::string, double>> excl;
+      excl.emplace_back("bridge_queue", inc(Stage::kBridgeQueue));
+      excl.emplace_back("bridge_svc",
+                        std::max(0.0, inc(Stage::kBridgeSvc) -
+                                          inc(Stage::kLfsQueue) -
+                                          inc(Stage::kLfsSvc)));
+      excl.emplace_back("lfs_queue", inc(Stage::kLfsQueue));
+      excl.emplace_back("lfs_svc", std::max(0.0, inc(Stage::kLfsSvc) -
+                                                     inc(Stage::kDiskPos) -
+                                                     inc(Stage::kDiskXfer)));
+      excl.emplace_back("disk_pos", inc(Stage::kDiskPos));
+      excl.emplace_back("disk_xfer", inc(Stage::kDiskXfer));
+      excl.emplace_back("rename_handoff", inc(Stage::kRenameHandoff));
+      double accounted = 0;
+      for (const auto& [n2, v2] : excl) accounted += v2;
+      excl.emplace_back("wire/other", std::max(0.0, total_sum - accounted));
+      out += "stage attribution (exclusive, all requests):\n";
+      out += "  total request time: " + fmt("%.0f", total_sum) + " us\n";
+      for (const auto& [sname, sus] : excl) {
+        double pct = total_sum > 0 ? 100.0 * sus / total_sum : 0;
+        char line[160];
+        std::snprintf(line, sizeof(line), "  %-15s %12.0f us  %5.1f%%\n",
+                      sname.c_str(), sus, pct);
+        out += line;
+      }
+      out += '\n';
+    }
+  }
+
+  // ---- cluster-level percentiles -----------------------------------------
+  // Fold every bridge server's service histogram into one distribution.
+  if (histograms != nullptr) {
+    Histogram cluster = Histogram::from_buckets({}, 0, 0);
+    std::size_t merged = 0;
+    for (const auto& [name, value] : histograms->object) {
+      std::string idx;
+      if (!middle_index(name, "bridge.n", ".service_us", idx)) continue;
+      cluster.merge(rebuild(&value));
+      ++merged;
+    }
+    if (merged > 0 && cluster.count() > 0) {
+      out += "cluster request service (" + std::to_string(merged) +
+             " bridge server" + (merged == 1 ? "" : "s") + " merged): ";
+      out += "count=" + std::to_string(cluster.count());
+      out += " p50=" + std::to_string(cluster.p50()) + "us";
+      out += " p95=" + std::to_string(cluster.p95()) + "us";
+      out += " p99=" + std::to_string(cluster.p99()) + "us";
+      out += " max=" + std::to_string(cluster.max()) + "us\n\n";
+    }
+  }
+
+  // ---- top-k slowest requests --------------------------------------------
+  if (const JsonValue* top_requests = obs_doc.find("top_requests")) {
+    std::size_t shown = 0;
+    out += "slowest requests:\n";
+    for (const JsonValue& req : top_requests->array) {
+      if (shown++ >= opts.top_k) break;
+      const JsonValue* op = req.find("op");
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  #%-6.0f %-10s start=%-10.0f total=%.0f us\n",
+                    req.find("request_id") != nullptr
+                        ? req.find("request_id")->num_or(0)
+                        : 0,
+                    op != nullptr ? op->string.c_str() : "?",
+                    req.find("start_us") != nullptr
+                        ? req.find("start_us")->num_or(0)
+                        : 0,
+                    req.find("total_us") != nullptr
+                        ? req.find("total_us")->num_or(0)
+                        : 0);
+      out += line;
+      if (const JsonValue* stages = req.find("stages")) {
+        out += "        ";
+        bool first = true;
+        for (const auto& [sname, sus] : stages->object) {
+          if (!first) out += "  ";
+          first = false;
+          out += sname + "=" + fmt("%.0f", sus.num_or(0));
+        }
+        out += '\n';
+      }
+    }
+    if (shown == 0) out += "  (none recorded)\n";
+    out += '\n';
+  }
+
+  // ---- flight recorder ----------------------------------------------------
+  if (const JsonValue* flight = obs_doc.find("flight")) {
+    const JsonValue* requested = flight->find("dump_requested");
+    if (requested != nullptr && requested->kind == JsonValue::Kind::kBool &&
+        requested->boolean) {
+      const JsonValue* reason = flight->find("dump_reason");
+      out += "flight recorder dump (";
+      out += reason != nullptr ? reason->string : "no reason";
+      out += "):\n";
+      if (const JsonValue* events = flight->find("events")) {
+        for (const JsonValue& ev : events->array) {
+          char line[96];
+          std::snprintf(line, sizeof(line), "  [%8.0f us] n%-3.0f %-14s ",
+                        ev.find("ts_us") != nullptr
+                            ? ev.find("ts_us")->num_or(0)
+                            : 0,
+                        ev.find("node") != nullptr
+                            ? ev.find("node")->num_or(0)
+                            : 0,
+                        ev.find("kind") != nullptr
+                            ? ev.find("kind")->string.c_str()
+                            : "?");
+          out += line;
+          if (const JsonValue* detail = ev.find("detail")) {
+            out += detail->string;
+          }
+          out += '\n';
+        }
+      }
+      out += '\n';
+    }
+  }
+
+  // ---- timeseries digest --------------------------------------------------
+  if (const JsonValue* ts = obs_doc.find("timeseries")) {
+    if (ts->is_object()) {
+      out += "timeseries: interval=" +
+             fmt("%.0f", ts->find("interval_us") != nullptr
+                             ? ts->find("interval_us")->num_or(0)
+                             : 0) +
+             "us samples=" +
+             fmt("%.0f", ts->find("samples") != nullptr
+                             ? ts->find("samples")->num_or(0)
+                             : 0) +
+             "\n";
+      if (const JsonValue* series = ts->find("series")) {
+        for (const auto& [sname, values] : series->object) {
+          double lo = 0, hi = 0, last = 0;
+          bool first = true;
+          for (const JsonValue& v : values.array) {
+            double x = v.num_or(0);
+            if (first || x < lo) lo = x;
+            if (first || x > hi) hi = x;
+            last = x;
+            first = false;
+          }
+          char line[160];
+          std::snprintf(line, sizeof(line),
+                        "  %-24s min=%-12.6g max=%-12.6g last=%.6g\n",
+                        sname.c_str(), lo, hi, last);
+          out += line;
+        }
+      }
+      out += '\n';
+    }
+  }
+
+  return out;
+}
+
+std::string render_trace_summary(const JsonValue& trace_doc,
+                                 const ReportOptions& opts) {
+  std::string out = "== trace summary ==\n";
+  struct Agg {
+    std::uint64_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  struct Span {
+    double dur_us;
+    double ts_us;
+    std::string name;
+  };
+  std::vector<Span> spans;
+  std::map<std::pair<double, double>, bool> lanes;
+  for (const JsonValue& ev : trace_doc.array) {
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    const JsonValue* name = ev.find("name");
+    const JsonValue* dur = ev.find("dur");
+    const JsonValue* ts = ev.find("ts");
+    double d = dur != nullptr ? dur->num_or(0) : 0;
+    std::string n = name != nullptr ? name->string : "?";
+    Agg& agg = by_name[n];
+    ++agg.count;
+    agg.total_us += d;
+    if (d > agg.max_us) agg.max_us = d;
+    spans.push_back(Span{d, ts != nullptr ? ts->num_or(0) : 0, n});
+    lanes[{ev.find("pid") != nullptr ? ev.find("pid")->num_or(0) : 0,
+           ev.find("tid") != nullptr ? ev.find("tid")->num_or(0) : 0}] = true;
+  }
+  out += "spans: " + std::to_string(spans.size()) + " across " +
+         std::to_string(lanes.size()) + " lanes\n";
+  out += "by name:\n";
+  for (const auto& [name, agg] : by_name) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-24s count=%-8llu total=%-12.0f max=%.0f us\n",
+                  name.c_str(), static_cast<unsigned long long>(agg.count),
+                  agg.total_us, agg.max_us);
+    out += line;
+  }
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.name < b.name;
+  });
+  out += "longest spans:\n";
+  for (std::size_t i = 0; i < spans.size() && i < opts.top_k; ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-24s ts=%-12.0f dur=%.0f us\n",
+                  spans[i].name.c_str(), spans[i].ts_us, spans[i].dur_us);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bridge::obs

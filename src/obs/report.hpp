@@ -1,0 +1,41 @@
+// Offline bottleneck analysis: turn an obs document (metrics + stage ledger
+// + timeseries + flight recorder) into a human-readable report.
+//
+// The centerpiece is a USE-style table (utilization / saturation / errors,
+// after Gregg's USE method) over every modeled component — each disk, each
+// LFS server, each Bridge server, the interconnect — plus a verdict line
+// naming the top saturated component.  The verdict ranks components by
+// EXCLUSIVE busy share: a Bridge server's service time includes everything
+// downstream (it blocks on LFS calls), so ranking raw service time would
+// always blame the front.  Instead each layer's score subtracts the time it
+// provably spent waiting on the layer below (bridge: RPC reply wait; LFS:
+// disk busy time), leaving the time the component itself consumed.
+//
+// Everything is rendered from the parsed JSON alone — no simulator state —
+// so the tool runs on any artifact from any machine, and its output is
+// byte-identical for byte-identical inputs.
+#pragma once
+
+#include <string>
+
+#include "src/obs/obs_json.hpp"
+
+namespace bridge::obs {
+
+struct ReportOptions {
+  std::size_t top_k = 5;  ///< slowest requests to print
+};
+
+/// Render the full report for a bridge.obs.v1 document (see
+/// BridgeInstance::obs_json): USE table, top-saturated verdict, per-stage
+/// attribution, cluster-level percentiles, top-k slowest requests, flight
+/// recorder dump (when one was requested) and a timeseries digest.
+std::string render_report(const JsonValue& obs_doc, const ReportOptions& opts);
+
+/// Render a digest of a Chrome trace produced by Tracer::chrome_trace_json:
+/// per-span-name aggregates (count/total/max) and the longest individual
+/// spans.  Works on the raw trace array.
+std::string render_trace_summary(const JsonValue& trace_doc,
+                                 const ReportOptions& opts);
+
+}  // namespace bridge::obs

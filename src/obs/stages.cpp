@@ -1,0 +1,188 @@
+#include "src/obs/stages.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/obs/flight.hpp"
+
+namespace bridge::obs {
+
+const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kClientWait: return "client_wait";
+    case Stage::kBridgeQueue: return "bridge_queue";
+    case Stage::kBridgeSvc: return "bridge_svc";
+    case Stage::kLfsQueue: return "lfs_queue";
+    case Stage::kLfsSvc: return "lfs_svc";
+    case Stage::kDiskPos: return "disk_pos";
+    case Stage::kDiskXfer: return "disk_xfer";
+    case Stage::kRenameHandoff: return "rename_handoff";
+  }
+  return "unknown";
+}
+
+StageLedger::StageLedger(MetricsRegistry* registry)
+    : registry_(registry), enabled_(!globally_disabled()) {
+  if (const char* slo = std::getenv("BRIDGE_SLO_US")) {
+    slo_us_ = std::strtoll(slo, nullptr, 10);
+  }
+}
+
+std::uint64_t StageLedger::begin(std::uint64_t pid, std::string_view op,
+                                 std::int64_t now_us) {
+  if (!enabled_) return 0;
+  auto it = active_.find(pid);
+  if (it != active_.end() && it->second != 0) {
+    // Nested operation (e.g. ParallelWorker issuing a sub-op inside a
+    // composite): charge into the outer request rather than double-count.
+    return 0;
+  }
+  std::uint64_t id = next_id_++;
+  InFlight& rec = inflight_[id];
+  rec.origin_pid = pid;
+  rec.op.assign(op.data(), op.size());
+  rec.start_us = now_us;
+  active_[pid] = id;
+  if (flight_ != nullptr) {
+    flight_->record(now_us, 0, "op.begin",
+                    rec.op + " id=" + std::to_string(id));
+  }
+  return id;
+}
+
+void StageLedger::end(std::uint64_t pid, std::uint64_t id,
+                      std::int64_t now_us) {
+  if (!enabled_ || id == 0) return;
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  auto act = active_.find(pid);
+  if (act != active_.end() && act->second == id) active_.erase(act);
+  finish(id, it->second, now_us);
+  inflight_.erase(it);
+}
+
+std::uint64_t StageLedger::active_request(std::uint64_t pid) const {
+  auto it = active_.find(pid);
+  return it == active_.end() ? 0 : it->second;
+}
+
+std::uint64_t StageLedger::set_active(std::uint64_t pid,
+                                      std::uint64_t request_id) {
+  if (!enabled_) return 0;
+  std::uint64_t prev = 0;
+  auto it = active_.find(pid);
+  if (it != active_.end()) prev = it->second;
+  if (request_id == 0) {
+    if (it != active_.end()) active_.erase(it);
+  } else {
+    active_[pid] = request_id;
+  }
+  return prev;
+}
+
+void StageLedger::charge(std::uint64_t id, Stage s, std::int64_t dur_us) {
+  if (!enabled_ || id == 0 || dur_us <= 0) return;
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;  // request already completed
+  it->second.stage_us[static_cast<std::size_t>(s)] += dur_us;
+}
+
+void StageLedger::charge_active(std::uint64_t pid, Stage s,
+                                std::int64_t dur_us) {
+  charge(active_request(pid), s, dur_us);
+}
+
+void StageLedger::charge_client_wait(std::uint64_t pid, std::int64_t dur_us) {
+  if (!enabled_ || dur_us <= 0) return;
+  std::uint64_t id = active_request(pid);
+  if (id == 0) return;
+  auto it = inflight_.find(id);
+  if (it == inflight_.end() || it->second.origin_pid != pid) return;
+  it->second.stage_us[static_cast<std::size_t>(Stage::kClientWait)] += dur_us;
+}
+
+void StageLedger::finish(std::uint64_t id, InFlight& rec,
+                         std::int64_t now_us) {
+  std::int64_t total = now_us - rec.start_us;
+  if (total < 0) total = 0;
+  ++completed_;
+  if (registry_ != nullptr) {
+    std::string prefix = "op." + rec.op + ".";
+    registry_->histogram(prefix + "total_us")
+        .record(static_cast<std::uint64_t>(total));
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      if (rec.stage_us[i] <= 0) continue;
+      registry_->histogram(prefix + stage_name(static_cast<Stage>(i)) + "_us")
+          .record(static_cast<std::uint64_t>(rec.stage_us[i]));
+    }
+  }
+  if (flight_ != nullptr) {
+    flight_->record(now_us, 0, "op.end",
+                    rec.op + " id=" + std::to_string(id) + " total_us=" +
+                        std::to_string(total));
+    if (slo_us_ > 0 && total > slo_us_) {
+      flight_->record(now_us, 0, "slo.breach",
+                      rec.op + " id=" + std::to_string(id) + " total_us=" +
+                          std::to_string(total) + " slo_us=" +
+                          std::to_string(slo_us_));
+      flight_->mark_dump("slo breach: " + rec.op + " id=" +
+                         std::to_string(id) + " took " +
+                         std::to_string(total) + "us (slo " +
+                         std::to_string(slo_us_) + "us)");
+    }
+  }
+  // Keep the top-k slowest.  Insertion sort into a tiny vector; order is
+  // (total desc, request id asc) so ties break deterministically.
+  if (top_k_ == 0) return;
+  RequestRecord out;
+  out.request_id = id;
+  out.op = std::move(rec.op);
+  out.start_us = rec.start_us;
+  out.total_us = total;
+  std::copy(rec.stage_us, rec.stage_us + kStageCount, out.stage_us);
+  auto pos = std::lower_bound(
+      slowest_.begin(), slowest_.end(), out,
+      [](const RequestRecord& a, const RequestRecord& b) {
+        if (a.total_us != b.total_us) return a.total_us > b.total_us;
+        return a.request_id < b.request_id;
+      });
+  if (pos == slowest_.end() && slowest_.size() >= top_k_) return;
+  slowest_.insert(pos, std::move(out));
+  if (slowest_.size() > top_k_) slowest_.pop_back();
+}
+
+std::string StageLedger::top_requests_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const RequestRecord& r : slowest_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"request_id\":" + std::to_string(r.request_id);
+    out += ",\"op\":";
+    append_json_quoted(out, r.op);
+    out += ",\"start_us\":" + std::to_string(r.start_us);
+    out += ",\"total_us\":" + std::to_string(r.total_us);
+    out += ",\"stages\":{";
+    bool first_stage = true;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      if (r.stage_us[i] <= 0) continue;
+      if (!first_stage) out += ',';
+      first_stage = false;
+      append_json_quoted(out, stage_name(static_cast<Stage>(i)));
+      out += ':' + std::to_string(r.stage_us[i]);
+    }
+    out += "}}";
+  }
+  out += ']';
+  return out;
+}
+
+void StageLedger::clear() {
+  next_id_ = 1;
+  completed_ = 0;
+  inflight_.clear();
+  active_.clear();
+  slowest_.clear();
+}
+
+}  // namespace bridge::obs

@@ -1,0 +1,148 @@
+// Per-request latency attribution: the stage ledger.
+//
+// Every end-to-end client operation (one BridgeClient call) is a *request*.
+// The ledger assigns it a monotonically increasing id at the client, the RPC
+// layer piggybacks that id on every envelope (obs::TraceContext::request_id),
+// and each hop — bridge serve loop, LFS serve loop, the disk model — charges
+// the virtual time it spends on the request into a named *stage*.  When the
+// request completes the ledger folds its per-stage totals into per-op-class
+// breakdown histograms ("op.SeqRead.disk_pos_us", "op.Create.bridge_queue_us",
+// ...) in the MetricsRegistry and keeps a bounded, deterministically ordered
+// list of the slowest requests with their full stage breakdown — the
+// critical-path summary an offline report prints.
+//
+// Stage semantics are INCLUSIVE along the call chain: bridge_svc contains the
+// LFS stages, lfs_svc contains the disk stages.  Consumers derive exclusive
+// time by subtraction (see src/obs/report.cpp); keeping the raw measurements
+// inclusive means no hop needs to know what its callees charged.
+//
+// Everything counts VIRTUAL time and runs under the one-process-at-a-time
+// scheduler: no locking, ids allocated in dispatch order, byte-identical
+// output across same-seed runs.  Under BRIDGE_OBS_DISABLED every method is a
+// no-op; nothing here ever charges virtual time, so simulated results are
+// identical either way.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+
+namespace bridge::obs {
+
+class FlightRecorder;
+
+/// The attribution stages.  Order is the JSON/report emission order.
+enum class Stage : std::uint8_t {
+  kClientWait = 0,   ///< client blocked on the reply (the whole round trip)
+  kBridgeQueue = 1,  ///< wire + time parked in a Bridge server mailbox
+  kBridgeSvc = 2,    ///< Bridge server handler (inclusive of LFS stages)
+  kLfsQueue = 3,     ///< wire + LFS mailbox + disk-scheduler wait
+  kLfsSvc = 4,       ///< LFS handler (inclusive of disk stages)
+  kDiskPos = 5,      ///< disk positioning: access latency + distance seek
+  kDiskXfer = 6,     ///< disk media transfer
+  kRenameHandoff = 7,  ///< parked between cross-server rename prepare and ack
+};
+inline constexpr std::size_t kStageCount = 8;
+
+/// Stable short name ("client_wait", "bridge_queue", ...).
+const char* stage_name(Stage s) noexcept;
+
+/// One completed request with its full breakdown (the slowest-requests list).
+struct RequestRecord {
+  std::uint64_t request_id = 0;
+  std::string op;  ///< op class ("SeqRead", "Create", ...)
+  std::int64_t start_us = 0;
+  std::int64_t total_us = 0;
+  std::int64_t stage_us[kStageCount] = {};
+};
+
+class StageLedger {
+ public:
+  /// `registry` receives the per-op breakdown histograms; `flight` (optional)
+  /// receives op.begin/op.end/slo.breach events.
+  explicit StageLedger(MetricsRegistry* registry);
+
+  void set_flight(FlightRecorder* flight) noexcept { flight_ = flight; }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Requests slower than this (virtual us, end-to-end) trigger a flight
+  /// recorder dump request.  0 disables.  Initialized from BRIDGE_SLO_US.
+  void set_slo_us(std::int64_t slo_us) noexcept { slo_us_ = slo_us; }
+  [[nodiscard]] std::int64_t slo_us() const noexcept { return slo_us_; }
+
+  /// Keep the `k` slowest completed requests (deterministic order: larger
+  /// total first, then smaller request id).
+  void set_top_k(std::size_t k) { top_k_ = k; }
+
+  /// Begin a request of class `op` on behalf of process `pid`.  Returns the
+  /// new request id, or 0 when disabled OR when `pid` already has an active
+  /// request (a nested operation charges into the outer request instead).
+  std::uint64_t begin(std::uint64_t pid, std::string_view op,
+                      std::int64_t now_us);
+  /// Complete the request `id` (as returned by begin) for `pid`.
+  void end(std::uint64_t pid, std::uint64_t id, std::int64_t now_us);
+
+  /// The request process `pid` is currently working on (its own, or one
+  /// adopted from an envelope); 0 if none.
+  [[nodiscard]] std::uint64_t active_request(std::uint64_t pid) const;
+  /// Make `request_id` the active request of `pid` (server loops adopt the
+  /// envelope's id around each handler).  Returns the previous value so the
+  /// caller can restore it; 0 clears.
+  std::uint64_t set_active(std::uint64_t pid, std::uint64_t request_id);
+
+  /// Attribute `dur_us` of stage `s` to request `id` (no-op for id 0 or a
+  /// request that already completed).
+  void charge(std::uint64_t id, Stage s, std::int64_t dur_us);
+  /// charge() against pid's active request.
+  void charge_active(std::uint64_t pid, Stage s, std::int64_t dur_us);
+  /// RpcClient::wait_reply hook: counts as kClientWait only when `pid` is the
+  /// ORIGINATOR of its active request (a server adopting the request is
+  /// waiting on its own downstream, which other stages already measure).
+  void charge_client_wait(std::uint64_t pid, std::int64_t dur_us);
+
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return inflight_.size();
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+  /// The slowest completed requests, most expensive first.
+  [[nodiscard]] const std::vector<RequestRecord>& slowest() const noexcept {
+    return slowest_;
+  }
+
+  /// Deterministic JSON array of the slowest requests with their stage
+  /// breakdown:
+  /// [{"request_id":..,"op":"SeqRead","start_us":..,"total_us":..,
+  ///   "stages":{"bridge_queue":..,...}},...]  (zero stages omitted).
+  [[nodiscard]] std::string top_requests_json() const;
+
+  void clear();
+
+ private:
+  struct InFlight {
+    std::uint64_t origin_pid = 0;
+    std::string op;
+    std::int64_t start_us = 0;
+    std::int64_t stage_us[kStageCount] = {};
+  };
+
+  void finish(std::uint64_t id, InFlight& rec, std::int64_t now_us);
+
+  MetricsRegistry* registry_;
+  FlightRecorder* flight_ = nullptr;
+  bool enabled_;
+  std::int64_t slo_us_ = 0;
+  std::size_t top_k_ = 8;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  std::map<std::uint64_t, InFlight> inflight_;   // request id -> ledger row
+  std::map<std::uint64_t, std::uint64_t> active_;  // pid -> request id
+  std::vector<RequestRecord> slowest_;  // sorted: total desc, id asc
+};
+
+}  // namespace bridge::obs

@@ -1,0 +1,87 @@
+#include "src/obs/timeseries.hpp"
+
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+
+namespace bridge::obs {
+
+TimeSeriesSampler::TimeSeriesSampler() : enabled_(!globally_disabled()) {}
+
+void TimeSeriesSampler::configure(std::int64_t interval_us,
+                                  std::size_t capacity) {
+  if (!enabled_ || interval_us <= 0) return;
+  interval_us_ = interval_us;
+  capacity_ = capacity == 0 ? 1 : capacity;
+  next_sample_us_ = interval_us;
+  first_sample_us_ = interval_us;
+}
+
+void TimeSeriesSampler::add_probe(std::string name,
+                                  std::function<double()> probe) {
+  if (!enabled_) return;
+  Series s;
+  s.name = std::move(name);
+  s.probe = std::move(probe);
+  s.ring.reserve(capacity_);
+  series_.push_back(std::move(s));
+}
+
+void TimeSeriesSampler::on_time_advance(std::int64_t now_us) {
+  if (!armed()) return;
+  while (next_sample_us_ <= now_us) {
+    sample_once();
+    next_sample_us_ += interval_us_;
+  }
+}
+
+void TimeSeriesSampler::sample_once() {
+  ++samples_;
+  bool full = samples_ > capacity_;
+  if (full) ++dropped_;
+  for (Series& s : series_) {
+    double v = s.probe ? s.probe() : 0.0;
+    if (!full) {
+      s.ring.push_back(v);
+    } else {
+      s.ring[s.head] = v;
+      s.head = (s.head + 1) % capacity_;
+    }
+  }
+}
+
+std::string TimeSeriesSampler::json() const {
+  if (interval_us_ <= 0) return "null";
+  std::string out = "{\"interval_us\":" + std::to_string(interval_us_);
+  out += ",\"start_us\":" + std::to_string(first_sample_us_ +
+                                           static_cast<std::int64_t>(dropped_) *
+                                               interval_us_);
+  out += ",\"samples\":" + std::to_string(samples_);
+  out += ",\"dropped\":" + std::to_string(dropped_);
+  out += ",\"series\":{";
+  bool first = true;
+  for (const Series& s : series_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_quoted(out, s.name);
+    out += ":[";
+    for (std::size_t i = 0; i < s.ring.size(); ++i) {
+      if (i != 0) out += ',';
+      out += json_number(s.ring[(s.head + i) % s.ring.size()]);
+    }
+    out += ']';
+  }
+  out += "}}";
+  return out;
+}
+
+void TimeSeriesSampler::clear() {
+  interval_us_ = 0;
+  next_sample_us_ = 0;
+  first_sample_us_ = 0;
+  samples_ = 0;
+  dropped_ = 0;
+  series_.clear();
+}
+
+}  // namespace bridge::obs

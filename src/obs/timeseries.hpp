@@ -1,0 +1,87 @@
+// Time-series telemetry: periodic snapshots of selected probes over virtual
+// time, kept in fixed-size ring buffers.
+//
+// The sampler is PASSIVE: it never schedules events or sleeps.  The
+// deterministic scheduler calls on_time_advance() from its dispatch loop
+// every time the virtual clock moves forward, and the sampler emits one
+// sample per crossed interval boundary.  This keeps the event sequence —
+// and therefore every simulated result — completely untouched: an armed
+// sampler charges zero virtual time, a disabled one is a single branch.
+//
+// Probes are registered callbacks reading plain state (a counter value, a
+// queue depth, a busy-time total).  They run with the scheduler lock held,
+// so they must not block, allocate into shared state, or touch the
+// scheduler; reading a numeric field is the intended shape.
+//
+// Output is a `timeseries` JSON block (see json()) embedded in bench --json
+// rows and obs documents — the substrate capacity-curve plots read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bridge::obs {
+
+class TimeSeriesSampler {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  TimeSeriesSampler();
+
+  /// Arm the sampler: one sample per `interval_us` of virtual time, keeping
+  /// the most recent `capacity` samples per series (older ones are dropped
+  /// and counted).  No-op under BRIDGE_OBS_DISABLED.
+  void configure(std::int64_t interval_us,
+                 std::size_t capacity = kDefaultCapacity);
+
+  [[nodiscard]] bool armed() const noexcept {
+    return enabled_ && interval_us_ > 0;
+  }
+  [[nodiscard]] std::int64_t interval_us() const noexcept {
+    return interval_us_;
+  }
+
+  /// Register a named probe.  Registration order is emission order; names
+  /// should be unique (duplicates would emit two series with the same key).
+  void add_probe(std::string name, std::function<double()> probe);
+
+  /// Scheduler hook: the virtual clock just advanced to `now_us`.  Samples
+  /// every interval boundary in (last_sampled, now_us] — a big time jump
+  /// (quiescent stretch) emits one sample per crossed boundary, so series
+  /// have uniform spacing regardless of event density.
+  void on_time_advance(std::int64_t now_us);
+
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// {"interval_us":..,"start_us":..,"samples":N,"dropped":..,
+  ///  "series":{"name":[v,...],...}}  Values are json_number-formatted; each
+  ///  series has exactly min(N, capacity) entries, oldest retained first.
+  ///  Deterministic.  Returns "null" when the sampler was never armed.
+  [[nodiscard]] std::string json() const;
+
+  void clear();
+
+ private:
+  struct Series {
+    std::string name;
+    std::function<double()> probe;
+    std::vector<double> ring;
+    std::size_t head = 0;  ///< index of oldest value once full
+  };
+
+  void sample_once();
+
+  bool enabled_;
+  std::int64_t interval_us_ = 0;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::int64_t next_sample_us_ = 0;
+  std::int64_t first_sample_us_ = 0;
+  std::size_t samples_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Series> series_;
+};
+
+}  // namespace bridge::obs

@@ -35,9 +35,16 @@ namespace bridge::obs {
 
 /// Propagated across RPC boundaries on the Envelope.  Zero means "no active
 /// trace" (tracing disabled, or the sender had no open span).
+///
+/// `request_id` rides alongside the span context but is independent of the
+/// tracer: it names the end-to-end client request (StageLedger) currently
+/// being served by the sender, so every hop — bridge, LFS, disk — can
+/// attribute its queueing and service time back to the originating request
+/// even when Chrome tracing is off.  Zero means "no attributed request".
 struct TraceContext {
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
+  std::uint64_t request_id = 0;
 
   [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
 };

@@ -88,6 +88,10 @@ inline void post(const Context& ctx, const Address& dst, Envelope env) {
   env.sent_at = ctx.now();
   obs::Tracer& tracer = ctx.runtime().tracer();
   if (tracer.enabled()) env.trace = tracer.current_context(ctx.pid());
+  // Request attribution rides on every envelope regardless of tracing: the
+  // receiver adopts the id so its queue/service time lands on the right
+  // ledger row.  Free on the modeled wire (kEnvelopeOverheadBytes is fixed).
+  env.trace.request_id = ctx.runtime().stages().active_request(ctx.pid());
   dst.box->send(std::move(env), latency);
 }
 
@@ -118,6 +122,16 @@ inline util::Result<std::vector<std::byte>> parse_reply_payload(
 inline void send_reply(const Context& ctx, const Envelope& request,
                        const util::Status& status,
                        std::span<const std::byte> body = {}) {
+  if (!status.is_ok()) {
+    // Error replies are rare enough to account per occurrence: the USE
+    // report's "errors" column and the flight recorder both read them.
+    ctx.runtime()
+        .metrics()
+        .counter("rpc.n" + std::to_string(ctx.node()) + ".error_replies")
+        .add(1);
+    ctx.runtime().flight().record(ctx.now().us(), ctx.node(), "rpc.error",
+                                  status.to_string());
+  }
   Envelope reply;
   reply.type = request.type;
   reply.correlation = request.correlation;
@@ -130,7 +144,10 @@ inline void send_reply(const Context& ctx, const Envelope& request,
 class RpcClient {
  public:
   explicit RpcClient(Context& ctx)
-      : ctx_(ctx), reply_box_(ctx.runtime().scheduler(), ctx.node()) {}
+      : ctx_(ctx),
+        reply_box_(ctx.runtime().scheduler(), ctx.node()),
+        wait_us_(&ctx.runtime().metrics().histogram(
+            "rpc.n" + std::to_string(ctx.node()) + ".wait_us")) {}
 
   /// Issue `type(request_bytes)` to `service` and block for the reply.
   /// Returns the reply body, or the error status the server sent.
@@ -174,12 +191,18 @@ class RpcClient {
         return parse_reply_payload(reply.payload);
       }
     }
+    // Blocked time per node: a bridge server's reply waits measure how long
+    // it spent blocked on its LFS calls, which the report subtracts from its
+    // service time to get the server's own (exclusive) busy share.
+    std::int64_t wait_start_us = ctx_.now().us();
     while (true) {
       Envelope reply = reply_box_.recv();
       if (reply.correlation != correlation) {
         stash_.push_back(std::move(reply));
         continue;
       }
+      wait_us_->record(
+          static_cast<std::uint64_t>(ctx_.now().us() - wait_start_us));
       return parse_reply_payload(reply.payload);
     }
   }
@@ -190,6 +213,7 @@ class RpcClient {
  private:
   Context& ctx_;
   Mailbox reply_box_;
+  obs::Histogram* wait_us_;
   std::vector<Envelope> stash_;
   std::uint64_t next_correlation_ = 1;
 };

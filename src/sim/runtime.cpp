@@ -14,12 +14,25 @@ Runtime::Runtime(std::uint32_t num_nodes, Topology topology, std::uint64_t seed)
 #ifdef BRIDGE_RACE_CHECK
   enable_race_check();
 #endif
+  stages_.set_flight(&flight_);
 }
 
 Runtime::~Runtime() {
   // Processes (scheduler threads) may still run teardown code that consults
   // the detector through channel hooks; detach it before it is destroyed.
   sched_.set_race_detector(nullptr);
+}
+
+void Runtime::enable_timeseries(std::int64_t interval_us,
+                                std::size_t capacity) {
+  if (obs::globally_disabled() || interval_us <= 0) return;
+  timeseries_.configure(interval_us, capacity);
+  // The observer runs inside Scheduler::run with the lock held; the sampler
+  // only reads probe callbacks over plain state, which is safe because no
+  // simulated process runs concurrently with the dispatch loop.
+  obs::TimeSeriesSampler* sampler = &timeseries_;
+  sched_.set_time_observer(
+      [sampler](SimTime now) { sampler->on_time_advance(now.us()); });
 }
 
 void Runtime::enable_race_check() {
@@ -94,6 +107,36 @@ ScopedSpan::~ScopedSpan() {
   if (ctx_ != nullptr) {
     ctx_->runtime().tracer().end_span(ctx_->pid(), ctx_->now().us());
   }
+}
+
+ScopedRequest::ScopedRequest(const Context& ctx, std::string_view op) {
+  obs::StageLedger& stages = ctx.runtime().stages();
+  if (!stages.enabled()) return;
+  start_us_ = ctx.now().us();
+  id_ = stages.begin(ctx.pid(), op, start_us_);
+  if (id_ != 0) ctx_ = &ctx;
+}
+
+ScopedRequest::~ScopedRequest() {
+  if (ctx_ == nullptr) return;
+  obs::StageLedger& stages = ctx_->runtime().stages();
+  std::int64_t now_us = ctx_->now().us();
+  // The whole round trip is client wait; queue/service charges recorded by
+  // the servers live inside it (inclusive stages, see stages.hpp).
+  stages.charge(id_, obs::Stage::kClientWait, now_us - start_us_);
+  stages.end(ctx_->pid(), id_, now_us);
+}
+
+AdoptedRequest::AdoptedRequest(const Context& ctx, std::uint64_t request_id) {
+  obs::StageLedger& stages = ctx.runtime().stages();
+  if (!stages.enabled() || request_id == 0) return;
+  ctx_ = &ctx;
+  prev_ = stages.set_active(ctx.pid(), request_id);
+}
+
+AdoptedRequest::~AdoptedRequest() {
+  if (ctx_ == nullptr) return;
+  ctx_->runtime().stages().set_active(ctx_->pid(), prev_);
 }
 
 }  // namespace bridge::sim

@@ -11,7 +11,10 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/stages.hpp"
+#include "src/obs/timeseries.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/channel.hpp"
 #include "src/sim/rng.hpp"
@@ -128,6 +131,22 @@ class Runtime {
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   /// Virtual-time span tracer (disabled until tracer().enable()).
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  /// Per-request stage ledger (always on unless BRIDGE_OBS_DISABLED).
+  [[nodiscard]] obs::StageLedger& stages() noexcept { return stages_; }
+  /// Bounded ring of recent structured events for post-mortems.
+  [[nodiscard]] obs::FlightRecorder& flight() noexcept { return flight_; }
+  /// Periodic probe sampler; passive until enable_timeseries().
+  [[nodiscard]] obs::TimeSeriesSampler& timeseries() noexcept {
+    return timeseries_;
+  }
+
+  /// Arm the time-series sampler at `interval_us` of virtual time and hook
+  /// it to the scheduler clock.  Probes are registered by the caller
+  /// (BridgeInstance::enable_timeseries wires the standard set).  Sampling
+  /// never perturbs the event sequence; no-op under BRIDGE_OBS_DISABLED.
+  void enable_timeseries(std::int64_t interval_us,
+                         std::size_t capacity =
+                             obs::TimeSeriesSampler::kDefaultCapacity);
 
   /// Turn on the happens-before race detector (src/analysis/race.hpp).
   /// Call before spawning processes so spawn edges are recorded.  Purely
@@ -147,6 +166,9 @@ class Runtime {
   MessageStats msg_stats_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  obs::FlightRecorder flight_;
+  obs::StageLedger stages_{&metrics_};
+  obs::TimeSeriesSampler timeseries_;
   std::unique_ptr<analysis::RaceDetector> race_;
 };
 
@@ -167,6 +189,44 @@ class ScopedSpan {
  private:
   const Context* ctx_ = nullptr;
   std::uint64_t id_ = 0;
+};
+
+/// RAII end-to-end request for the stage ledger: BridgeClient::call wraps
+/// each client operation in one of these.  Construction registers the
+/// request (making it the calling process's active request, so every RPC it
+/// posts carries the id); destruction charges the whole round trip as
+/// client_wait and completes the request — exception safe, so a failed op
+/// still closes its ledger row.  No-op when the ledger is disabled or the
+/// process already has an active request (nested ops fold into the outer).
+class ScopedRequest {
+ public:
+  ScopedRequest(const Context& ctx, std::string_view op);
+  ~ScopedRequest();
+  ScopedRequest(const ScopedRequest&) = delete;
+  ScopedRequest& operator=(const ScopedRequest&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  const Context* ctx_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::int64_t start_us_ = 0;
+};
+
+/// RAII request adoption for server loops: makes the envelope's request id
+/// the handling process's active request for the handler's duration (so
+/// downstream RPCs and disk charges attribute correctly), restoring the
+/// previous active request on destruction.
+class AdoptedRequest {
+ public:
+  AdoptedRequest(const Context& ctx, std::uint64_t request_id);
+  ~AdoptedRequest();
+  AdoptedRequest(const AdoptedRequest&) = delete;
+  AdoptedRequest& operator=(const AdoptedRequest&) = delete;
+
+ private:
+  const Context* ctx_ = nullptr;
+  std::uint64_t prev_ = 0;
 };
 
 template <typename T>

@@ -145,7 +145,9 @@ void Scheduler::run() {
   while (!events_.empty()) {
     Event ev = events_.top();
     events_.pop();
+    SimTime before = clock_;
     clock_ = std::max(clock_, ev.time);
+    if (time_observer_ && clock_ > before) time_observer_(clock_);
     dispatch(ev, lock);
   }
   deadlocked_ = false;

@@ -129,6 +129,15 @@ class Scheduler {
   [[nodiscard]] SimTime now() const noexcept { return clock_; }
   [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
 
+  /// Install a passive clock hook: called from run() (with the scheduler
+  /// lock held) every time the virtual clock moves forward, with the new
+  /// time.  The observer must only read plain memory — no scheduler calls,
+  /// no blocking.  Used by obs::TimeSeriesSampler; one observer at a time
+  /// (nullptr-ish empty function removes it).
+  void set_time_observer(std::function<void(SimTime)> observer) {
+    time_observer_ = std::move(observer);
+  }
+
   // --- Primitives used by Context / Channel / Mailbox (process-side). ---
   // These must be called from the currently running simulated process.
 
@@ -202,6 +211,7 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   ProcessId next_pid_ = 1;
   SchedulerStats stats_;
+  std::function<void(SimTime)> time_observer_;
   bool deadlocked_ = false;
   bool draining_ = false;  ///< destructor: force-finish parked processes
   analysis::RaceDetector* race_ = nullptr;  ///< owned by the Runtime

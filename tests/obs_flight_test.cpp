@@ -1,0 +1,131 @@
+// Flight recorder tests: ring bookkeeping, dump semantics, JSON determinism,
+// and the post-mortem contract — a fault-injected run leaves the injected
+// events in the ring, in order, retrievable from the dump.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/instance.hpp"
+#include "src/obs/flight.hpp"
+
+namespace bridge::core {
+namespace {
+
+std::vector<std::byte> record(std::uint32_t tag) {
+  std::vector<std::byte> data(efs::kUserDataBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::byte(static_cast<std::uint8_t>(tag * 13 + i));
+  }
+  return data;
+}
+
+TEST(FlightRecorder, RingKeepsNewestOldestFirst) {
+  obs::FlightRecorder rec(/*capacity=*/4);
+  for (int i = 0; i < 7; ++i) {
+    rec.record(i * 10, /*node=*/0, "e", "n" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.recorded(), 7u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The four newest survive, oldest first, with their original sequence
+  // numbers (never renumbered).
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 4 + i);
+    EXPECT_EQ(events[i].detail, "n" + std::to_string(3 + i));
+  }
+}
+
+TEST(FlightRecorder, MarkDumpFirstReasonWins) {
+  obs::FlightRecorder rec;
+  EXPECT_FALSE(rec.dump_requested());
+  rec.mark_dump("first");
+  rec.mark_dump("second");
+  EXPECT_TRUE(rec.dump_requested());
+  EXPECT_EQ(rec.dump_reason(), "first");
+  rec.clear();
+  EXPECT_FALSE(rec.dump_requested());
+  EXPECT_EQ(rec.dump_reason(), "");
+}
+
+TEST(FlightRecorder, JsonIsDeterministic) {
+  auto build = [] {
+    obs::FlightRecorder rec(8);
+    rec.record(5, 1, "a.kind", "detail \"quoted\"");
+    rec.record(9, 2, "b.kind", "x");
+    rec.mark_dump("why");
+    return rec.json();
+  };
+  std::string a = build();
+  EXPECT_EQ(a, build());
+  EXPECT_NE(a.find("\"dump_reason\":\"why\""), std::string::npos) << a;
+  EXPECT_NE(a.find("\\\"quoted\\\""), std::string::npos) << a;
+}
+
+TEST(FlightRecorder, FaultInjectedRunRecordsEventsInOrder) {
+  // Fail a disk mid-run: every LFS request that touches it answers with an
+  // error reply, and the RPC layer files one "rpc.error" flight event per
+  // reply.  The ring must contain those events in injection order.
+  auto cfg = SystemConfig::paper_profile(2, /*data_blocks_per_lfs=*/256);
+  // A tiny cache guarantees the early blocks are evicted by the time we read
+  // them back, so the reads must go to the (now failed) devices.
+  cfg.efs.cache.capacity_blocks = 4;
+  BridgeInstance inst(cfg);
+  inst.run_client("c", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("f").is_ok());
+    auto open = client.open("f");
+    ASSERT_TRUE(open.is_ok());
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      ASSERT_TRUE(client.seq_write(open.value().session, record(i)).is_ok());
+    }
+    inst.lfs(0).disk().fail();
+    inst.lfs(1).disk().fail();
+    for (std::uint64_t block : {0ull, 1ull, 2ull}) {
+      EXPECT_FALSE(client.random_read(open.value().meta.id, block).is_ok());
+    }
+  });
+  inst.run();
+
+  std::vector<obs::FlightEvent> errors;
+  std::uint64_t prev_seq = 0;
+  std::int64_t prev_ts = -1;
+  for (const obs::FlightEvent& ev : inst.runtime().flight().events()) {
+    EXPECT_GT(ev.seq, prev_seq) << "sequence must be strictly increasing";
+    EXPECT_GE(ev.ts_us, prev_ts) << "events must be in virtual-time order";
+    prev_seq = ev.seq;
+    prev_ts = ev.ts_us;
+    if (ev.kind == "rpc.error") errors.push_back(ev);
+  }
+  // One error reply per failed read from the LFS, plus the Bridge server
+  // relaying the failure back to the client.
+  ASSERT_GE(errors.size(), 3u);
+  for (const obs::FlightEvent& ev : errors) {
+    EXPECT_NE(ev.detail.find("disk failed"), std::string::npos) << ev.detail;
+  }
+}
+
+TEST(FlightRecorder, SloBreachMarksDumpWithOpEvents) {
+  auto cfg = SystemConfig::paper_profile(2, /*data_blocks_per_lfs=*/128);
+  BridgeInstance inst(cfg);
+  // Every paper-profile op takes well over 1us of virtual time, so the
+  // first completion breaches and requests the dump.
+  inst.runtime().stages().set_slo_us(1);
+  inst.run_client("c", [&](sim::Context&, BridgeClient& client) {
+    ASSERT_TRUE(client.create("f").is_ok());
+  });
+  inst.run();
+
+  const obs::FlightRecorder& flight = inst.runtime().flight();
+  EXPECT_TRUE(flight.dump_requested());
+  EXPECT_NE(flight.dump_reason().find("slo breach"), std::string::npos)
+      << flight.dump_reason();
+  std::string json = flight.json();
+  EXPECT_NE(json.find("\"op.begin\""), std::string::npos);
+  EXPECT_NE(json.find("\"op.end\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo.breach\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bridge::core

@@ -98,6 +98,114 @@ TEST(Histogram, SingleValuePercentileIsItsBucket) {
   }
 }
 
+TEST(Histogram, MergeMatchesRecordingTheUnion) {
+  // Percentile stability: merging per-server histograms must give the same
+  // estimates as one histogram that saw every sample — the property the
+  // cluster-level percentiles in metrics_summary_json and obs_report rely on.
+  Histogram a, b, direct;
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    a.record(v);
+    direct.record(v);
+  }
+  for (std::uint64_t v = 1000; v <= 1200; ++v) {
+    b.record(v * 7);
+    direct.record(v * 7);
+  }
+  Histogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.sum(), direct.sum());
+  EXPECT_EQ(merged.max(), direct.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(merged.percentile(q), direct.percentile(q)) << "q=" << q;
+  }
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(merged.bucket(i), direct.bucket(i)) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, MergeIsAssociativeAndOrderInsensitive) {
+  Histogram parts[3];
+  for (std::uint64_t v = 0; v < 64; ++v) parts[0].record(v * 3 + 1);
+  for (std::uint64_t v = 0; v < 64; ++v) parts[1].record(v * v + 17);
+  for (std::uint64_t v = 0; v < 64; ++v) parts[2].record(1ull << (v % 30));
+
+  Histogram left;   // (a + b) + c
+  left.merge(parts[0]);
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  Histogram right;  // a + (c + b), built in a different grouping and order
+  Histogram cb;
+  cb.merge(parts[2]);
+  cb.merge(parts[1]);
+  right.merge(parts[0]);
+  right.merge(cb);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.max(), right.max());
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(left.bucket(i), right.bucket(i)) << "bucket " << i;
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(left.percentile(q), right.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, FromBucketsRoundTripsSparseExport) {
+  Histogram h;
+  for (std::uint64_t v : {0ull, 3ull, 100ull, 12345ull, 1ull << 33}) {
+    h.record(v);
+    h.record(v);
+  }
+  // Export exactly what snapshot_json(true) carries: non-empty buckets,
+  // sum, max — then rebuild and compare every observable.
+  std::vector<std::pair<std::size_t, std::uint64_t>> sparse;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    if (h.bucket(i) > 0) sparse.emplace_back(i, h.bucket(i));
+  }
+  Histogram rebuilt = Histogram::from_buckets(sparse, h.sum(), h.max());
+  EXPECT_EQ(rebuilt.count(), h.count());
+  EXPECT_EQ(rebuilt.sum(), h.sum());
+  EXPECT_EQ(rebuilt.max(), h.max());
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(rebuilt.bucket(i), h.bucket(i)) << "bucket " << i;
+  }
+  for (double q : {0.1, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(rebuilt.percentile(q), h.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(MetricsRegistry, NeverSetGaugeIsSkippedInSnapshots) {
+  // Regression: registering a gauge must not make it appear in snapshots as
+  // a stale 0.0 — only set() makes it a measurement.  A real measured zero
+  // still shows up.
+  MetricsRegistry registry;
+  registry.gauge("never.set");
+  registry.gauge("measured.zero").set(0.0);
+  registry.gauge("measured.value").set(0.75);
+  std::string json = registry.snapshot_json();
+  EXPECT_EQ(json.find("never.set"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"measured.zero\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"measured.value\":0.75"), std::string::npos) << json;
+  // Both snapshot flavors apply the same hygiene.
+  std::string with_buckets = registry.snapshot_json(/*with_buckets=*/true);
+  EXPECT_EQ(with_buckets.find("never.set"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WithBucketsSnapshotCarriesSparseBuckets) {
+  MetricsRegistry registry;
+  registry.histogram("lat_us").record(100);
+  registry.histogram("lat_us").record(100);
+  std::string json = registry.snapshot_json(/*with_buckets=*/true);
+  std::string expected =
+      "\"buckets\":[[" + std::to_string(Histogram::bucket_index(100)) + ",2]]";
+  EXPECT_NE(json.find(expected), std::string::npos) << json;
+  // The plain snapshot stays compact.
+  EXPECT_EQ(registry.snapshot_json().find("\"buckets\""), std::string::npos);
+}
+
 TEST(MetricsRegistry, CreateOnUseAndFind) {
   MetricsRegistry registry;
   registry.counter("a.count").add(3);

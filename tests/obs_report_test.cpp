@@ -1,0 +1,149 @@
+// JSON reader + offline report tests: the parser round-trips exactly what
+// this repo's emitters produce, rejects malformed input with a position, and
+// render_report / render_trace_summary turn synthetic documents into the
+// expected tables.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs_json.hpp"
+#include "src/obs/report.hpp"
+
+namespace bridge::obs {
+namespace {
+
+TEST(JsonParser, ParsesScalarsArraysAndNestedObjects) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(
+                  R"({"a":1.5,"b":"text","c":[1,2,3],"d":{"e":true,"f":null}})",
+                  v)
+                  .is_ok());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("a")->num_or(0), 1.5);
+  EXPECT_EQ(v.find("b")->string, "text");
+  ASSERT_TRUE(v.find("c")->is_array());
+  EXPECT_EQ(v.find("c")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("c")->array[2].num_or(0), 3.0);
+  const JsonValue* e = v.find_path({"d", "e"});
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->boolean);
+  EXPECT_TRUE(v.find_path({"d", "f"})->is_null());
+  EXPECT_EQ(v.find_path({"d", "missing"}), nullptr);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, MemberOrderIsPreserved) {
+  // The emitters write deterministically ordered members; the parser must
+  // not re-sort them (vector of pairs, not a map).
+  JsonValue v;
+  ASSERT_TRUE(parse_json(R"({"z":1,"a":2,"m":3})", v).is_ok());
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "z");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "m");
+}
+
+TEST(JsonParser, DecodesEscapesIncludingUnicode) {
+  JsonValue v;
+  const char* text = "[\"quote \\\" slash \\\\ nl \\n u \\u0041 \\u00e9\"]";
+  ASSERT_TRUE(parse_json(text, v).is_ok());
+  // \u0041 = 'A'; \u00e9 = e-acute, folded to UTF-8.
+  EXPECT_EQ(v.array[0].string, "quote \" slash \\ nl \n u A \xC3\xA9");
+}
+
+TEST(JsonParser, RoundTripsOurOwnEmitters) {
+  MetricsRegistry registry;
+  registry.counter("c.x").add(42);
+  registry.gauge("g.y").set(0.25);
+  registry.histogram("h.z").record(100);
+  registry.histogram("h.z").record(12345);
+  std::string snapshot = registry.snapshot_json(/*with_buckets=*/true);
+  JsonValue v;
+  ASSERT_TRUE(parse_json(snapshot, v).is_ok()) << snapshot;
+  EXPECT_DOUBLE_EQ(v.find_path({"counters", "c.x"})->num_or(0), 42.0);
+  EXPECT_DOUBLE_EQ(v.find_path({"gauges", "g.y"})->num_or(0), 0.25);
+  const JsonValue* h = v.find_path({"histograms", "h.z"});
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->num_or(0), 2.0);
+  ASSERT_TRUE(h->find("buckets")->is_array());
+  EXPECT_EQ(h->find("buckets")->array.size(), 2u);
+}
+
+TEST(JsonParser, MalformedInputFailsWithAnOffset) {
+  JsonValue v;
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "tru", "\"open", "1 2"}) {
+    auto st = parse_json(bad, v);
+    EXPECT_FALSE(st.is_ok()) << bad;
+    EXPECT_NE(st.to_string().find("offset"), std::string::npos) << bad;
+  }
+}
+
+/// A tiny synthetic obs document: two disks (n1 much busier), one LFS and
+/// one bridge layer, op breakdowns whose added time is in disk positioning.
+std::string synthetic_doc() {
+  return R"({"schema":"bridge.obs.v1","elapsed_us":1000000,
+    "metrics":{
+      "counters":{"disk.n0.busy_us":100000,"disk.n1.busy_us":800000,
+                  "net.remote_messages":10},
+      "gauges":{"disk.n0.utilization":0.1,"disk.n1.utilization":0.8},
+      "histograms":{
+        "lfs.n1.service_us":{"count":4,"sum_us":850000,"p50_us":1,"p95_us":1,
+          "p99_us":1,"max_us":1,"buckets":[[1,4]]},
+        "bridge.n2.service_us":{"count":4,"sum_us":900000,"p50_us":1,
+          "p95_us":1,"p99_us":1,"max_us":1,"buckets":[[1,4]]},
+        "rpc.n2.wait_us":{"count":4,"sum_us":880000,"p50_us":1,"p95_us":1,
+          "p99_us":1,"max_us":1,"buckets":[[1,4]]},
+        "op.Read.total_us":{"count":4,"sum_us":900000,"p50_us":1,"p95_us":1,
+          "p99_us":1,"max_us":1,"buckets":[[1,4]]},
+        "op.Read.disk_pos_us":{"count":4,"sum_us":700000,"p50_us":1,
+          "p95_us":1,"p99_us":1,"max_us":1,"buckets":[[1,4]]}
+      }},
+    "top_requests":[{"request_id":9,"op":"Read","start_us":5,
+      "total_us":400000,"stages":{"disk_pos":350000}}],
+    "timeseries":null,
+    "flight":{"capacity":4,"recorded":0,"dropped":0,"dump_requested":false,
+      "dump_reason":"","events":[]}})";
+}
+
+TEST(Report, NamesTheBusiestComponentAndRendersStages) {
+  JsonValue doc;
+  ASSERT_TRUE(parse_json(synthetic_doc(), doc).is_ok());
+  std::string report = render_report(doc, ReportOptions{});
+  // disk.n1 has the highest exclusive busy share: 0.8 vs the LFS's
+  // (850000-800000)/1e6 and the bridge's (900000-880000)/1e6.
+  EXPECT_NE(report.find("top saturated component: disk.n1"),
+            std::string::npos)
+      << report;
+  // The stage table shows disk_pos dominating.
+  EXPECT_NE(report.find("disk_pos"), std::string::npos);
+  EXPECT_NE(report.find("#9"), std::string::npos);
+  EXPECT_NE(report.find("disk_pos=350000"), std::string::npos);
+  // Deterministic rendering.
+  EXPECT_EQ(report, render_report(doc, ReportOptions{}));
+}
+
+TEST(Report, TraceSummaryAggregatesSpans) {
+  JsonValue doc;
+  ASSERT_TRUE(parse_json(
+                  R"([{"ph":"M","name":"process_name"},
+                      {"ph":"X","name":"disk.read","ts":10,"dur":50,
+                       "pid":0,"tid":1},
+                      {"ph":"X","name":"disk.read","ts":100,"dur":150,
+                       "pid":0,"tid":1},
+                      {"ph":"X","name":"rpc.call","ts":5,"dur":400,
+                       "pid":1,"tid":2}])",
+                  doc)
+                  .is_ok());
+  std::string summary = render_trace_summary(doc, ReportOptions{});
+  EXPECT_NE(summary.find("spans: 3 across 2 lanes"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("disk.read"), std::string::npos);
+  // Longest first: the 400us rpc.call.
+  std::size_t longest = summary.find("longest spans:");
+  ASSERT_NE(longest, std::string::npos);
+  EXPECT_LT(summary.find("rpc.call", longest), summary.find("disk.read", longest));
+}
+
+}  // namespace
+}  // namespace bridge::obs

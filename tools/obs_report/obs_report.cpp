@@ -1,0 +1,80 @@
+// obs_report: offline bottleneck analysis over Bridge observability
+// artifacts.
+//
+//   obs_report --obs=<file>    analyze a bridge.obs.v1 document
+//                              (BridgeInstance::obs_json, bench --obs=...)
+//   obs_report --trace=<file>  digest a Chrome trace (bench --trace=...)
+//   obs_report --top=N         slowest requests / longest spans to print
+//
+// Either or both inputs may be given.  Output is deterministic: a
+// byte-identical artifact yields a byte-identical report, so CI can diff
+// reports from two same-seed runs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs_json.hpp"
+#include "src/obs/report.hpp"
+
+namespace {
+
+std::string flag_string(int argc, char** argv, const std::string& name) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(f);
+  return true;
+}
+
+int analyze(const std::string& path, bool is_trace,
+            const bridge::obs::ReportOptions& opts) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "obs_report: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  bridge::obs::JsonValue doc;
+  if (auto st = bridge::obs::parse_json(text, doc); !st.is_ok()) {
+    std::fprintf(stderr, "obs_report: %s: %s\n", path.c_str(),
+                 st.to_string().c_str());
+    return 1;
+  }
+  std::string report = is_trace
+                           ? bridge::obs::render_trace_summary(doc, opts)
+                           : bridge::obs::render_report(doc, opts);
+  std::fwrite(report.data(), 1, report.size(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string obs_path = flag_string(argc, argv, "obs");
+  std::string trace_path = flag_string(argc, argv, "trace");
+  if (obs_path.empty() && trace_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_report --obs=<file> [--trace=<file>] [--top=N]\n");
+    return 2;
+  }
+  bridge::obs::ReportOptions opts;
+  std::string top = flag_string(argc, argv, "top");
+  if (!top.empty()) opts.top_k = std::strtoull(top.c_str(), nullptr, 10);
+  int rc = 0;
+  if (!obs_path.empty()) rc |= analyze(obs_path, /*is_trace=*/false, opts);
+  if (!trace_path.empty()) rc |= analyze(trace_path, /*is_trace=*/true, opts);
+  return rc;
+}
