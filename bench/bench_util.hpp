@@ -3,6 +3,7 @@
 // the simulated measurements so the shape comparison is immediate.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -13,6 +14,7 @@
 
 #include "src/core/instance.hpp"
 #include "src/sim/rng.hpp"
+#include "src/sim/scheduler.hpp"
 #include "src/tools/sort/sort_common.hpp"
 #include "src/util/serde.hpp"
 
@@ -88,7 +90,17 @@ inline void print_header(const char* title) {
 /// script collect every bench of a sweep into one BENCH_results.json.
 class JsonReporter {
  public:
-  JsonReporter(int argc, char** argv) : path_(flag_string(argc, argv, "json")) {}
+  // Harness-cost clock for the wall_ms field below.  Wall time is the one
+  // thing here that is MEANT to vary between hosts and backends — it
+  // measures the simulator, not the simulation — and it never feeds any
+  // virtual-time result.
+  // NOLINT(bridge-wall-clock): wall_ms reports harness cost, not sim results
+  using WallClock = std::chrono::steady_clock;
+
+  JsonReporter(int argc, char** argv)
+      : path_(flag_string(argc, argv, "json")),
+        row_wall_start_(WallClock::now()),
+        row_events_start_(sim::Scheduler::lifetime_events_dispatched()) {}
 
   [[nodiscard]] bool active() const noexcept { return !path_.empty(); }
 
@@ -98,6 +110,13 @@ class JsonReporter {
   /// BridgeInstance::metrics_summary_json) and is appended as "metrics".
   /// `timeseries_json`, when non-empty, is a complete JSON value (from
   /// ObsOptions::timeseries_json) appended as "timeseries".
+  ///
+  /// Every row also carries two harness-cost fields, measured since the
+  /// previous emit (or construction): "wall_ms", the host wall-clock time
+  /// spent producing this row, and "events_executed", scheduler events
+  /// dispatched in that window (Scheduler::lifetime_events_dispatched
+  /// deltas).  These track simulator overhead — they are the only
+  /// nondeterministic fields in BENCH_results.json.
   void emit(const std::string& bench,
             std::initializer_list<std::pair<const char*, double>> fields,
             const std::string& metrics_json = "",
@@ -108,6 +127,14 @@ class JsonReporter {
       std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
       return;
     }
+    WallClock::time_point wall_now = WallClock::now();
+    std::uint64_t events_now = sim::Scheduler::lifetime_events_dispatched();
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(wall_now - row_wall_start_)
+            .count();
+    std::uint64_t events = events_now - row_events_start_;
+    row_wall_start_ = wall_now;
+    row_events_start_ = events_now;
     std::fprintf(f, "{\"bench\":\"%s\"", bench.c_str());
     for (const auto& [key, value] : fields) {
       if (std::isfinite(value)) {
@@ -116,6 +143,8 @@ class JsonReporter {
         std::fprintf(f, ",\"%s\":null", key);
       }
     }
+    std::fprintf(f, ",\"wall_ms\":%.3f,\"events_executed\":%llu", wall_ms,
+                 static_cast<unsigned long long>(events));
     if (!metrics_json.empty()) {
       std::fprintf(f, ",\"metrics\":%s", metrics_json.c_str());
     }
@@ -128,6 +157,8 @@ class JsonReporter {
 
  private:
   std::string path_;
+  WallClock::time_point row_wall_start_;
+  std::uint64_t row_events_start_;
 };
 
 /// The shared observability flags every bench accepts:

@@ -64,6 +64,9 @@ int main(int argc, char** argv) {
   std::uint64_t records = flag_value(argc, argv, "records", 4096);
   auto c = static_cast<std::uint32_t>(
       flag_value(argc, argv, "in-core", records / 20 + 16));
+  // --max-p caps the processor sweep (CI perf-smoke runs p<=16 so the
+  // threads-backend A/B pass stays fast); default covers the full figure.
+  auto max_p = static_cast<std::uint32_t>(flag_value(argc, argv, "max-p", 64));
   JsonReporter json(argc, argv);
   ObsOptions trace(argc, argv);
 
@@ -76,7 +79,8 @@ int main(int argc, char** argv) {
               "speedup", "(model)");
   std::printf("-----+------------+------------+----------------------\n");
   double copy_base = 0, copy_model_base = 0;
-  for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
+  for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    if (p > max_p) break;
     std::string metrics;
     double sec = run_copy(p, records, trace, metrics);
     double model_sec = bridge::core::predicted_copy_seconds(records, p, model);
@@ -106,7 +110,8 @@ int main(int argc, char** argv) {
               "speedup", "(model)");
   std::printf("-----+------------+------------+----------------------\n");
   double sort_base = 0, sort_model_base = 0;
-  for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u}) {
+  for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    if (p > max_p) break;
     std::string metrics;
     double sec = run_sort(p, records, c, trace, metrics);
     // hinted_reads = true: model the layout-v2 extent map (no chain walk).

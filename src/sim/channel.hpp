@@ -9,12 +9,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "src/sim/scheduler.hpp"
 #include "src/sim/time.hpp"
+#include "src/sim/timed_queue.hpp"
 
 namespace bridge::sim {
 
@@ -74,7 +74,7 @@ class Channel {
     Process* self = sched_.current();
     while (true) {
       if (!items_.empty() && items_.top().at <= sched_.now()) {
-        T value = std::move(const_cast<Item&>(items_.top()).value);
+        T value = std::move(items_.top().value);
         sched_.race_on_recv_locked(items_.top().race_token);
         items_.pop();
         return value;
@@ -99,7 +99,7 @@ class Channel {
     SimTime deadline = sched_.now() + timeout;
     while (true) {
       if (!items_.empty() && items_.top().at <= sched_.now()) {
-        T value = std::move(const_cast<Item&>(items_.top()).value);
+        T value = std::move(items_.top().value);
         sched_.race_on_recv_locked(items_.top().race_token);
         items_.pop();
         return value;
@@ -121,7 +121,7 @@ class Channel {
   std::optional<T> try_recv() {
     auto lock = sched_.lock();
     if (!items_.empty() && items_.top().at <= sched_.now()) {
-      T value = std::move(const_cast<Item&>(items_.top()).value);
+      T value = std::move(items_.top().value);
       sched_.race_on_recv_locked(items_.top().race_token);
       items_.pop();
       return value;
@@ -142,12 +142,6 @@ class Channel {
     T value;
     std::uint64_t race_token = 0;  ///< sender clock snapshot (0 = none)
   };
-  struct ItemLater {
-    bool operator()(const Item& a, const Item& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
 
   void remove_waiter(Process* self) {
     for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
@@ -160,7 +154,7 @@ class Channel {
 
   Scheduler& sched_;
   NodeId node_;
-  std::priority_queue<Item, std::vector<Item>, ItemLater> items_;
+  TimedMinQueue<Item> items_;
   std::vector<Process*> waiters_;
   std::unordered_map<ProcessId, SimTime> last_delivery_;  ///< per-sender FIFO
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,109 @@
+// Stackful-fiber primitives for the simulation's fiber execution backend:
+// a minimal context-switch abstraction and a pool of lazily-grown, guarded
+// stacks.
+//
+// The switch itself is hand-rolled assembly on x86-64 (fiber_switch.S): it
+// saves exactly the callee-saved register state the System V ABI requires
+// and nothing else.  glibc's swapcontext(3) would additionally save and
+// restore the signal mask — one or two rt_sigprocmask syscalls per switch,
+// i.e. per simulated event — which is most of the overhead the fiber
+// backend exists to remove.  Other architectures fall back to ucontext,
+// trading those syscalls for portability.
+//
+// Stacks are mmap'd with a PROT_NONE guard page below the usable region, so
+// an overflowing simulated process faults loudly instead of corrupting a
+// neighbour, and are recycled through a free list: a 10k-process churn
+// allocates only as many stacks as were ever concurrently live.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if !defined(__x86_64__)
+#define BRIDGE_FIBER_UCONTEXT 1
+#include <ucontext.h>
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define BRIDGE_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BRIDGE_ASAN_FIBERS 1
+#endif
+#endif
+
+namespace bridge::sim {
+
+/// One execution context (the controller's or a fiber's).  Trivially small:
+/// on the assembly path it is just the parked stack pointer.
+class FiberContext {
+ public:
+  /// Seed a fresh context on [stack_base, stack_base + size) so that the
+  /// first switch into it calls bridge_fiber_entry(arg) — which must never
+  /// return through the context (it hand-switches away instead).
+  void init(void* stack_base, std::size_t size, void* arg);
+
+  /// Suspend `from` (the currently executing context) and resume `to`.
+  /// Returns when something later switches back into `from`.
+  static void switch_between(FiberContext& from, FiberContext& to);
+
+ private:
+#if defined(BRIDGE_FIBER_UCONTEXT)
+  ucontext_t ctx_{};
+#else
+  void* sp_ = nullptr;
+#endif
+};
+
+/// A guarded stack: `map_size` bytes of mapping whose lowest `guard_size`
+/// bytes are PROT_NONE.
+struct FiberStack {
+  std::byte* map_base = nullptr;
+  std::size_t map_size = 0;
+  std::size_t guard_size = 0;
+
+  [[nodiscard]] std::byte* usable_base() const noexcept {
+    return map_base + guard_size;
+  }
+  [[nodiscard]] std::size_t usable_size() const noexcept {
+    return map_size - guard_size;
+  }
+  [[nodiscard]] bool valid() const noexcept { return map_base != nullptr; }
+};
+
+/// Free-list pool of identically-sized guarded stacks.
+class FiberStackPool {
+ public:
+  /// `stack_bytes` is the usable size (rounded up to whole pages);
+  /// `guard_pages` pages of PROT_NONE sit below every stack.
+  FiberStackPool(std::size_t stack_bytes, std::size_t guard_pages);
+  ~FiberStackPool();
+
+  FiberStackPool(const FiberStackPool&) = delete;
+  FiberStackPool& operator=(const FiberStackPool&) = delete;
+
+  /// Pop a recycled stack or mmap a new one.  Throws std::runtime_error if
+  /// the kernel refuses the mapping.
+  FiberStack acquire();
+  /// Return a stack to the free list for reuse.
+  void release(FiberStack stack);
+
+  [[nodiscard]] std::uint64_t stacks_allocated() const noexcept {
+    return allocated_;
+  }
+  [[nodiscard]] std::uint64_t stacks_reused() const noexcept { return reused_; }
+  [[nodiscard]] std::uint64_t live_peak() const noexcept { return live_peak_; }
+  [[nodiscard]] std::size_t stack_bytes() const noexcept { return stack_bytes_; }
+
+ private:
+  std::size_t stack_bytes_;
+  std::size_t guard_bytes_;
+  std::vector<FiberStack> free_;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t live_peak_ = 0;
+};
+
+}  // namespace bridge::sim

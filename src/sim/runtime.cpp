@@ -27,7 +27,7 @@ void Runtime::enable_timeseries(std::int64_t interval_us,
                                 std::size_t capacity) {
   if (obs::globally_disabled() || interval_us <= 0) return;
   timeseries_.configure(interval_us, capacity);
-  // The observer runs inside Scheduler::run with the lock held; the sampler
+  // The observer runs inside Scheduler::run's dispatch loop; the sampler
   // only reads probe callbacks over plain state, which is safe because no
   // simulated process runs concurrently with the dispatch loop.
   obs::TimeSeriesSampler* sampler = &timeseries_;

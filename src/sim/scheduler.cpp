@@ -1,17 +1,30 @@
 #include "src/sim/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/analysis/race.hpp"
+#include "src/sim/exec_backend.hpp"
 #include "src/util/logging.hpp"
 
 namespace bridge::sim {
 
+namespace detail {
+thread_local Process* t_current_process = nullptr;
+}  // namespace detail
+
 namespace {
 /// Thrown into a parked process when the scheduler is torn down so its stack
-/// unwinds and its thread can be joined.  Never escapes process_main.
+/// unwinds and its execution resource can be reclaimed.  Never escapes
+/// run_process_body.
 struct ProcessKilled {};
+
+/// Events dispatched by every scheduler this process ever created; benches
+/// read deltas of this to report events/sec next to wall-clock numbers.
+std::atomic<std::uint64_t> g_lifetime_events{0};
 }  // namespace
 
 std::string SimTime::to_string() const {
@@ -33,29 +46,48 @@ Process::Process(Scheduler& sched, ProcessId id, NodeId node, std::string name)
 
 Process::~Process() = default;
 
-Scheduler::Scheduler() = default;
+Scheduler::Scheduler() {
+  const char* env = std::getenv("BRIDGE_SIM_BACKEND");
+  if (env != nullptr && std::strcmp(env, "threads") == 0) {
+    backend_ = std::make_unique<ThreadBackend>(*this);
+  } else {
+    backend_ = std::make_unique<FiberBackend>(*this);
+  }
+  lock_needed_ = backend_->needs_lock();
+  events_.reserve(64);
+}
 
 Scheduler::~Scheduler() {
   // Unwind any process that never finished (daemon servers, parked waiters).
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    auto guard = lock();
     draining_ = true;
-    for (auto& p : processes_) {
-      p->cv_.notify_all();
-    }
   }
-  for (auto& p : processes_) {
-    if (p->thread_.joinable()) p->thread_.join();
-  }
+  backend_->teardown();
+  flush_lifetime_events();
+}
+
+const char* Scheduler::backend_name() const noexcept {
+  return backend_->name();
+}
+
+std::uint64_t Scheduler::lifetime_events_dispatched() noexcept {
+  return g_lifetime_events.load(std::memory_order_relaxed);
+}
+
+void Scheduler::flush_lifetime_events() noexcept {
+  g_lifetime_events.fetch_add(stats_.events_dispatched - lifetime_flushed_,
+                              std::memory_order_relaxed);
+  lifetime_flushed_ = stats_.events_dispatched;
 }
 
 ProcessHandle Scheduler::spawn(NodeId node, std::string name,
                                std::function<void()> fn, SimTime delay) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  auto guard = lock();
   auto proc = std::make_unique<Process>(*this, next_pid_++, node, std::move(name));
   Process* p = proc.get();
   p->body_ = std::move(fn);
-  p->thread_ = std::thread([this, p] { process_main(*p); });
+  backend_->start(*p);
   events_.push(Event{clock_ + delay, next_seq_++, p, /*epoch=*/0, /*is_start=*/true});
   processes_.push_back(std::move(proc));
   ++stats_.processes_spawned;
@@ -66,39 +98,28 @@ ProcessHandle Scheduler::spawn(NodeId node, std::string name,
   return ProcessHandle(p);
 }
 
-std::string Scheduler::log_context(void* process) {
-  auto* p = static_cast<Process*>(process);
-  return "[t=" + p->sched_.now().to_string() + " n" +
-         std::to_string(p->node_) + "/" + p->name_ + "]";
+std::string Scheduler::log_context_tls(void* /*unused*/) {
+  Process* p = detail::t_current_process;
+  if (p == nullptr) return {};
+  // log_now_ was snapshotted by the controller at dispatch, so this reads no
+  // live scheduler state: safe from any thread, any backend, no lock.
+  return "[t=" + p->log_now_.to_string() + " n" + std::to_string(p->node_) +
+         "/" + p->name_ + "]";
 }
 
-void Scheduler::process_main(Process& p) {
-  {
-    // Wait for the first dispatch (or teardown).
-    std::unique_lock<std::mutex> lock(mutex_);
-    p.cv_.wait(lock, [this, &p] { return current_ == &p || draining_; });
-    if (draining_ && current_ != &p) {
-      p.state_ = Process::State::kFinished;
-      return;
-    }
-    p.state_ = Process::State::kRunning;
-  }
+void Scheduler::run_process_body(Process& p) {
+  detail::t_current_process = &p;
   // Any log_line from this process carries its virtual time + node id.
-  util::set_thread_log_context(&Scheduler::log_context, &p);
+  util::set_thread_log_context(&Scheduler::log_context_tls, nullptr);
   try {
     p.body_();
   } catch (const ProcessKilled&) {
-    // Teardown: fall through to the finish block.
+    // Teardown: fall through to the finish handoff.
   } catch (const std::exception& e) {
     util::LogMessage(util::LogLevel::kError, "sim")
         << "process '" << p.name_ << "' died: " << e.what();
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  p.state_ = Process::State::kFinished;
-  if (current_ == &p) {
-    current_ = nullptr;
-    controller_cv_.notify_one();
-  }
+  backend_->finish(p);  // fibers: never returns; threads: thread exits after
 }
 
 void Scheduler::schedule_wake_locked(Process& p, SimTime when) {
@@ -107,24 +128,23 @@ void Scheduler::schedule_wake_locked(Process& p, SimTime when) {
   ++stats_.wakes_scheduled;
 }
 
-void Scheduler::park_current(std::unique_lock<std::mutex>& lock) {
+void Scheduler::park_current(Guard& guard) {
   Process* self = current_;
   self->state_ = Process::State::kParked;
   current_ = nullptr;
-  controller_cv_.notify_one();
-  self->cv_.wait(lock, [this, self] { return current_ == self || draining_; });
+  backend_->yield(*self, guard);
   if (draining_ && current_ != self) throw ProcessKilled{};
   self->state_ = Process::State::kRunning;
   ++self->epoch_;  // stale any other pending wakes aimed at the old park
 }
 
 void Scheduler::sleep_until(SimTime when) {
-  auto lock = this->lock();
+  auto guard = this->lock();
   schedule_wake_locked(*current_, when);
-  park_current(lock);
+  park_current(guard);
 }
 
-void Scheduler::dispatch(const Event& ev, std::unique_lock<std::mutex>& lock) {
+void Scheduler::dispatch(const Event& ev, Guard& guard) {
   Process* p = ev.process;
   if (ev.is_start) {
     if (p->state_ != Process::State::kCreated) return;
@@ -135,20 +155,20 @@ void Scheduler::dispatch(const Event& ev, std::unique_lock<std::mutex>& lock) {
     }
   }
   ++stats_.events_dispatched;
+  p->log_now_ = clock_;  // snapshot for the lock-free log-context provider
   current_ = p;
-  p->cv_.notify_one();
-  controller_cv_.wait(lock, [this] { return current_ == nullptr; });
+  backend_->resume(*p, guard);
 }
 
 void Scheduler::run() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  auto guard = lock();
   while (!events_.empty()) {
     Event ev = events_.top();
     events_.pop();
     SimTime before = clock_;
-    clock_ = std::max(clock_, ev.time);
+    clock_ = std::max(clock_, ev.at);
     if (time_observer_ && clock_ > before) time_observer_(clock_);
-    dispatch(ev, lock);
+    dispatch(ev, guard);
   }
   deadlocked_ = false;
   for (auto& p : processes_) {
@@ -159,20 +179,18 @@ void Scheduler::run() {
     // spawns afterwards) is causally after every process's history.
     race_->on_quiescence();
   }
+  flush_lifetime_events();
 }
 
-std::uint64_t Scheduler::race_on_send_locked() {
-  if (race_ == nullptr) return 0;
+std::uint64_t Scheduler::race_send_slow() {
   return race_->on_send(current_ == nullptr ? 0 : current_->id());
 }
 
-void Scheduler::race_on_recv_locked(std::uint64_t token) {
-  if (race_ == nullptr || token == 0) return;
+void Scheduler::race_recv_slow(std::uint64_t token) {
   race_->on_recv(current_ == nullptr ? 0 : current_->id(), token);
 }
 
-void Scheduler::race_on_drop_locked(std::uint64_t token) {
-  if (race_ == nullptr || token == 0) return;
+void Scheduler::race_drop_slow(std::uint64_t token) {
   race_->drop_token(token);
 }
 

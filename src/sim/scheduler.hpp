@@ -1,11 +1,27 @@
-// Deterministic discrete-event scheduler with thread-backed processes.
+// Deterministic discrete-event scheduler with pluggable process execution.
 //
-// Each simulated process runs on its own OS thread but the scheduler admits
-// exactly ONE process at a time, resuming them in (virtual time, sequence)
-// order.  Process code is therefore written in plain blocking style
-// (sleep / recv / rpc-call) yet the whole simulation is deterministic: two
-// runs with the same seed produce identical event orders and identical
-// virtual timings.
+// The scheduler admits exactly ONE simulated process at a time, resuming them
+// in (virtual time, sequence) order.  Process code is therefore written in
+// plain blocking style (sleep / recv / rpc-call) yet the whole simulation is
+// deterministic: two runs with the same seed produce identical event orders
+// and identical virtual timings.
+//
+// HOW a suspended process holds its stack is an ExecutionBackend detail
+// (exec_backend.hpp), selected by BRIDGE_SIM_BACKEND at Scheduler
+// construction:
+//
+//   fibers (default)  Every process is a stackful fiber on the controller
+//                     thread; suspension is a user-space context switch into
+//                     a pooled, guard-paged stack (fiber.hpp).  No kernel
+//                     involvement per event, no scheduler lock needed.
+//   threads           Every process owns an OS thread; suspension is a
+//                     mutex + condition-variable ping-pong.  ~two orders of
+//                     magnitude slower per event, but every process is a real
+//                     thread that gdb, perf and sanitizers understand
+//                     natively — the debugging fallback.
+//
+// Event order is backend-independent, so same-seed traces are byte-identical
+// across backends (tests/sim_backend_test.cpp enforces this).
 //
 // Parking protocol: a process parks for exactly one reason at a time (sleep
 // expiry or a channel/mailbox wait).  Every park is tagged with the process's
@@ -19,12 +35,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/sim/fiber.hpp"
 #include "src/sim/time.hpp"
+#include "src/sim/timed_queue.hpp"
 
 namespace bridge::analysis {
 class RaceDetector;
@@ -33,6 +50,9 @@ class RaceDetector;
 namespace bridge::sim {
 
 class Scheduler;
+class ExecutionBackend;
+class ThreadBackend;
+class FiberBackend;
 
 using NodeId = std::uint32_t;
 using ProcessId = std::uint64_t;
@@ -60,6 +80,8 @@ class Process {
 
  private:
   friend class Scheduler;
+  friend class ThreadBackend;
+  friend class FiberBackend;
 
   enum class State : std::uint8_t { kCreated, kParked, kRunning, kFinished };
 
@@ -70,9 +92,17 @@ class Process {
   State state_ = State::kCreated;
   bool daemon_ = false;
   std::uint64_t epoch_ = 0;  ///< incremented on every resume; stales old wakes
+  SimTime log_now_{0};       ///< virtual clock snapshotted at dispatch, read
+                             ///< by the log-context provider without a lock
   std::function<void()> body_;
+  // Threads-backend state: the process's OS thread and its wake signal.
   std::thread thread_;
   std::condition_variable cv_;
+  // Fibers-backend state: the suspended context and its pooled stack
+  // (acquired lazily at first dispatch, returned to the pool on finish).
+  FiberContext ctx_;
+  FiberStack stack_;
+  void* asan_fake_stack_ = nullptr;  ///< ASan fiber-switch bookkeeping
 };
 
 /// Opaque reference to a spawned process.
@@ -99,7 +129,19 @@ struct SchedulerStats {
   std::uint64_t processes_spawned = 0;
   std::uint64_t wakes_scheduled = 0;
   std::uint64_t stale_wakes_skipped = 0;
+  // Fiber-backend stack pool (all zero on the threads backend).
+  std::uint64_t fiber_stacks_allocated = 0;  ///< fresh mmaps
+  std::uint64_t fiber_stacks_reused = 0;     ///< free-list hits
+  std::uint64_t fiber_stack_live_peak = 0;   ///< max stacks in use at once
 };
+
+namespace detail {
+/// The process whose body is executing on this OS thread (nullptr on a
+/// controller thread between dispatches).  On the fiber backend everything
+/// runs on the controller thread, so the backend updates this at every
+/// context switch; on the threads backend each process thread sets it once.
+extern thread_local Process* t_current_process;
+}  // namespace detail
 
 /// The discrete-event core.  Not thread-safe for external callers: spawn and
 /// run from one controlling thread; process bodies use Context.
@@ -110,6 +152,27 @@ class Scheduler {
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Scope guard for the simulation's internal state.  On the threads
+  /// backend it owns the scheduler mutex (process threads and the controller
+  /// genuinely race on the event queue); on the fiber backend every process
+  /// shares the controller thread, so the guard is a no-op and the hot path
+  /// pays nothing for mutual exclusion.
+  class [[nodiscard]] Guard {
+   public:
+    Guard(Guard&&) = default;
+    Guard& operator=(Guard&&) = default;
+
+   private:
+    friend class Scheduler;
+    friend class ThreadBackend;
+    explicit Guard(Scheduler& sched) {
+      if (sched.lock_needed_) {
+        lock_ = std::unique_lock<std::mutex>(sched.mutex_);
+      }
+    }
+    std::unique_lock<std::mutex> lock_;
+  };
 
   /// Create a process pinned to `node` whose body is `fn`.  It starts when
   /// run() reaches the current virtual time (plus `delay`).
@@ -129,11 +192,20 @@ class Scheduler {
   [[nodiscard]] SimTime now() const noexcept { return clock_; }
   [[nodiscard]] const SchedulerStats& stats() const noexcept { return stats_; }
 
-  /// Install a passive clock hook: called from run() (with the scheduler
-  /// lock held) every time the virtual clock moves forward, with the new
-  /// time.  The observer must only read plain memory — no scheduler calls,
-  /// no blocking.  Used by obs::TimeSeriesSampler; one observer at a time
-  /// (nullptr-ish empty function removes it).
+  /// Which execution backend this scheduler was built with ("fibers" or
+  /// "threads"); decided once at construction from BRIDGE_SIM_BACKEND.
+  [[nodiscard]] const char* backend_name() const noexcept;
+
+  /// Total events dispatched by every Scheduler this process has created
+  /// (monotonic, across scheduler lifetimes).  Benchmarks use the delta to
+  /// report harness events/sec next to wall-clock time.
+  [[nodiscard]] static std::uint64_t lifetime_events_dispatched() noexcept;
+
+  /// Install a passive clock hook: called from run()'s dispatch loop every
+  /// time the virtual clock moves forward, with the new time.  The observer
+  /// must only read plain memory — no scheduler calls, no blocking.  Used by
+  /// obs::TimeSeriesSampler; one observer at a time (nullptr-ish empty
+  /// function removes it).
   void set_time_observer(std::function<void(SimTime)> observer) {
     time_observer_ = std::move(observer);
   }
@@ -144,19 +216,18 @@ class Scheduler {
   /// Block the current process until `when`, then resume it.
   void sleep_until(SimTime when);
   /// Park the current process with no scheduled wake; some other agent must
-  /// call schedule_wake first (same lock scope) or later.
-  void park_current(std::unique_lock<std::mutex>& lock);
+  /// call schedule_wake first (same guard scope) or later.
+  void park_current(Guard& guard);
   /// Schedule a wake for `p` at `when` targeting its current epoch.
-  /// Call with the scheduler lock held (lock()).
+  /// Call with the scheduler guard held (lock()).
   void schedule_wake_locked(Process& p, SimTime when);
   /// The currently running process (nullptr if called from the controller).
   [[nodiscard]] Process* current() const noexcept { return current_; }
 
-  /// The big simulation lock; channel/mailbox implementations take it while
-  /// manipulating queues and parking.
-  [[nodiscard]] std::unique_lock<std::mutex> lock() {
-    return std::unique_lock<std::mutex>(mutex_);
-  }
+  /// The simulation guard; channel/mailbox implementations take it while
+  /// manipulating queues and parking.  A real mutex only on the threads
+  /// backend — see Guard.
+  [[nodiscard]] Guard lock() { return Guard(*this); }
 
   // --- Race-detector plumbing (see src/analysis/race.hpp). ---
 
@@ -170,50 +241,67 @@ class Scheduler {
   }
 
   /// Channel send/recv edge hooks.  Both must be called with the scheduler
-  /// lock held (channels already hold it while manipulating their queues).
+  /// guard held (channels already hold it while manipulating their queues).
   /// on_send snapshots the current process's vector clock and returns a
   /// token stored on the in-flight item (0 when the detector is off);
-  /// on_recv joins that snapshot into the receiver's clock.
-  [[nodiscard]] std::uint64_t race_on_send_locked();
-  void race_on_recv_locked(std::uint64_t token);
+  /// on_recv joins that snapshot into the receiver's clock.  The nullptr
+  /// check is inline so a disabled detector costs one predictable branch on
+  /// the send/recv hot paths.
+  [[nodiscard]] std::uint64_t race_on_send_locked() {
+    return race_ == nullptr ? 0 : race_send_slow();
+  }
+  void race_on_recv_locked(std::uint64_t token) {
+    if (race_ != nullptr && token != 0) race_recv_slow(token);
+  }
   /// An in-flight item is being dropped without delivery (its channel is
   /// being destroyed): release the clock snapshot held for `token` so
   /// abandoned fire-and-forget channels do not leak detector state.
-  void race_on_drop_locked(std::uint64_t token);
+  void race_on_drop_locked(std::uint64_t token) {
+    if (race_ != nullptr && token != 0) race_drop_slow(token);
+  }
 
  private:
+  friend class ThreadBackend;
+  friend class FiberBackend;
+
   struct Event {
-    SimTime time;
+    SimTime at;
     std::uint64_t seq;       ///< tie-breaker: FIFO among same-time events
     Process* process;
     std::uint64_t epoch;     ///< wake is stale unless process->epoch_ matches
     bool is_start;           ///< first dispatch of a freshly spawned process
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  void dispatch(const Event& ev, std::unique_lock<std::mutex>& lock);
-  void process_main(Process& p);
-  /// util::log_line per-thread context provider: virtual timestamp + node id
-  /// of the simulated process (installed by process_main on its thread).
-  static std::string log_context(void* process);
+  void dispatch(const Event& ev, Guard& guard);
+  /// Shared process trunk, called by both backends on the process's own
+  /// stack: run the body, absorb teardown/crash, hand control back.
+  void run_process_body(Process& p);
+  /// util::log_line per-thread context provider; reads the dispatch-time
+  /// clock snapshot (Process::log_now_), never live scheduler state.
+  static std::string log_context_tls(void* unused);
+  /// Fold events_dispatched into the static lifetime counter.
+  void flush_lifetime_events() noexcept;
+
+  std::uint64_t race_send_slow();
+  void race_recv_slow(std::uint64_t token);
+  void race_drop_slow(std::uint64_t token);
 
   std::mutex mutex_;
   std::condition_variable controller_cv_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  TimedMinQueue<Event> events_;
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;  ///< non-null while a process owns the sim
   SimTime clock_{0};
   std::uint64_t next_seq_ = 0;
   ProcessId next_pid_ = 1;
   SchedulerStats stats_;
+  std::uint64_t lifetime_flushed_ = 0;  ///< events already folded into the
+                                        ///< static lifetime counter
   std::function<void(SimTime)> time_observer_;
   bool deadlocked_ = false;
   bool draining_ = false;  ///< destructor: force-finish parked processes
+  bool lock_needed_ = true;  ///< threads backend: Guard takes the real mutex
+  std::unique_ptr<ExecutionBackend> backend_;
   analysis::RaceDetector* race_ = nullptr;  ///< owned by the Runtime
 };
 
