@@ -36,8 +36,9 @@ Measured measure(bool readahead, std::uint64_t records) {
   Measured out;
   rt.spawn(0, "bench", [&](sim::Context& ctx) {
     std::vector<std::byte> payload(efs::kEfsDataBytes);
-    (void)fs.create(ctx, 1);
+    (void)fs.create(ctx, 1);  // fresh fs; create cannot fail
     for (std::uint64_t i = 0; i < records; ++i) {
+      // fill phase; read path below validates the data
       (void)fs.write(ctx, 1, static_cast<std::uint32_t>(i), payload,
                      disk::kNilAddr);
     }

@@ -58,9 +58,9 @@ double coverage_probability(Distribution d, std::uint32_t p,
     if (d == Distribution::kLinked) {
       std::uint32_t lfs =
           static_cast<std::uint32_t>(util::mix64(i * 0x9E3779B9ull) % p);
-      (void)map.append_linked({lfs, map.next_local(lfs)});
+      (void)map.append_linked({lfs, map.next_local(lfs)});  // fill phase; placement checked after
     } else {
-      (void)map.append();
+      (void)map.append();  // fill phase; placement checked after
     }
   }
   std::uint64_t windows = 0, covered = 0;
@@ -187,7 +187,7 @@ int main(int argc, char** argv) {
   {
     bridge::core::PlacementMap map(Distribution::kChunked, p, 0, p,
                            static_cast<std::uint32_t>(records / p), 0);
-    for (std::uint64_t i = 0; i < (records / p) * p; ++i) (void)map.append();
+    for (std::uint64_t i = 0; i < (records / p) * p; ++i) (void)map.append();  // fill phase; distribution verified below
     auto moved = map.rechunk(static_cast<std::uint32_t>(2 * records / p));
     std::printf("  growing a full %llu-block chunked file: %llu of %llu blocks"
                 " must move (%.0f%%)\n",

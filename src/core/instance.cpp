@@ -118,6 +118,15 @@ void BridgeInstance::publish_metrics() {
                             "bridge.n" + std::to_string(server->node()));
   }
   rt_->message_stats().publish(registry, "net");
+  // Measured cross-check for the static stack budget
+  // (tools/analysis/stack_audit.py).  Only present when the fiber backend
+  // ran with BRIDGE_SIM_STACK_WATERMARK=1 — an unset gauge stays out of
+  // snapshots, so threads-backend and unwatermarked runs are unchanged.
+  const auto& sim_stats = rt_->scheduler().stats();
+  if (sim_stats.fiber_stack_high_water > 0) {
+    registry.gauge("sim.fiber_stack_high_water_bytes")
+        .set(static_cast<double>(sim_stats.fiber_stack_high_water));
+  }
 }
 
 std::string BridgeInstance::metrics_json() {

@@ -4,6 +4,7 @@
 
 #include "src/core/bridge_block.hpp"
 #include "src/core/interleave.hpp"
+#include "src/util/logging.hpp"
 
 namespace bridge::core {
 
@@ -66,6 +67,21 @@ util::Result<std::vector<std::byte>> read_unwrapped(efs::EfsClient& lfs,
   auto block = read_block(lfs, meta, local_block);
   if (!block.is_ok()) return block.status();
   return std::move(block.value().user_data);
+}
+
+/// Best-effort compensating truncate used on write/rebuild error paths.  The
+/// caller is already failing the operation, so a rollback error must not win
+/// over the write error it compensates for — but it must not vanish either:
+/// a failed rollback means the constituent's length no longer matches this
+/// file's bookkeeping, and the next read past the torn tail will see it.
+void rollback_truncate(efs::EfsClient& lfs, efs::FileId id, std::uint32_t len,
+                       const char* where) {
+  if (auto r = lfs.truncate(id, len); !r.is_ok()) {
+    util::LogMessage(util::LogLevel::kError, "replication")
+        << where << ": rollback truncate to " << len
+        << " blocks failed for lfs file " << id
+        << "; constituent may retain a torn tail: " << r.status().to_string();
+  }
 }
 
 // --- AsyncBatch plumbing ----------------------------------------------------
@@ -332,7 +348,8 @@ util::Status MirroredFile::append_many(
                             : ((entry.lfs + p - p / 2) % p + p -
                                primary_.start_lfs % p) %
                                   p;
-      lfs_[entry.lfs]->truncate(entry.id, offset_count(size_, p, o));
+      rollback_truncate(*lfs_[entry.lfs], entry.id, offset_count(size_, p, o),
+                        "MirroredFile::append_many");
     }
     return first_error;
   }
@@ -439,8 +456,10 @@ util::Result<RebuildReport> MirroredFile::rebuild_lfs(
         if (!st.is_ok() && write_status.is_ok()) write_status = st;
       }
       if (!write_status.is_ok()) {
-        lfs_[failed_idx]->truncate(primary_.lfs_file_id, pending_lo);
-        lfs_[failed_idx]->truncate(mirror_.lfs_file_id, pending_lo);
+        rollback_truncate(*lfs_[failed_idx], primary_.lfs_file_id, pending_lo,
+                          "MirroredFile::rebuild_lfs");
+        rollback_truncate(*lfs_[failed_idx], mirror_.lfs_file_id, pending_lo,
+                          "MirroredFile::rebuild_lfs");
         return write_status;
       }
       for (const auto& w : pending) report.blocks_rebuilt += w.blocks;
@@ -573,8 +592,10 @@ util::Result<RebuildReport> MirroredFile::rebuild_lfs(
                          .status();
     }
     if (!write_status.is_ok()) {
-      lfs_[failed_idx]->truncate(primary_.lfs_file_id, lo);
-      lfs_[failed_idx]->truncate(mirror_.lfs_file_id, lo);
+      rollback_truncate(*lfs_[failed_idx], primary_.lfs_file_id, lo,
+                        "MirroredFile::rebuild_lfs");
+      rollback_truncate(*lfs_[failed_idx], mirror_.lfs_file_id, lo,
+                        "MirroredFile::rebuild_lfs");
       return write_status;
     }
     report.blocks_rebuilt += (primary_hi - lo) + (mirror_hi - lo);
@@ -758,9 +779,11 @@ util::Status ParityFile::append_stripe(
     // Compensate: every constituent of this stripe rolls back to `stripe`
     // local blocks — no torn stripe whose parity silently XORs garbage.
     for (std::size_t i = 0; i < blocks.size(); ++i) {
-      lfs_[data_lfs[i]]->truncate(data_.lfs_file_id, stripe);
+      rollback_truncate(*lfs_[data_lfs[i]], data_.lfs_file_id, stripe,
+                        "ParityFile::append_stripe");
     }
-    lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, stripe);
+    rollback_truncate(*lfs_[parity_lfs_index()], parity_.lfs_file_id, stripe,
+                      "ParityFile::append_stripe");
     return first_error;
   }
   size_ += blocks.size();
@@ -974,7 +997,8 @@ util::Result<RebuildReport> ParityFile::rebuild_data_lfs(
         auto st = take_write(std::move(replies[b++]), *lfs_[failed_idx],
                              data_.lfs_file_id, write_vectored);
         if (!st.is_ok()) {
-          lfs_[failed_idx]->truncate(data_.lfs_file_id, pending_lo);
+          rollback_truncate(*lfs_[failed_idx], data_.lfs_file_id, pending_lo,
+                            "ParityFile::rebuild_data_lfs");
           return st;
         }
         report.blocks_rebuilt += pending_hi - pending_lo;
@@ -1012,7 +1036,8 @@ util::Result<RebuildReport> ParityFile::rebuild_data_lfs(
     auto st = take_write(std::move(replies[0]), *lfs_[failed_idx],
                          data_.lfs_file_id, write_vectored);
     if (!st.is_ok()) {
-      lfs_[failed_idx]->truncate(data_.lfs_file_id, pending_lo);
+      rollback_truncate(*lfs_[failed_idx], data_.lfs_file_id, pending_lo,
+                        "ParityFile::rebuild_data_lfs");
       return st;
     }
     report.blocks_rebuilt += pending_hi - pending_lo;
@@ -1050,7 +1075,8 @@ util::Result<RebuildReport> ParityFile::rebuild_data_lfs(
                          .status();
     }
     if (!write_status.is_ok()) {
-      lfs_[failed_idx]->truncate(data_.lfs_file_id, lo);
+      rollback_truncate(*lfs_[failed_idx], data_.lfs_file_id, lo,
+                        "ParityFile::rebuild_data_lfs");
       return write_status;
     }
     report.blocks_rebuilt += hi - lo;
@@ -1163,7 +1189,8 @@ util::Result<RebuildReport> ParityFile::rebuild_parity_lfs(
                              *lfs_[parity_lfs_index()], parity_.lfs_file_id,
                              write_vectored);
         if (!st.is_ok()) {
-          lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, pending_lo);
+          rollback_truncate(*lfs_[parity_lfs_index()], parity_.lfs_file_id,
+                            pending_lo, "ParityFile::rebuild_parity_lfs");
           return st;
         }
         report.blocks_rebuilt += pending_hi - pending_lo;
@@ -1198,7 +1225,8 @@ util::Result<RebuildReport> ParityFile::rebuild_parity_lfs(
     auto st = take_write(std::move(replies[0]), *lfs_[parity_lfs_index()],
                          parity_.lfs_file_id, write_vectored);
     if (!st.is_ok()) {
-      lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, pending_lo);
+      rollback_truncate(*lfs_[parity_lfs_index()], parity_.lfs_file_id,
+                        pending_lo, "ParityFile::rebuild_parity_lfs");
       return st;
     }
     report.blocks_rebuilt += pending_hi - pending_lo;
@@ -1231,7 +1259,8 @@ util::Result<RebuildReport> ParityFile::rebuild_parity_lfs(
                          .status();
     }
     if (!write_status.is_ok()) {
-      lfs_[parity_lfs_index()]->truncate(parity_.lfs_file_id, lo);
+      rollback_truncate(*lfs_[parity_lfs_index()], parity_.lfs_file_id, lo,
+                        "ParityFile::rebuild_parity_lfs");
       return write_status;
     }
     report.blocks_rebuilt += hi - lo;

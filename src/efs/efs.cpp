@@ -557,7 +557,15 @@ util::Result<BlockAddr> EfsCore::write_run(
     if (!result.is_ok()) {
       // Land the completed prefix so the disk matches the bookkeeping the
       // caller will roll back against (truncate frees exactly these blocks).
-      (void)flush_staged();
+      // The write error wins (it is what the caller rolls back against), but
+      // a failed prefix flush means disk and bookkeeping may now disagree —
+      // that must not vanish silently.
+      if (auto st = flush_staged(); !st.is_ok()) {
+        util::LogMessage(util::LogLevel::kError, "efs")
+            << "write_run: prefix flush failed after write error; disk may "
+               "not match bookkeeping for file " << id << ": "
+            << st.to_string();
+      }
       return result;
     }
     last = result.value();

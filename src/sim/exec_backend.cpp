@@ -90,10 +90,19 @@ std::size_t fiber_stack_bytes_from_env() {
   return kb * 1024;
 }
 
+bool fiber_watermark_from_env() {
+  // Opt-in: stamping + scanning touches every page of every stack, which
+  // costs ~100x on stack-churn-heavy runs (see FiberStackPool).
+  const char* env = std::getenv("BRIDGE_SIM_STACK_WATERMARK");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
 }  // namespace
 
 FiberBackend::FiberBackend(Scheduler& sched)
-    : sched_(sched), pool_(fiber_stack_bytes_from_env(), /*guard_pages=*/1) {}
+    : sched_(sched),
+      pool_(fiber_stack_bytes_from_env(), /*guard_pages=*/1,
+            fiber_watermark_from_env()) {}
 
 void FiberBackend::switch_to_fiber(Process& p) {
   detail::t_current_process = &p;
@@ -113,6 +122,9 @@ void FiberBackend::reap_if_finished(Process& p) {
   if (p.state_ == Process::State::kFinished && p.stack_.valid()) {
     pool_.release(p.stack_);
     p.stack_ = FiberStack{};
+    // release() is where the watermark scan runs; mirror it out so stats
+    // snapshots taken between dispatches see the deepest use so far.
+    sched_.stats_.fiber_stack_high_water = pool_.stack_high_water();
   }
 }
 

@@ -91,8 +91,16 @@ void FiberContext::switch_between(FiberContext& from, FiberContext& to) {
 
 #endif
 
+namespace {
+// Watermark fill byte.  Chosen so a stamped-but-untouched word is neither a
+// plausible pointer nor zero (the init frame writes zeros), making the
+// first-touched-byte scan unambiguous in practice.
+constexpr std::byte kStackStamp{0xA5};
+}  // namespace
+
 FiberStackPool::FiberStackPool(std::size_t stack_bytes,
-                               std::size_t guard_pages) {
+                               std::size_t guard_pages, bool watermark)
+    : watermark_(watermark) {
   auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   stack_bytes_ = ((stack_bytes + page - 1) / page) * page;
   guard_bytes_ = guard_pages * page;
@@ -111,6 +119,10 @@ FiberStack FiberStackPool::acquire() {
     FiberStack stack = free_.back();
     free_.pop_back();
     ++reused_;
+    if (watermark_) {
+      std::memset(stack.usable_base(), std::to_integer<int>(kStackStamp),
+                  stack.usable_size());
+    }
     return stack;
   }
   std::size_t map_size = stack_bytes_ + guard_bytes_;
@@ -129,6 +141,10 @@ FiberStack FiberStackPool::acquire() {
   stack.map_base = static_cast<std::byte*>(base);
   stack.map_size = map_size;
   stack.guard_size = guard_bytes_;
+  if (watermark_) {
+    std::memset(stack.usable_base(), std::to_integer<int>(kStackStamp),
+                stack.usable_size());
+  }
   return stack;
 }
 
@@ -140,6 +156,21 @@ void FiberStackPool::release(FiberStack stack) {
   // scrub it so the next fiber starts on a clean stack.
   __asan_unpoison_memory_region(stack.usable_base(), stack.usable_size());
 #endif
+  if (watermark_) {
+    // The stack grows DOWN from the top: the deepest frame ever live is the
+    // lowest non-stamp byte.  Scan up from the guard page for the first
+    // touched byte; everything above it was used at some point.
+    const std::byte* base = stack.usable_base();
+    std::size_t first_touched = stack.usable_size();
+    for (std::size_t i = 0; i < stack.usable_size(); ++i) {
+      if (base[i] != kStackStamp) {
+        first_touched = i;
+        break;
+      }
+    }
+    std::uint64_t used = stack.usable_size() - first_touched;
+    if (used > high_water_) high_water_ = used;
+  }
   free_.push_back(stack);
 }
 

@@ -76,8 +76,16 @@ struct FiberStack {
 class FiberStackPool {
  public:
   /// `stack_bytes` is the usable size (rounded up to whole pages);
-  /// `guard_pages` pages of PROT_NONE sit below every stack.
-  FiberStackPool(std::size_t stack_bytes, std::size_t guard_pages);
+  /// `guard_pages` pages of PROT_NONE sit below every stack.  With
+  /// `watermark` set, every acquired stack is stamped with a fill pattern
+  /// and scanned on release to track the deepest stack use ever observed
+  /// (`stack_high_water()`) — the measured cross-check for the static
+  /// budget in tools/analysis/stack_audit.py.  Stamping touches every page
+  /// of every stack, which defeats the pool's lazy-population win (a 10k
+  /// churn goes from ~3ms to ~300ms), so it is opt-in
+  /// (BRIDGE_SIM_STACK_WATERMARK=1), not default.
+  FiberStackPool(std::size_t stack_bytes, std::size_t guard_pages,
+                 bool watermark = false);
   ~FiberStackPool();
 
   FiberStackPool(const FiberStackPool&) = delete;
@@ -95,15 +103,23 @@ class FiberStackPool {
   [[nodiscard]] std::uint64_t stacks_reused() const noexcept { return reused_; }
   [[nodiscard]] std::uint64_t live_peak() const noexcept { return live_peak_; }
   [[nodiscard]] std::size_t stack_bytes() const noexcept { return stack_bytes_; }
+  /// Deepest observed stack use across all released stacks, in bytes.
+  /// Always 0 unless constructed with watermarking on.
+  [[nodiscard]] std::uint64_t stack_high_water() const noexcept {
+    return high_water_;
+  }
+  [[nodiscard]] bool watermark_enabled() const noexcept { return watermark_; }
 
  private:
   std::size_t stack_bytes_;
   std::size_t guard_bytes_;
+  bool watermark_ = false;
   std::vector<FiberStack> free_;
   std::uint64_t allocated_ = 0;
   std::uint64_t reused_ = 0;
   std::uint64_t live_ = 0;
   std::uint64_t live_peak_ = 0;
+  std::uint64_t high_water_ = 0;
 };
 
 }  // namespace bridge::sim

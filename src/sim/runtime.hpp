@@ -43,9 +43,12 @@ class Context {
   [[nodiscard]] SimTime now() const noexcept;
 
   /// Block for `d` of virtual time.
+  // NOLINT(bridge-fiber-blocking): this IS the virtual-time sleep the rule
+  // points callers at; it parks the fiber, never the host thread.
   void sleep(SimTime d) const;
   /// Model CPU consumption — identical to sleep, named for intent at call
   /// sites ("this request costs 300us of processor time").
+  // NOLINT(bridge-fiber-blocking): delegates to the virtual-time sleep above.
   void charge(SimTime d) const { sleep(d); }
 
   /// Mark this process as a long-lived server; it may stay parked when the

@@ -133,6 +133,10 @@ struct SchedulerStats {
   std::uint64_t fiber_stacks_allocated = 0;  ///< fresh mmaps
   std::uint64_t fiber_stacks_reused = 0;     ///< free-list hits
   std::uint64_t fiber_stack_live_peak = 0;   ///< max stacks in use at once
+  /// Deepest measured stack use (bytes) across released fibers.  Only
+  /// populated under BRIDGE_SIM_STACK_WATERMARK=1 (see FiberStackPool);
+  /// cross-checks the static budget from tools/analysis/stack_audit.py.
+  std::uint64_t fiber_stack_high_water = 0;
 };
 
 namespace detail {

@@ -10,6 +10,9 @@ namespace bridge::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+// NOLINT(bridge-fiber-thread-primitive): stderr is host-side, shared by the
+// threads backend's real concurrency; the mutex only orders log lines and is
+// never contended on the single-threaded fiber backend (no fiber can block).
 std::mutex g_mutex;
 
 thread_local std::string (*t_context_provider)(void*) = nullptr;
@@ -47,6 +50,8 @@ std::string thread_log_context() {
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   std::string context = thread_log_context();
+  // NOLINT(bridge-fiber-thread-primitive): see g_mutex above — host-side
+  // log-line ordering only, uncontended under the fiber backend.
   std::lock_guard<std::mutex> lock(g_mutex);
   if (context.empty()) {
     std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),

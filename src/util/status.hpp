@@ -31,7 +31,10 @@ enum class ErrorCode : std::uint8_t {
 const char* error_code_name(ErrorCode code) noexcept;
 
 /// A success-or-error value.  Cheap to copy on the success path.
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed error — every caller must
+/// branch on it, propagate it, or discard it with a commented `(void)` cast
+/// (the bridge-ignored-result lint demands the comment).
+class [[nodiscard]] Status {
  public:
   Status() noexcept : code_(ErrorCode::kOk) {}
   Status(ErrorCode code, std::string message)
@@ -90,8 +93,9 @@ class StatusError : public std::runtime_error {
 };
 
 /// A value or an error.  `Result<T> r = compute(); if (!r.is_ok()) ...`.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : data_(std::move(status)) {  // NOLINT

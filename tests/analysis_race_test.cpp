@@ -171,12 +171,12 @@ TEST(RaceDetectorSim, InjectedPlacementRaceIsReported) {
   rt.spawn(0, "serverA", [&](sim::Context& ctx) {
     ctx.sleep(sim::usec(100));
     BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
-    (void)placement.append();
+    (void)placement.append();  // timing probe: only the event-count side effect matters
   });
   rt.spawn(1, "serverB", [&](sim::Context& ctx) {
     ctx.sleep(sim::usec(200));  // later in virtual time, still unordered
     BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
-    (void)placement.append();
+    (void)placement.append();  // timing probe: only the event-count side effect matters
   });
   rt.run();
 
@@ -207,13 +207,13 @@ TEST(RaceDetectorSim, ChannelEdgeSuppressesReport) {
   rt.spawn(0, "serverA", [&](sim::Context& ctx) {
     ctx.sleep(sim::usec(100));
     BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
-    (void)placement.append();
+    (void)placement.append();  // racy on purpose: the detector must flag this access
     ctx.send(*done, 1, /*payload_bytes=*/4);
   });
   rt.spawn(1, "serverB", [&](sim::Context& ctx) {
-    (void)done->recv();
+    (void)done->recv();  // rendezvous only; payload is untested
     BRIDGE_RACE_WRITE(ctx, &placement, 0, "bridge.placement");
-    (void)placement.append();
+    (void)placement.append();  // racy on purpose: the detector must flag this access
   });
   rt.run();
   ASSERT_NE(rt.race(), nullptr);

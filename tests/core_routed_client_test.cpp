@@ -432,15 +432,15 @@ std::string rename_race_trace(std::uint64_t* access_count,
         if (!client.create(from).is_ok()) continue;
         auto open = client.open(from);
         if (open.is_ok()) {
-          (void)client.seq_write(open.value().session, record(base + i));
+          (void)client.seq_write(open.value().session, record(base + i));  // race workload; determinism is asserted via the trace digest
         }
         auto renamed = client.rename(from, to);
         if (renamed.is_ok()) {
-          (void)client.random_read(renamed.value(), 0);
-          (void)client.open(to);
+          (void)client.random_read(renamed.value(), 0);  // race workload; determinism is asserted via the trace digest
+          (void)client.open(to);  // race workload; determinism is asserted via the trace digest
         } else {
-          (void)client.open(from);
-          (void)client.remove(from);
+          (void)client.open(from);  // race workload; determinism is asserted via the trace digest
+          (void)client.remove(from);  // race workload; determinism is asserted via the trace digest
         }
       }
     };

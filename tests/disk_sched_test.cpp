@@ -162,10 +162,10 @@ TEST(Disk, ReadTracksSingleTrackMatchesReadTrack) {
   sim::SimTime cost_single{}, cost_sweep{};
   rt.spawn(0, "t", [&](sim::Context& ctx) {
     sim::SimTime start = ctx.now();
-    (void)a.read_track(ctx, 8, nullptr);
+    (void)a.read_track(ctx, 8, nullptr);  // timing-only: elapsed virtual time is asserted below
     cost_single = ctx.now() - start;
     start = ctx.now();
-    (void)b.read_tracks(ctx, 8, 1, nullptr);
+    (void)b.read_tracks(ctx, 8, 1, nullptr);  // timing-only: elapsed virtual time is asserted below
     cost_sweep = ctx.now() - start;
   });
   rt.run();

@@ -40,8 +40,8 @@ TEST(Disk, EachAccessChargesLatency) {
   sim::SimTime elapsed{};
   rt.spawn(0, "t", [&](sim::Context& ctx) {
     auto data = pattern_block(1);
-    (void)disk.write(ctx, 0, data);
-    (void)disk.read(ctx, 40);
+    (void)disk.write(ctx, 0, data);  // timing-only: elapsed virtual time is asserted below
+    (void)disk.read(ctx, 40);  // timing-only: elapsed virtual time is asserted below
     elapsed = ctx.now();
   });
   rt.run();
@@ -88,7 +88,7 @@ TEST(Disk, TrackReadReturnsCorrectContents) {
   SimDisk disk(small_geometry(), LatencyModel{});
   rt.spawn(0, "t", [&](sim::Context& ctx) {
     for (std::uint8_t i = 0; i < 4; ++i) {
-      (void)disk.write(ctx, 8 + i, pattern_block(i));
+      (void)disk.write(ctx, 8 + i, pattern_block(i));  // filled blocks are read back and compared below
     }
     auto blocks = disk.read_track(ctx, 9, nullptr);
     ASSERT_TRUE(blocks.is_ok());
@@ -185,9 +185,9 @@ TEST(Disk, StatsAccumulate) {
   sim::Runtime rt(1);
   SimDisk disk(small_geometry(), LatencyModel{});
   rt.spawn(0, "t", [&](sim::Context& ctx) {
-    (void)disk.write(ctx, 0, pattern_block(1));
-    (void)disk.read(ctx, 0);
-    (void)disk.read_track(ctx, 0, nullptr);
+    (void)disk.write(ctx, 0, pattern_block(1));  // warm-up op; positioning charge asserted below
+    (void)disk.read(ctx, 0);  // warm-up op; positioning charge asserted below
+    (void)disk.read_track(ctx, 0, nullptr);  // warm-up op; positioning charge asserted below
   });
   rt.run();
   const auto& st = disk.stats();

@@ -80,13 +80,13 @@ RunFingerprint routed_workload(const char* backend) {
         if (!client.create(from).is_ok()) continue;
         auto open = client.open(from);
         if (open.is_ok()) {
-          (void)client.seq_write(open.value().session, record(base + i));
+          (void)client.seq_write(open.value().session, record(base + i));  // workload body; backends are compared by trace digest
         }
         auto renamed = client.rename(from, to);
         if (renamed.is_ok()) {
-          (void)client.random_read(renamed.value(), 0);
+          (void)client.random_read(renamed.value(), 0);  // workload body; backends are compared by trace digest
         } else {
-          (void)client.remove(from);
+          (void)client.remove(from);  // workload body; backends are compared by trace digest
         }
       }
     };
@@ -240,7 +240,7 @@ TEST(SimBackend, ThreadsTeardownDropsParkedDaemonsAndUndeliveredItems) {
     });
     rt.spawn(0, "parked-daemon", [&](sim::Context& ctx) {
       ctx.set_daemon();
-      (void)idle->recv();
+      (void)idle->recv();  // rendezvous only; payload is untested
     });
     rt.run();
     EXPECT_EQ(rt.race()->outstanding_tokens(), 1u);

@@ -66,7 +66,7 @@ TEST(WorkerGroup, TreeStartupIsLogarithmic) {
           return 0;
         });
       }
-      (void)group.wait_all();
+      (void)group.wait_all();  // cancellation path: results are intentionally abandoned
     });
     rt.run();
     return latest;

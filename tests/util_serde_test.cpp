@@ -96,7 +96,7 @@ TEST(Result, ValueAndError) {
   Result<int> bad(invalid_argument("nope"));
   EXPECT_FALSE(bad.is_ok());
   EXPECT_EQ(bad.value_or(9), 9);
-  EXPECT_THROW((void)bad.value(), StatusError);
+  EXPECT_THROW((void)bad.value(), StatusError);  // value() on error must throw; result unreachable
   EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
 }
 

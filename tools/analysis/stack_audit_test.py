@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Unit tests for stack_audit.py: .ci graph merging, worst-case walk,
+recursion detection, and STACK_AUDIT annotation parsing.
+
+Run directly or through ctest (test `analysis_stack_audit_py`):
+
+    python3 -m unittest discover -s tools/analysis -p "*_test.py"
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import stack_audit  # noqa: E402
+
+
+def ci(*lines: str) -> str:
+    return "\n".join(lines) + "\n"
+
+
+def node(title: str, label: str) -> str:
+    return f'node: {{ title: "{title}" label: "{label}" }}'
+
+
+def edge(src: str, dst: str) -> str:
+    return f'edge: {{ sourcename: "{src}" targetname: "{dst}" }}'
+
+
+def usage(sig: str, loc: str, bytes_: int, qual: str = "static") -> str:
+    return f"{sig}\\n{loc}\\n{bytes_} bytes ({qual})"
+
+
+class ParseAndMergeTest(unittest.TestCase):
+    def test_single_tu_nodes_edges_and_usage(self):
+        graph = stack_audit.parse_ci_text(
+            ci(
+                node("_Zmain", usage("main()", "a.cpp:3:5", 128)),
+                node("_Zleaf", usage("leaf()", "a.cpp:9:5", 64)),
+                edge("_Zmain", "_Zleaf"),
+            )
+        )
+        self.assertEqual(graph["_Zmain"].su_bytes, 128)
+        self.assertEqual(graph["_Zmain"].su_qual, "static")
+        self.assertEqual(graph["_Zmain"].callees, {"_Zleaf"})
+        self.assertEqual(graph["_Zmain"].file, "a.cpp")
+        self.assertEqual(graph["_Zmain"].line, 3)
+
+    def test_merge_takes_max_usage_and_edge_union(self):
+        graph = stack_audit.parse_ci_text(
+            ci(
+                node("_Zshared", usage("shared()", "h.hpp:2:5", 96)),
+                edge("_Zshared", "_Za"),
+            )
+        )
+        stack_audit.parse_ci_text(
+            ci(
+                node("_Zshared", usage("shared()", "h.hpp:2:5", 160)),
+                edge("_Zshared", "_Zb"),
+            ),
+            graph,
+        )
+        self.assertEqual(graph["_Zshared"].su_bytes, 160)
+        self.assertEqual(graph["_Zshared"].callees, {"_Za", "_Zb"})
+
+    def test_dynamic_qualifier_taints_merged_node(self):
+        graph = stack_audit.parse_ci_text(
+            ci(node("_Zf", usage("f()", "a.cpp:1:1", 32, "static")))
+        )
+        stack_audit.parse_ci_text(
+            ci(node("_Zf", usage("f()", "a.cpp:1:1", 16, "dynamic"))), graph
+        )
+        self.assertEqual(graph["_Zf"].su_qual, "dynamic")
+        self.assertEqual(graph["_Zf"].su_bytes, 32)
+
+    def test_tu_local_prefix_is_stripped(self):
+        graph = stack_audit.parse_ci_text(
+            ci(
+                node("src/x.cpp:_ZlocalF", usage("localF()", "x.cpp:4:1", 48)),
+                edge("src/x.cpp:_ZlocalF", "_Zg"),
+            )
+        )
+        self.assertIn("_ZlocalF", graph)
+        self.assertNotIn("src/x.cpp:_ZlocalF", graph)
+        self.assertEqual(graph["_ZlocalF"].callees, {"_Zg"})
+
+    def test_indirect_call_sites_are_counted_not_edges(self):
+        graph = stack_audit.parse_ci_text(
+            ci(
+                node("_Zf", usage("f()", "a.cpp:1:1", 32)),
+                edge("_Zf", "__indirect_call"),
+                edge("_Zf", "__indirect_call"),
+            )
+        )
+        self.assertEqual(graph["_Zf"].indirect_sites, 2)
+        self.assertEqual(graph["_Zf"].callees, set())
+
+
+class AuditorWalkTest(unittest.TestCase):
+    def make_auditor(self, text, config_overrides=None, bound_of=None):
+        graph = stack_audit.parse_ci_text(text)
+        for n in graph.values():
+            n.demangled = n.label.split("\\n")[0] if n.label else n.name
+        config = json.loads(json.dumps(stack_audit.DEFAULT_CONFIG))
+        config.update(config_overrides or {})
+        return stack_audit.Auditor(graph, config, bound_of or {}), graph
+
+    def test_worst_chain_sums_frames_and_call_overhead(self):
+        auditor, _ = self.make_auditor(
+            ci(
+                node("_Za", usage("a()", "a.cpp:1:1", 100)),
+                node("_Zb", usage("b()", "a.cpp:5:1", 200)),
+                node("_Zc", usage("c()", "a.cpp:9:1", 50)),
+                edge("_Za", "_Zb"),
+                edge("_Za", "_Zc"),
+            )
+        )
+        chain = auditor.worst("_Za")
+        overhead = stack_audit.CALL_OVERHEAD_BYTES
+        self.assertEqual(chain.total, 100 + overhead + 200)
+        self.assertEqual([f[0] for f in chain.frames], ["_Za", "_Zb"])
+
+    def test_recursion_is_reported_as_error(self):
+        auditor, _ = self.make_auditor(
+            ci(
+                node("_Za", usage("a()", "a.cpp:1:1", 100)),
+                node("_Zb", usage("b()", "a.cpp:5:1", 100)),
+                edge("_Za", "_Zb"),
+                edge("_Zb", "_Za"),
+            )
+        )
+        auditor.worst("_Za")
+        self.assertTrue(
+            any("unannotated recursion" in e for e in auditor.errors),
+            auditor.errors,
+        )
+
+    def test_direct_self_recursion_is_reported(self):
+        auditor, _ = self.make_auditor(
+            ci(
+                node("_Za", usage("a()", "a.cpp:1:1", 100)),
+                edge("_Za", "_Za"),
+            )
+        )
+        auditor.worst("_Za")
+        self.assertTrue(
+            any("unannotated recursion" in e for e in auditor.errors),
+            auditor.errors,
+        )
+
+    def test_annotation_bound_cuts_recursion(self):
+        annot = stack_audit.Annotation(
+            file="a.cpp", line=4, bound=4096, reason="depth <= 4 by induction"
+        )
+        auditor, _ = self.make_auditor(
+            ci(
+                node("_Za", usage("a()", "a.cpp:1:1", 100)),
+                node("_Zb", usage("b()", "a.cpp:5:1", 100)),
+                edge("_Za", "_Zb"),
+                edge("_Zb", "_Za"),
+            ),
+            bound_of={"_Zb": annot},
+        )
+        chain = auditor.worst("_Za")
+        self.assertEqual(chain.total, 100 + stack_audit.CALL_OVERHEAD_BYTES + 4096)
+
+    def test_external_callee_charged_as_leaf(self):
+        auditor, _ = self.make_auditor(
+            ci(
+                node("_Za", usage("a()", "a.cpp:1:1", 100)),
+                edge("_Za", "memcpy"),
+                edge("_Za", "unknown_external"),
+            )
+        )
+        chain = auditor.worst("_Za")
+        default = stack_audit.DEFAULT_CONFIG["external_default_bytes"]
+        self.assertEqual(
+            chain.total, 100 + stack_audit.CALL_OVERHEAD_BYTES + default
+        )
+        self.assertEqual(auditor.externals_charged["unknown_external"], default)
+        # memcpy has a tighter configured bound than the default.
+        self.assertLess(auditor.externals_charged["memcpy"], default)
+
+    def test_unbounded_dynamic_frame_is_an_error(self):
+        auditor, _ = self.make_auditor(
+            ci(node("_Za", usage("a()", "a.cpp:1:1", 100, "dynamic")))
+        )
+        auditor.worst("_Za")
+        self.assertTrue(any("UNBOUNDED" in e for e in auditor.errors))
+
+    def test_unresolved_indirect_site_charges_default(self):
+        auditor, _ = self.make_auditor(
+            ci(
+                node("_Za", usage("a()", "a.cpp:1:1", 100)),
+                edge("_Za", "__indirect_call"),
+            )
+        )
+        chain = auditor.worst("_Za")
+        indirect = stack_audit.DEFAULT_CONFIG["indirect_default_bytes"]
+        self.assertEqual(
+            chain.total, 100 + stack_audit.CALL_OVERHEAD_BYTES + indirect
+        )
+        self.assertIn("_Za", auditor.unresolved_indirect)
+
+
+class EntryDiscoveryTest(unittest.TestCase):
+    def test_spawn_body_invoker_is_discovered(self):
+        label = (
+            "static void std::_Function_handler<void(bridge::sim::Context&), F>"
+            "::_M_invoke(...) [with _Functor = bridge::efs::EfsServer::start()::"
+            "<lambda(bridge::sim::Context&)>; _ArgTypes = {bridge::sim::Context&}]"
+            "\\na.cpp:1:1\\n16 bytes (static)"
+        )
+        graph = stack_audit.parse_ci_text(ci(node("_ZInvoke_M_invoke", label)))
+        graph["_ZInvoke_M_invoke"].demangled = ""
+        entries = stack_audit.discover_entries(graph, stack_audit.DEFAULT_CONFIG)
+        self.assertEqual(len(entries), 1)
+        self.assertEqual(
+            entries[0].name,
+            "bridge::efs::EfsServer::start()::<lambda(bridge::sim::Context&)>",
+        )
+
+    def test_unrelated_invoker_is_ignored(self):
+        label = (
+            "static void std::_Function_handler<void(int), F>::_M_invoke(...) "
+            "[with _Functor = main()::<lambda(int)>; _ArgTypes = {int}]"
+            "\\na.cpp:1:1\\n16 bytes (static)"
+        )
+        graph = stack_audit.parse_ci_text(ci(node("_ZOther_M_invoke", label)))
+        entries = stack_audit.discover_entries(graph, stack_audit.DEFAULT_CONFIG)
+        self.assertEqual(entries, [])
+
+
+class AnnotationTest(unittest.TestCase):
+    def write_source(self, tmpdir, text):
+        path = os.path.join(tmpdir, "f.cpp")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def test_collect_parses_bound_and_reason(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write_source(
+                tmp,
+                "// STACK_AUDIT: bound=8192 tree depth <= 12, frame 600B\n"
+                "int walk(Node* n);\n",
+            )
+            annots = stack_audit.collect_annotations([tmp])
+            self.assertEqual(len(annots), 1)
+            self.assertEqual(annots[0].bound, 8192)
+            self.assertEqual(annots[0].reason, "tree depth <= 12, frame 600B")
+            self.assertEqual(annots[0].file, os.path.abspath(path))
+            self.assertEqual(annots[0].line, 1)
+
+    def test_reasonless_annotation_is_an_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.write_source(tmp, "// STACK_AUDIT: bound=4096\nint f();\n")
+            annots = stack_audit.collect_annotations([tmp])
+            errors = []
+            stack_audit.attach_annotations({}, annots, errors)
+            self.assertTrue(any("requires a reason" in e for e in errors))
+
+    def test_unmatched_annotation_is_an_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.write_source(
+                tmp, "// STACK_AUDIT: bound=4096 applies to nothing\n"
+            )
+            annots = stack_audit.collect_annotations([tmp])
+            errors = []
+            stack_audit.attach_annotations({}, annots, errors)
+            self.assertTrue(any("matches no compiled function" in e for e in errors))
+
+    def test_annotation_attaches_within_window(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write_source(
+                tmp,
+                "// STACK_AUDIT: bound=2048 bounded by kMaxDepth\n"
+                "template <typename T>\n"
+                "int walk(T* n) { return n ? walk(n->next) + 1 : 0; }\n",
+            )
+            annots = stack_audit.collect_annotations([tmp])
+            n = stack_audit.Node(name="_Zwalk", file=path, line=3)
+            errors = []
+            bound_of = stack_audit.attach_annotations({"_Zwalk": n}, annots, errors)
+            self.assertEqual(errors, [])
+            self.assertIn("_Zwalk", bound_of)
+            self.assertEqual(bound_of["_Zwalk"].bound, 2048)
+
+    def test_annotation_outside_window_does_not_attach(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = self.write_source(
+                tmp,
+                "// STACK_AUDIT: bound=2048 too far away\n"
+                + "\n" * (stack_audit.ANNOT_WINDOW + 2)
+                + "int walk();\n",
+            )
+            annots = stack_audit.collect_annotations([tmp])
+            n = stack_audit.Node(
+                name="_Zwalk", file=path, line=stack_audit.ANNOT_WINDOW + 4
+            )
+            errors = []
+            bound_of = stack_audit.attach_annotations({"_Zwalk": n}, annots, errors)
+            self.assertEqual(bound_of, {})
+            self.assertTrue(any("matches no compiled function" in e for e in errors))
+
+
+if __name__ == "__main__":
+    unittest.main()

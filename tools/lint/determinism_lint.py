@@ -27,6 +27,34 @@ the C++ sources for constructs that silently break that property:
                          garbage bytes, breaking trace and message byte
                          identity.
 
+Fiber-safety rules (PR 10): process bodies run on pooled fixed-size fiber
+stacks, cooperatively scheduled on ONE OS thread.  An OS-level block inside a
+process body stalls the whole simulation, and a fat stack frame is a latent
+guard-page crash (see tools/analysis/stack_audit.py for the interprocedural
+version of that check):
+
+  bridge-fiber-thread-primitive
+                         std::mutex / condition_variable / std::(j)thread /
+                         pthread_* in simulation code.  Only the scheduler +
+                         execution backend (src/sim/scheduler.*,
+                         exec_backend.*, fiber.*) may touch OS threading;
+                         everything else coordinates through sim channels
+                         and events.
+  bridge-fiber-blocking  Blocking host calls (sleep/usleep/nanosleep,
+                         std::this_thread::*, poll/select/epoll_wait,
+                         sem_wait, fsync...).  Simulated waiting is
+                         Context::sleep_until / channel recv; a host block
+                         freezes every fiber at once.
+  bridge-large-frame     A fixed-size local array of >= 16 KiB.  That is
+                         12.5%+ of the default 128 KiB stack budget in one
+                         frame; hoist it to the heap or a pooled buffer.
+  bridge-ignored-result  A `(void)` cast discarding a call result with no
+                         reason.  util::Status / util::Result are
+                         [[nodiscard]]; `(void)` is the sanctioned override
+                         but must carry a trailing `// why` comment (or a
+                         comment directly above) so every dropped error is
+                         a documented decision.
+
 Waivers: a finding is suppressed by a comment on the same line or the line
 directly above:
 
@@ -59,6 +87,18 @@ PROTOCOL_HEADERS = {
 }
 
 NOLINT_RE = re.compile(r"//\s*NOLINT\((bridge-[a-z-]+)\)\s*(?::\s*(.*))?")
+
+# The only files allowed to touch OS threading primitives: the execution
+# backends themselves (which implement fibers / thread-per-process) and the
+# scheduler core they share.  Everything else runs *on* those fibers.
+FIBER_BACKEND_FILES = {
+    os.path.join("src", "sim", "scheduler.hpp"),
+    os.path.join("src", "sim", "scheduler.cpp"),
+    os.path.join("src", "sim", "exec_backend.hpp"),
+    os.path.join("src", "sim", "exec_backend.cpp"),
+    os.path.join("src", "sim", "fiber.hpp"),
+    os.path.join("src", "sim", "fiber.cpp"),
+}
 
 
 @dataclass
@@ -318,6 +358,156 @@ class Linter:
                     "first, or waive with a reason if order cannot escape",
                 )
 
+    # ---- fiber hazards ---------------------------------------------------
+
+    THREAD_PRIMITIVE_PATTERNS = [
+        (
+            re.compile(r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"),
+            "std::mutex family",
+        ),
+        (re.compile(r"std::condition_variable(?:_any)?\b"), "std::condition_variable"),
+        (re.compile(r"std::j?thread\b"), "std::thread"),
+        (re.compile(r"\bpthread_\w+\s*\("), "pthread_*"),
+    ]
+
+    BLOCKING_PATTERNS = [
+        (re.compile(r"std::this_thread::\w+"), "std::this_thread"),
+        (re.compile(r"(?<![\w:.])(?:u|nano)?sleep\s*\("), "sleep()"),
+        (
+            re.compile(r"(?<![\w:.])(?:poll|ppoll|select|pselect|epoll_wait)\s*\("),
+            "blocking I/O multiplex syscall",
+        ),
+        (
+            re.compile(r"(?<![\w:.])(?:sem_wait|sem_timedwait|flock|fsync|fdatasync|msync)\s*\("),
+            "blocking syscall",
+        ),
+    ]
+
+    def lint_fiber_hazards(self, sf: SourceFile) -> None:
+        if os.path.normpath(sf.path) in FIBER_BACKEND_FILES:
+            return
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            for pat, what in self.THREAD_PRIMITIVE_PATTERNS:
+                if pat.search(line):
+                    self.report(
+                        sf,
+                        lineno,
+                        "bridge-fiber-thread-primitive",
+                        f"{what} in code that runs on a cooperative fiber; OS "
+                        "threading lives only in src/sim/{scheduler,"
+                        "exec_backend,fiber}.* — coordinate through sim "
+                        "channels/events instead",
+                    )
+            for pat, what in self.BLOCKING_PATTERNS:
+                if pat.search(line):
+                    self.report(
+                        sf,
+                        lineno,
+                        "bridge-fiber-blocking",
+                        f"{what} blocks the host thread, freezing every fiber "
+                        "in the simulation; use Context::sleep_until / "
+                        "channel recv for simulated waiting",
+                    )
+
+    # ---- large stack frames ----------------------------------------------
+
+    LARGE_FRAME_THRESHOLD = 16 * 1024
+
+    TYPE_SIZES = {
+        "bool": 1, "char": 1, "unsigned char": 1, "signed char": 1,
+        "std::byte": 1, "byte": 1,
+        "std::int8_t": 1, "std::uint8_t": 1, "int8_t": 1, "uint8_t": 1,
+        "std::int16_t": 2, "std::uint16_t": 2, "int16_t": 2, "uint16_t": 2,
+        "short": 2, "unsigned short": 2,
+        "std::int32_t": 4, "std::uint32_t": 4, "int32_t": 4, "uint32_t": 4,
+        "int": 4, "unsigned": 4, "unsigned int": 4, "float": 4,
+        "std::int64_t": 8, "std::uint64_t": 8, "int64_t": 8, "uint64_t": 8,
+        "std::size_t": 8, "size_t": 8, "long": 8, "unsigned long": 8,
+        "long long": 8, "unsigned long long": 8, "double": 8, "void*": 8,
+    }
+
+    C_ARRAY_RE = re.compile(
+        r"\b(?P<type>[\w:]+(?:\s+(?:char|short|int|long))*)\s+"
+        r"(?P<name>\w+)\s*\[(?P<dim>[^\]\[]+)\](?:\s*\[(?P<dim2>[^\]\[]+)\])?\s*[;={]"
+    )
+    STD_ARRAY_RE = re.compile(
+        r"std::array\s*<\s*(?P<type>[^,<>]+?)\s*,\s*(?P<dim>[^<>]+?)\s*>"
+    )
+    DIM_CHARS_RE = re.compile(r"[0-9a-fA-FxX'uUlL\s*+()-]+")
+
+    @classmethod
+    def _eval_dim(cls, text: str) -> int | None:
+        """Evaluate a constant array dimension; None when not a literal
+        expression (identifiers/sizeof need the real compiler — the
+        interprocedural auditor covers those via -fstack-usage)."""
+        if not cls.DIM_CHARS_RE.fullmatch(text):
+            return None
+        cleaned = text.replace("'", "")
+        cleaned = re.sub(r"(?<=[0-9a-fA-F])[uUlL]+\b", "", cleaned)
+        try:
+            value = eval(cleaned, {"__builtins__": {}}, {})  # noqa: S307
+        except Exception:
+            return None
+        return int(value) if isinstance(value, int) and value >= 0 else None
+
+    def lint_large_frames(self, sf: SourceFile) -> None:
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            candidates: list[tuple[str, int | None]] = []
+            for m in self.C_ARRAY_RE.finditer(line):
+                if m.group("type") in ("return", "case", "goto", "delete"):
+                    continue
+                count = self._eval_dim(m.group("dim"))
+                if count is not None and m.group("dim2"):
+                    inner = self._eval_dim(m.group("dim2"))
+                    count = count * inner if inner is not None else None
+                candidates.append((m.group("type").strip(), count))
+            for m in self.STD_ARRAY_RE.finditer(line):
+                candidates.append(
+                    (m.group("type").strip(), self._eval_dim(m.group("dim")))
+                )
+            for type_name, count in candidates:
+                if count is None:
+                    continue
+                elem = self.TYPE_SIZES.get(type_name)
+                # Unknown element type: only flag when the element COUNT
+                # alone crosses the threshold (sizeof >= 1 regardless).
+                bytes_ = count * elem if elem is not None else count
+                if bytes_ >= self.LARGE_FRAME_THRESHOLD:
+                    self.report(
+                        sf,
+                        lineno,
+                        "bridge-large-frame",
+                        f"fixed-size array of ~{bytes_} bytes; on a pooled "
+                        "fiber stack that is a guard-page crash waiting for a "
+                        "deep call chain — hoist it to the heap or a pooled "
+                        "buffer (budget: see tools/analysis/stack_audit.py)",
+                    )
+
+    # ---- ignored results -------------------------------------------------
+
+    VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w:.>\[\]-]*\s*\(")
+
+    def lint_ignored_results(self, sf: SourceFile) -> None:
+        for lineno, line in enumerate(sf.code_lines, start=1):
+            m = self.VOID_CAST_RE.search(line)
+            if not m:
+                continue
+            raw = sf.raw_lines[lineno - 1]
+            # A trailing comment on the line, or a comment directly above,
+            # counts as the mandatory reason.
+            if "//" in raw[m.start():] or "/*" in raw[m.start():]:
+                continue
+            if lineno >= 2 and sf.raw_lines[lineno - 2].strip().startswith("//"):
+                continue
+            self.report(
+                sf,
+                lineno,
+                "bridge-ignored-result",
+                "(void)-discarded call result with no reason; append "
+                "`// <why dropping this is safe>` or handle the error — "
+                "silent drops on rename/replication/fsck paths corrupt state",
+            )
+
     # ---- uninitialized POD members in protocol structs -------------------
 
     POD_TYPES = (
@@ -413,6 +603,9 @@ def main(argv: list[str]) -> int:
     for sf in files:
         linter.lint_patterns(sf)
         linter.lint_pointer_keys(sf)
+        linter.lint_fiber_hazards(sf)
+        linter.lint_large_frames(sf)
+        linter.lint_ignored_results(sf)
         extra = sibling_header_names(sf.path, linter)
         linter.lint_unordered_iteration(sf, extra)
         norm = os.path.normpath(sf.path)
